@@ -1,0 +1,131 @@
+"""Shared machinery for the reproduction benchmarks.
+
+Every module in this directory regenerates one table or figure of the
+paper's evaluation (section 5).  Experiments run at the paper's full
+scale on the virtual machine; the numbers printed are logical-clock
+milliseconds next to the paper's measured 1996 values.  Expectation:
+*shape* agreement (who wins, scaling, crossovers), not absolute equality.
+
+Run with output visible::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+from pathlib import Path
+
+from repro.apps.coupled import (
+    CoupledTimings,
+    run_coupled_single_program,
+    run_coupled_two_programs,
+)
+from repro.apps.matvec_cs import MatvecTimings, run_client_server_matvec
+from repro.apps.meshes import delaunay_mesh, full_remap_mapping
+
+# ---------------------------------------------------------------------------
+# Paper workload scales (section 5.1): 256x256 regular mesh, 65536-point
+# irregular mesh, whole-mesh remap.
+# ---------------------------------------------------------------------------
+
+MESH_SHAPE = (256, 256)
+NPOINTS = MESH_SHAPE[0] * MESH_SHAPE[1]
+PROC_COUNTS = (2, 4, 8, 16)
+
+
+@functools.cache
+def paper_mesh():
+    """The 65536-point unstructured mesh (Delaunay substitute)."""
+    return delaunay_mesh(NPOINTS, seed=1997)
+
+
+@functools.cache
+def paper_mapping():
+    """Whole-mesh regular<->irregular correspondence (permuted)."""
+    return full_remap_mapping(MESH_SHAPE, NPOINTS, seed=7)
+
+
+@functools.cache
+def coupled_single(nprocs: int, remap: str) -> CoupledTimings:
+    """Cached section-5.1 run (Tables 1 and 2 share these)."""
+    return run_coupled_single_program(
+        nprocs, MESH_SHAPE, paper_mesh(), paper_mapping(),
+        timesteps=1, remap=remap,
+    )
+
+
+@functools.cache
+def coupled_two(preg: int, pirreg: int) -> CoupledTimings:
+    """Cached section-5.2 run (Tables 3 and 4 share these)."""
+    return run_coupled_two_programs(
+        preg, pirreg, MESH_SHAPE, paper_mesh(), paper_mapping(), timesteps=1
+    )
+
+
+@functools.cache
+def matvec(nclient: int, nserver: int, nvectors: int) -> MatvecTimings:
+    """Cached section-5.4 run (Figures 10-15 share these)."""
+    return run_client_server_matvec(nclient, nserver, n=512, nvectors=nvectors)
+
+
+# ---------------------------------------------------------------------------
+# Printing helpers
+# ---------------------------------------------------------------------------
+
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_current_experiment: list = []
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+    # Start a fresh record for this experiment.
+    _current_experiment.clear()
+    _current_experiment.append(title)
+
+
+def record(name: str, payload) -> None:
+    """Persist one experiment's data under benchmarks/results/<name>.json.
+
+    Numbers (and lists/dicts of numbers) only — the record is meant for
+    regenerating EXPERIMENTS.md tables and for regression diffing.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = {
+        "experiment": name,
+        "title": _current_experiment[0] if _current_experiment else name,
+        "data": payload,
+    }
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(out, indent=2, default=_jsonify) + "\n")
+
+
+def _jsonify(obj):
+    if hasattr(obj, "__dict__"):
+        return obj.__dict__
+    if hasattr(obj, "item"):
+        return obj.item()
+    return str(obj)
+
+
+def print_series(label: str, procs, ours, paper=None, unit="ms") -> None:
+    cols = "".join(f"{p:>10}" for p in procs)
+    print(f"{'':28}{cols}")
+    row = "".join(f"{v:>10.0f}" for v in ours)
+    print(f"{label + ' (ours, ' + unit + ')':<28}{row}")
+    if paper is not None:
+        prow = "".join(f"{v:>10.0f}" for v in paper)
+        print(f"{label + ' (paper)':<28}{prow}")
+
+
+def check_shape(condition: bool, message: str) -> None:
+    """Record a shape expectation; fail the benchmark if violated."""
+    status = "OK " if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    assert condition, f"shape expectation violated: {message}"

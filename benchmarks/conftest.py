@@ -1,0 +1,6 @@
+"""Make ``benchmarks.common`` importable when pytest collects this dir."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Coupled structured + unstructured mesh solver in one program (§2, §5.1).
+
+The paper's motivating CFD scenario (Figure 1): a structured mesh models
+the space around a body (here a 64x64 grid handled by Multiblock Parti),
+an unstructured Delaunay mesh models the complex-geometry region (handled
+by Chaos), and the two exchange boundary data every time-step through
+Meta-Chaos.
+
+Per time-step:
+  1. Jacobi-style sweep on the structured mesh      (Parti ghost cells)
+  2. copy interface cells -> unstructured nodes     (Meta-Chaos)
+  3. edge-accumulation sweep on the unstructured    (Chaos gather/scatter)
+  4. copy interface nodes -> structured cells       (Meta-Chaos, reverse)
+
+Run:  python examples/coupled_mesh.py
+"""
+
+import numpy as np
+
+from repro.apps.meshes import delaunay_mesh, interface_mapping
+from repro.blockparti import BlockPartiArray, build_ghost_schedule, jacobi_sweep
+from repro.chaos import ChaosArray, EdgeSweep, rcb_owners
+from repro.chaos.partition import block_owners
+from repro.core import (
+    IndexRegion,
+    ScheduleMethod,
+    mc_compute_schedule,
+    mc_copy,
+    mc_new_set_of_regions,
+)
+from repro.vmachine import VirtualMachine
+
+SHAPE = (64, 64)
+NPOINTS = 2000
+TIMESTEPS = 5
+
+MESH = delaunay_mesh(NPOINTS, seed=11)
+IRREG, REG1, REG2 = interface_mapping(SHAPE, NPOINTS, strip=2, seed=3)
+
+
+def spmd(comm):
+    proc = comm.process
+    # Structured mesh, regularly distributed by Multiblock Parti.
+    a = BlockPartiArray.from_function(
+        comm, SHAPE, lambda i, j: np.sin(0.1 * i) + np.cos(0.1 * j)
+    )
+    ghosts = build_ghost_schedule(a)
+
+    # Unstructured mesh, irregularly distributed by Chaos (RCB partition).
+    owners = rcb_owners(MESH.coords, comm.size)
+    x = ChaosArray.zeros(comm, owners)
+    y = ChaosArray.like(x)
+    edge_owner = block_owners(MESH.nedges, comm.size)
+    mine = np.flatnonzero(edge_owner == comm.rank)
+    sweep = EdgeSweep(x, MESH.ia[mine], MESH.ib[mine])
+
+    # The interface mapping (Figure 1's Reg2Irreg arrays) as Regions.
+    reg_cells = IndexRegion(REG1 * SHAPE[1] + REG2)
+    irreg_nodes = IndexRegion(IRREG)
+    sched = mc_compute_schedule(
+        comm,
+        "blockparti", a, mc_new_set_of_regions(reg_cells),
+        "chaos", x, mc_new_set_of_regions(irreg_nodes),
+        ScheduleMethod.COOPERATION,
+    )
+
+    for step in range(TIMESTEPS):
+        jacobi_sweep(a, ghosts)                      # loop 1
+        mc_copy(comm, sched, a, x)                   # loop 2
+        y.local[:] = 0.0
+        sweep.execute(x, y)                          # loop 3
+        x.local[:] = y.local
+        mc_copy(comm, sched.reverse(), x, a)         # loop 4
+        norm = comm.allreduce(float(np.abs(a.local).sum()), lambda p, q: p + q)
+        if comm.rank == 0:
+            print(f"  step {step}: |a|_1 = {norm:.4e}")
+    return float(np.abs(a.local).sum())
+
+
+def main():
+    for nprocs in (2, 4, 8):
+        print(f"-- {nprocs} processors --")
+        result = VirtualMachine(nprocs).run(spmd)
+        total = sum(result.values)
+        print(
+            f"   final |a|_1 = {total:.6e}   modelled elapsed "
+            f"{result.elapsed_ms:.2f} ms   "
+            f"{result.total_stat('messages_sent'):.0f} messages"
+        )
+    print("coupled mesh example OK (identical |a|_1 across P confirms "
+          "the remap is processor-count independent)")
+
+
+if __name__ == "__main__":
+    main()

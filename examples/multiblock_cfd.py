@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Multiblock grid with inter-block boundary updates (§5.3's motivation).
+
+"This scenario would occur, for example, in a multiblock computational
+fluid dynamics code, where inter-block boundaries must be updated at every
+time-step."  An L-shaped domain is decomposed into two logically regular
+blocks, each block-distributed over all processors by Multiblock Parti::
+
+        +---------+
+        | block 0 |            block 0: 32 x 48   (the horizontal arm)
+        +----+----+----+
+             | block 1 |       block 1: 48 x 32   (the vertical arm)
+             |         |
+             +---------+
+
+A heat source sits in block 0; every time-step runs a Jacobi sweep inside
+each block, then the declared interface copies carry the solution across
+the block boundary in both directions.  Convergence is identical for any
+processor count — the physics can't see the decomposition.
+
+Run:  python examples/multiblock_cfd.py
+"""
+
+import numpy as np
+
+from repro.blockparti import (
+    MultiblockArray,
+    build_ghost_schedule,
+    fill_block,
+    jacobi_sweep,
+)
+from repro.vmachine import VirtualMachine
+
+SHAPE0 = (32, 48)   # horizontal arm
+SHAPE1 = (48, 32)   # vertical arm
+STEPS = 6
+# The arms overlap along block 0's bottom rows, columns 16..48 of block 0
+# == block 1's top rows, columns 0..32.
+IFACE_COLS0 = (16, 48)
+
+
+def spmd(comm):
+    mb = MultiblockArray.zeros(comm, [SHAPE0, SHAPE1])
+    # Heat source: a hot spot in the horizontal arm, near the interface
+    # so the coupling matters within a few steps.
+    fill_block(
+        mb.block(0),
+        lambda i, j: np.exp(-(((i - 28.0) / 4.0) ** 2 + ((j - 30.0) / 6.0) ** 2)),
+    )
+    # Interface: block 0's last interior row <-> block 1's first row.
+    mb.connect(
+        0, (slice(SHAPE0[0] - 2, SHAPE0[0] - 1), slice(*IFACE_COLS0)),
+        1, (slice(0, 1), slice(0, SHAPE1[1])),
+    )
+    mb.connect(
+        1, (slice(1, 2), slice(0, SHAPE1[1])),
+        0, (slice(SHAPE0[0] - 1, SHAPE0[0]), slice(*IFACE_COLS0)),
+    )
+    mb.build_interface_schedules()
+
+    ghosts = [build_ghost_schedule(mb.block(b)) for b in range(mb.nblocks)]
+    history = []
+    for step in range(STEPS):
+        for b in range(mb.nblocks):
+            jacobi_sweep(mb.block(b), ghosts[b])
+            mb.block(b).local *= 0.25  # normalize the 4-point sum
+        mb.update_interfaces()
+        total = comm.allreduce(
+            float(sum(blk.local.sum() for blk in mb.blocks)),
+            lambda p, q: p + q,
+        )
+        history.append(total)
+    # How much heat crossed into the vertical arm?
+    arm1_heat = comm.allreduce(
+        float(mb.block(1).local.sum()), lambda p, q: p + q
+    )
+    return history, arm1_heat
+
+
+def main():
+    baseline = None
+    for nprocs in (1, 2, 4, 8):
+        result = VirtualMachine(nprocs).run(spmd)
+        history, arm1_heat = result.values[0]
+        if baseline is None:
+            baseline = (history, arm1_heat)
+            print(f"-- heat totals per step: "
+                  f"{', '.join(f'{h:.4f}' for h in history)}")
+            print(f"   heat that crossed the block interface: {arm1_heat:.6f}")
+        assert np.allclose(history, baseline[0]), "decomposition leaked into physics!"
+        assert np.isclose(arm1_heat, baseline[1])
+        assert arm1_heat > 1e-3, "no meaningful heat crossed the interface"
+        print(f"   P={nprocs}: identical evolution, "
+              f"{result.elapsed_ms:8.2f} ms modelled, "
+              f"{result.total_stat('messages_sent'):4.0f} messages")
+    print("multiblock CFD example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 9 — two HPF programs exchange a section.
+
+Two separately written HPF programs run concurrently on disjoint virtual
+processors.  The source program owns a 200x100 (block,block) array ``B``;
+the destination owns a 50x60 (block,block) array ``A``.  Meta-Chaos
+performs, directly between the distributed memories::
+
+    A[0:50, 10:60] = B[50:100, 50:100]
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import ScheduleMethod, mc_compute_schedule, mc_new_set_of_regions
+from repro.core.coupling import CoupledExchange, coupled_universe
+from repro.hpf import HPFArray, create_region_hpf
+from repro.vmachine import ProgramSpec, run_programs
+
+
+def source_program(ctx):
+    """The paper's left column: owns B, sends a section of it."""
+    comm = ctx.comm
+    B = HPFArray.from_function(
+        comm, (200, 100), lambda i, j: 1000.0 * i + j, specs=("block", "block")
+    )
+    # define the source array section: B[50:100, 50:100] (inclusive bounds)
+    region = create_region_hpf(2, (50, 50), (99, 99))
+    src_set = mc_new_set_of_regions(region)
+
+    universe = coupled_universe(ctx, "destination", "src")
+    sched = mc_compute_schedule(
+        universe,
+        "hpf", B, src_set,
+        "hpf", None, None,
+        ScheduleMethod.COOPERATION,
+    )
+    CoupledExchange(universe, sched).push(B)  # MC_DataMoveSend
+    return comm.process.clock
+
+
+def destination_program(ctx):
+    """The paper's right column: owns A, receives into a section."""
+    comm = ctx.comm
+    A = HPFArray.distribute(comm, (50, 60), ("block", "block"))
+    # define the destination array section: A[0:50, 10:60]
+    region = create_region_hpf(2, (0, 10), (49, 59))
+    dst_set = mc_new_set_of_regions(region)
+
+    universe = coupled_universe(ctx, "source", "dst")
+    sched = mc_compute_schedule(
+        universe,
+        "hpf", None, None,
+        "hpf", A, dst_set,
+        ScheduleMethod.COOPERATION,
+    )
+    CoupledExchange(universe, sched).push(A)  # MC_DataMoveRecv
+
+    full = A.gather_global()
+    if comm.rank == 0:
+        expected = np.zeros((50, 60))
+        ii, jj = np.meshgrid(np.arange(50, 100), np.arange(50, 100), indexing="ij")
+        expected[0:50, 10:60] = 1000.0 * ii + jj
+        assert np.allclose(full, expected), "section copy mismatch!"
+        print("A[0:50, 10:60] = B[50:100, 50:100]  -- verified element-exact")
+        print(f"corner values: A[0,10]={full[0,10]:.0f} (B[50,50]=50050), "
+              f"A[49,59]={full[49,59]:.0f} (B[99,99]=99099)")
+    return comm.process.clock
+
+
+def main():
+    result = run_programs(
+        [
+            ProgramSpec("source", 4, source_program),
+            ProgramSpec("destination", 2, destination_program),
+        ]
+    )
+    print(f"source program:      {result['source'].elapsed_ms:8.3f} ms (modelled)")
+    print(f"destination program: {result['destination'].elapsed_ms:8.3f} ms (modelled)")
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Two separately written programs coupled through Meta-Chaos (§5.2).
+
+``Preg`` is a regular-mesh program (Multiblock Parti); ``Pirreg`` is an
+irregular-mesh program (Chaos).  They were "written separately" — neither
+knows how the other distributes its data — and exchange interface values
+each time-step through a cooperation-method Meta-Chaos schedule over the
+inter-program communicator (peer-to-peer coupling).
+
+Run:  python examples/two_program_coupling.py
+"""
+
+import numpy as np
+
+from repro.apps.meshes import delaunay_mesh, full_remap_mapping
+from repro.blockparti import BlockPartiArray, build_ghost_schedule, jacobi_sweep
+from repro.chaos import ChaosArray, EdgeSweep, rcb_owners
+from repro.chaos.partition import block_owners
+from repro.core import (
+    IndexRegion,
+    ScheduleMethod,
+    SectionRegion,
+    mc_compute_schedule,
+    mc_new_set_of_regions,
+)
+from repro.core.coupling import CoupledExchange, coupled_universe
+from repro.distrib.section import Section
+from repro.vmachine import ProgramSpec, run_programs
+
+SHAPE = (32, 32)
+NPOINTS = SHAPE[0] * SHAPE[1]
+TIMESTEPS = 3
+
+MESH = delaunay_mesh(NPOINTS, seed=21)
+IRREG, _, _ = full_remap_mapping(SHAPE, NPOINTS, seed=9)
+
+
+def regular_program(ctx):
+    comm = ctx.comm
+    a = BlockPartiArray.from_function(
+        comm, SHAPE, lambda i, j: (i * 31 + j) % 17 / 17.0
+    )
+    ghosts = build_ghost_schedule(a)
+    universe = coupled_universe(ctx, "irreg", "src")
+    sched = mc_compute_schedule(
+        universe,
+        "blockparti", a, mc_new_set_of_regions(SectionRegion(Section.full(SHAPE))),
+        "chaos", None, None,
+        ScheduleMethod.COOPERATION,
+    )
+    exchange = CoupledExchange(universe, sched)
+    for step in range(TIMESTEPS):
+        jacobi_sweep(a, ghosts)
+        exchange.push(a)   # whole mesh -> irregular program
+        exchange.pull(a)   # updated values come back
+    checksum = comm.allreduce(float(a.local.sum()), lambda p, q: p + q)
+    if comm.rank == 0:
+        print(f"  [reg]   final checksum {checksum:.6e}")
+    return checksum
+
+
+def irregular_program(ctx):
+    comm = ctx.comm
+    owners = rcb_owners(MESH.coords, comm.size)
+    x = ChaosArray.zeros(comm, owners)
+    y = ChaosArray.like(x)
+    edge_owner = block_owners(MESH.nedges, comm.size)
+    mine = np.flatnonzero(edge_owner == comm.rank)
+    sweep = EdgeSweep(x, MESH.ia[mine], MESH.ib[mine])
+    universe = coupled_universe(ctx, "reg", "dst")
+    sched = mc_compute_schedule(
+        universe,
+        "blockparti", None, None,
+        "chaos", x, mc_new_set_of_regions(IndexRegion(IRREG)),
+        ScheduleMethod.COOPERATION,
+    )
+    exchange = CoupledExchange(universe, sched)
+    for step in range(TIMESTEPS):
+        exchange.push(x)          # receive regular-side values
+        y.local[:] = 0.0
+        sweep.execute(x, y)
+        x.local[:] = 0.5 * x.local + 0.1 * y.local
+        exchange.pull(x)          # send updated values back
+    checksum = comm.allreduce(float(x.local.sum()), lambda p, q: p + q)
+    if comm.rank == 0:
+        print(f"  [irreg] final checksum {checksum:.6e}")
+    return checksum
+
+
+def main():
+    baseline = None
+    for preg, pirreg in ((2, 2), (4, 2), (2, 4)):
+        print(f"-- Preg={preg}, Pirreg={pirreg} --")
+        result = run_programs(
+            [
+                ProgramSpec("reg", preg, regular_program),
+                ProgramSpec("irreg", pirreg, irregular_program),
+            ]
+        )
+        checksum = result["reg"].values[0]
+        if baseline is None:
+            baseline = checksum
+        assert np.isclose(checksum, baseline), "coupling is processor-dependent!"
+        print(
+            f"   modelled elapsed {result.elapsed_ms:.2f} ms "
+            f"(reg {result['reg'].elapsed_ms:.2f} / irreg "
+            f"{result['irreg'].elapsed_ms:.2f})"
+        )
+    print("two-program coupling OK (checksums identical across layouts)")
+
+
+if __name__ == "__main__":
+    main()

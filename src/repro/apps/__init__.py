@@ -1,0 +1,31 @@
+"""The paper's application kernels.
+
+- :mod:`repro.apps.meshes` — structured/unstructured mesh generation and
+  the regular<->irregular interface mappings of Figure 1;
+- :mod:`repro.apps.coupled` — the coupled structured+unstructured solver
+  (§2, §5.1-5.2) in single-program and two-program variants, with the
+  phase instrumentation Tables 1-4 report;
+- :mod:`repro.apps.matvec_cs` — the client/server matrix-vector scenario
+  (§5.4) behind Figures 10-15.
+"""
+
+from repro.apps.meshes import UnstructuredMesh, delaunay_mesh, grid_mesh, full_remap_mapping, interface_mapping
+from repro.apps.coupled import (
+    CoupledTimings,
+    run_coupled_single_program,
+    run_coupled_two_programs,
+)
+from repro.apps.matvec_cs import MatvecTimings, run_client_server_matvec
+
+__all__ = [
+    "UnstructuredMesh",
+    "delaunay_mesh",
+    "grid_mesh",
+    "full_remap_mapping",
+    "interface_mapping",
+    "CoupledTimings",
+    "run_coupled_single_program",
+    "run_coupled_two_programs",
+    "MatvecTimings",
+    "run_client_server_matvec",
+]

@@ -1,0 +1,132 @@
+"""Mesh generation and regular<->irregular interface mappings.
+
+The paper's experiments couple a structured mesh (a 2-D array) with an
+unstructured mesh (irregularly distributed node arrays accessed through
+edge indirection arrays).  The authors used CFD meshes; we substitute
+synthetic unstructured meshes with the same structural properties:
+
+- :func:`delaunay_mesh` — Delaunay triangulation of random points (real
+  unstructured connectivity, node degree ~6, edge count ~3x nodes);
+- :func:`grid_mesh` — a triangulated grid (deterministic, for tests);
+- :func:`full_remap_mapping` — the whole-mesh pointwise mapping used by
+  the Table 2-4 remap experiments (every regular cell paired with one
+  irregular node, optionally permuted);
+- :func:`interface_mapping` — a boundary-strip mapping like Figure 1's
+  ``Reg2Irreg`` arrays (only cells near the regular mesh's edge map to
+  irregular nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "UnstructuredMesh",
+    "delaunay_mesh",
+    "grid_mesh",
+    "full_remap_mapping",
+    "interface_mapping",
+]
+
+
+@dataclass
+class UnstructuredMesh:
+    """Node coordinates plus edge endpoint lists (global node ids)."""
+
+    coords: np.ndarray  # (n, 2)
+    ia: np.ndarray      # (nedges,)
+    ib: np.ndarray      # (nedges,)
+
+    @property
+    def npoints(self) -> int:
+        return len(self.coords)
+
+    @property
+    def nedges(self) -> int:
+        return len(self.ia)
+
+    def validate(self) -> None:
+        if self.ia.shape != self.ib.shape:
+            raise ValueError("ia/ib length mismatch")
+        for arr in (self.ia, self.ib):
+            if len(arr) and (arr.min() < 0 or arr.max() >= self.npoints):
+                raise ValueError("edge endpoint out of range")
+
+
+def delaunay_mesh(npoints: int, seed: int = 0) -> UnstructuredMesh:
+    """Delaunay triangulation of random points in the unit square."""
+    from scipy.spatial import Delaunay
+
+    rng = np.random.default_rng(seed)
+    coords = rng.random((npoints, 2))
+    tri = Delaunay(coords)
+    # Unique undirected edges from the triangle list.
+    s = tri.simplices
+    edges = np.concatenate([s[:, [0, 1]], s[:, [1, 2]], s[:, [2, 0]]])
+    edges = np.sort(edges, axis=1)
+    edges = np.unique(edges, axis=0)
+    return UnstructuredMesh(
+        coords=coords,
+        ia=edges[:, 0].astype(np.int64),
+        ib=edges[:, 1].astype(np.int64),
+    )
+
+
+def grid_mesh(rows: int, cols: int) -> UnstructuredMesh:
+    """Triangulated structured grid (deterministic small test mesh)."""
+    ii, jj = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    coords = np.column_stack([ii.ravel() / max(rows - 1, 1), jj.ravel() / max(cols - 1, 1)])
+    idx = np.arange(rows * cols).reshape(rows, cols)
+    right = np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()])
+    down = np.column_stack([idx[:-1, :].ravel(), idx[1:, :].ravel()])
+    diag = np.column_stack([idx[:-1, :-1].ravel(), idx[1:, 1:].ravel()])
+    edges = np.concatenate([right, down, diag])
+    return UnstructuredMesh(
+        coords=coords,
+        ia=edges[:, 0].astype(np.int64),
+        ib=edges[:, 1].astype(np.int64),
+    )
+
+
+def full_remap_mapping(
+    shape: tuple[int, int], npoints: int, seed: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Whole-mesh mapping: pair every regular cell with one irregular node.
+
+    Returns ``(irreg, reg1, reg2)`` — the Figure 1 ``Reg2Irreg`` arrays:
+    entry k maps unstructured node ``irreg[k]`` to structured cell
+    ``(reg1[k], reg2[k])``.  Requires ``npoints == shape[0]*shape[1]``.
+    With a ``seed``, the node side is permuted (a genuinely irregular
+    correspondence); without, it is the row-major identity.
+    """
+    n0, n1 = shape
+    if npoints != n0 * n1:
+        raise ValueError("full remap needs npoints == rows*cols")
+    k = np.arange(npoints, dtype=np.int64)
+    irreg = k if seed is None else np.random.default_rng(seed).permutation(npoints)
+    return irreg.astype(np.int64), (k // n1), (k % n1)
+
+
+def interface_mapping(
+    shape: tuple[int, int], npoints: int, strip: int = 1, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Boundary-strip mapping: only regular cells within ``strip`` of the
+    mesh edge are paired with (random, distinct) irregular nodes.
+
+    This is the Figure-1-style physical scenario: the two meshes share
+    only their interface.
+    """
+    n0, n1 = shape
+    ii, jj = np.meshgrid(np.arange(n0), np.arange(n1), indexing="ij")
+    on_strip = (
+        (ii < strip) | (ii >= n0 - strip) | (jj < strip) | (jj >= n1 - strip)
+    )
+    reg1 = ii[on_strip].astype(np.int64)
+    reg2 = jj[on_strip].astype(np.int64)
+    m = len(reg1)
+    if m > npoints:
+        raise ValueError("interface larger than the irregular mesh")
+    irreg = np.random.default_rng(seed).permutation(npoints)[:m].astype(np.int64)
+    return irreg, reg1, reg2

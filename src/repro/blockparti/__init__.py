@@ -1,0 +1,42 @@
+"""Multiblock Parti analogue: regular block-distributed (multiblock) arrays.
+
+Multiblock Parti (Agrawal, Sussman, Saltz) manages regularly distributed
+multidimensional arrays — possibly several interacting blocks — and builds
+communication schedules for two patterns:
+
+- *ghost-cell (overlap) fill* along block boundaries for stencil sweeps;
+- *regular-section copies* between (sections of) two distributed arrays,
+  computed by closed-form block intersection.
+
+This package provides both, a block-distributed array type
+(:class:`~repro.blockparti.array.BlockPartiArray`), stencil sweep
+executors, and the Meta-Chaos interface functions
+(:class:`~repro.blockparti.interface.BlockPartiAdapter`, registered as
+``"blockparti"``).
+"""
+
+from repro.blockparti.array import BlockPartiArray
+from repro.blockparti.regions import parti_region
+from repro.blockparti.schedule import (
+    GhostSchedule,
+    PartiCopySchedule,
+    build_copy_schedule,
+    build_ghost_schedule,
+)
+from repro.blockparti.ops import jacobi_sweep, fill_block
+from repro.blockparti.multiblock import BlockInterface, MultiblockArray
+from repro.blockparti.interface import BlockPartiAdapter
+
+__all__ = [
+    "BlockInterface",
+    "MultiblockArray",
+    "BlockPartiArray",
+    "parti_region",
+    "GhostSchedule",
+    "PartiCopySchedule",
+    "build_ghost_schedule",
+    "build_copy_schedule",
+    "jacobi_sweep",
+    "fill_block",
+    "BlockPartiAdapter",
+]

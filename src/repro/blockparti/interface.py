@@ -1,0 +1,60 @@
+"""Meta-Chaos interface functions for Multiblock Parti (§4.1.3).
+
+The adapter exposes regular block-distributed arrays to Meta-Chaos:
+dereferencing is closed-form block arithmetic (cheap), and locally-owned
+elements of a SetOfRegions are enumerated by block intersection.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.blockparti.array import BlockPartiArray
+from repro.core.registry import (
+    LibraryAdapter,
+    cartesian_local_elements,
+    register_adapter,
+)
+from repro.core.setofregions import SetOfRegions
+from repro.distrib.base import Distribution
+from repro.vmachine.process import current_process
+
+__all__ = ["BlockPartiAdapter"]
+
+
+class BlockPartiAdapter(LibraryAdapter):
+    """Interface functions for ``"blockparti"``-distributed arrays."""
+
+    name = "blockparti"
+
+    def dist_of(self, handle: Any) -> Distribution:
+        return handle.dist
+
+    def shape_of(self, handle: Any) -> tuple[int, ...]:
+        if isinstance(handle, BlockPartiArray):
+            return handle.global_shape
+        return handle.shape  # MaterializedHandle
+
+    def local_data(self, array: Any) -> np.ndarray:
+        if not isinstance(array, BlockPartiArray):
+            raise TypeError("a local BlockPartiArray is required for data access")
+        return array.local
+
+    def itemsize_of(self, handle: Any) -> int:
+        return handle.itemsize
+
+    def charge_deref(self, n: int) -> None:
+        current_process().charge_deref_regular(n)
+
+    def local_elements(
+        self, handle: Any, sor: SetOfRegions, rank: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return cartesian_local_elements(
+            self.dist_of(handle), self.shape_of(handle), sor, rank,
+            charge=self.charge_locate,
+        )
+
+
+register_adapter(BlockPartiAdapter())

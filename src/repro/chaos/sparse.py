@@ -1,0 +1,127 @@
+"""Distributed sparse matrix-vector product (the classic Chaos workload).
+
+Chaos grew out of exactly this computation: ``y = A @ x`` with a sparse
+matrix whose rows are irregularly distributed and whose column accesses
+indirect into a distributed vector.  :class:`DistributedCSR` stores each
+rank's rows in CSR form; the constructor runs the inspector
+(:func:`~repro.chaos.schedule.build_gather_schedule` localizes the column
+indices once) and :meth:`spmv` is the executor — gather the needed ``x``
+entries, then a purely local CSR kernel.
+
+The row distribution and the vector distribution are independent (matching
+Chaos practice: rows partitioned for load balance, the vector for
+locality); both are ordinary owner maps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chaos.array import ChaosArray
+from repro.chaos.schedule import build_gather_schedule
+from repro.vmachine.comm import Communicator
+from repro.vmachine.process import current_process
+
+__all__ = ["DistributedCSR"]
+
+
+class DistributedCSR:
+    """One rank's rows of an irregularly row-distributed CSR matrix."""
+
+    def __init__(
+        self,
+        x_layout: ChaosArray,
+        my_rows: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ):
+        """Collective.  ``my_rows`` are this rank's global row ids;
+        ``indptr``/``indices``/``data`` is their local CSR (column indices
+        are *global*).  ``x_layout`` fixes the distribution the operand
+        vector must carry; the inspector runs here, once.
+        """
+        if len(indptr) != len(my_rows) + 1:
+            raise ValueError("indptr must have len(my_rows)+1 entries")
+        if len(indices) != len(data):
+            raise ValueError("indices and data lengths differ")
+        self.my_rows = np.asarray(my_rows, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.x_dist = x_layout.dist
+        # Inspector: localize the column references against x's layout.
+        self.schedule, self.local_cols = build_gather_schedule(
+            x_layout, np.asarray(indices, dtype=np.int64)
+        )
+
+    @classmethod
+    def from_global(
+        cls,
+        comm: Communicator,
+        dense_or_csr,
+        row_owners: np.ndarray,
+        x_layout: ChaosArray,
+    ) -> "DistributedCSR":
+        """Build from a replicated matrix (dense ndarray or scipy CSR).
+
+        Each rank keeps the rows assigned to it by ``row_owners``.
+        """
+        try:  # scipy sparse input
+            full = dense_or_csr.tocsr()
+            indptr, indices, data = full.indptr, full.indices, full.data
+            nrows = full.shape[0]
+        except AttributeError:  # dense ndarray
+            dense = np.asarray(dense_or_csr, dtype=np.float64)
+            nrows = dense.shape[0]
+            mask = dense != 0.0
+            counts = mask.sum(axis=1)
+            indptr = np.concatenate(([0], np.cumsum(counts)))
+            indices = np.nonzero(mask)[1]
+            data = dense[mask]
+        row_owners = np.asarray(row_owners, dtype=np.int64)
+        if len(row_owners) != nrows:
+            raise ValueError("row_owners must have one entry per matrix row")
+        mine = np.flatnonzero(row_owners == comm.rank)
+        # Slice my rows' CSR pieces out of the global structure.
+        lengths = indptr[mine + 1] - indptr[mine]
+        my_indptr = np.concatenate(([0], np.cumsum(lengths)))
+        gather_idx = np.concatenate(
+            [np.arange(indptr[r], indptr[r + 1]) for r in mine]
+        ) if len(mine) else np.zeros(0, dtype=np.int64)
+        return cls(
+            x_layout,
+            mine,
+            my_indptr,
+            np.asarray(indices)[gather_idx],
+            np.asarray(data)[gather_idx],
+        )
+
+    @property
+    def nrows_local(self) -> int:
+        return len(self.my_rows)
+
+    @property
+    def nnz_local(self) -> int:
+        return len(self.data)
+
+    def spmv(self, x: ChaosArray, y: ChaosArray | None = None) -> np.ndarray:
+        """Executor: ``y_local = (A @ x)[my_rows]`` (collective).
+
+        ``x`` must carry the layout given at construction.  Returns the
+        local result rows (aligned with ``my_rows``); when ``y`` is given
+        its entries at ``my_rows``' owners are *not* updated — row results
+        are owned by the row's rank by construction, so the caller decides
+        where they go.
+        """
+        if x.dist != self.x_dist:
+            raise ValueError("operand vector does not match the inspected layout")
+        buffer = self.schedule.gather(x)
+        if self.nnz_local == 0 or self.nrows_local == 0:
+            return np.zeros(self.nrows_local)
+        vals = buffer[self.local_cols] * self.data
+        # Segmented row sums via prefix sums: exact for empty rows and
+        # free of np.add.reduceat's boundary quirks.
+        csum = np.concatenate(([0.0], np.cumsum(vals)))
+        out = csum[self.indptr[1:]] - csum[self.indptr[:-1]]
+        current_process().charge_flops(2 * self.nnz_local)
+        return out

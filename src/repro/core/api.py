@@ -1,0 +1,113 @@
+"""The Meta-Chaos applications programmer interface (§4.2, Figure 9).
+
+Thin, paper-shaped wrappers over the schedule builder and data-move
+engine.  The four steps of §4.2 map to:
+
+1. specify source objects        — Regions + :func:`mc_new_set_of_regions`
+                                   / :func:`mc_add_region_to_set`
+2. specify destination objects   — same, for the destination structure
+3. compute the schedule          — :func:`mc_compute_schedule`
+4. move the data                 — :func:`mc_data_move_send` /
+                                   :func:`mc_data_move_recv`, or the
+                                   one-program one-shot :func:`mc_copy`
+
+Where the paper passes a library identifier (``MC_ComputeSched(HPF,
+...)``) these functions take the registered adapter name (e.g. ``"hpf"``,
+``"chaos"``, ``"blockparti"``, ``"pcxx"``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.datamove import data_move, data_move_recv, data_move_send
+from repro.core.region import Region
+from repro.core.schedule import CommSchedule, ScheduleMethod, build_schedule
+from repro.core.setofregions import SetOfRegions
+from repro.core.universe import SingleProgramUniverse, Universe
+from repro.vmachine.comm import Communicator
+
+__all__ = [
+    "mc_new_set_of_regions",
+    "mc_add_region_to_set",
+    "mc_compute_schedule",
+    "mc_copy",
+    "mc_data_move_send",
+    "mc_data_move_recv",
+]
+
+
+def mc_new_set_of_regions(*regions: Region) -> SetOfRegions:
+    """Create a SetOfRegions (``MC_NewSetOfRegion``), optionally pre-filled."""
+    sor = SetOfRegions()
+    for r in regions:
+        sor.add(r)
+    return sor
+
+
+def mc_add_region_to_set(region: Region, sor: SetOfRegions) -> SetOfRegions:
+    """Append a Region to a SetOfRegions (``MC_AddRegion2Set``)."""
+    return sor.add(region)
+
+
+def _as_universe(where: Universe | Communicator) -> Universe:
+    if isinstance(where, Universe):
+        return where
+    return SingleProgramUniverse(where)
+
+
+def mc_compute_schedule(
+    where: Universe | Communicator,
+    src_lib: str,
+    src_array: Any,
+    src_sor: SetOfRegions | None,
+    dst_lib: str,
+    dst_array: Any,
+    dst_sor: SetOfRegions | None,
+    method: ScheduleMethod = ScheduleMethod.COOPERATION,
+) -> CommSchedule:
+    """Collectively compute a communication schedule (``MC_ComputeSched``).
+
+    ``where`` is the world the copy spans: an intra-program communicator
+    (both structures in one program) or a
+    :class:`~repro.core.universe.TwoProgramUniverse` built from an
+    inter-communicator.  The schedule can be reused for any number of data
+    moves, and is symmetric (use :meth:`CommSchedule.reverse` to copy the
+    other way).
+    """
+    return build_schedule(
+        _as_universe(where),
+        src_lib, src_array, src_sor,
+        dst_lib, dst_array, dst_sor,
+        method=method,
+    )
+
+
+def mc_copy(
+    where: Universe | Communicator,
+    schedule: CommSchedule,
+    src_array: Any,
+    dst_array: Any,
+) -> None:
+    """One-shot data move within a single program (``MC_Copy``)."""
+    universe = _as_universe(where)
+    if not universe.single_program:
+        raise ValueError(
+            "mc_copy is the single-program move; coupled programs call "
+            "mc_data_move_send / mc_data_move_recv on their own side"
+        )
+    data_move(schedule, src_array, dst_array, universe)
+
+
+def mc_data_move_send(
+    where: Universe | Communicator, schedule: CommSchedule, src_array: Any
+) -> None:
+    """Send half of a data move (``MC_DataMoveSend``)."""
+    data_move_send(schedule, src_array, _as_universe(where))
+
+
+def mc_data_move_recv(
+    where: Universe | Communicator, schedule: CommSchedule, dst_array: Any
+) -> None:
+    """Receive half of a data move (``MC_DataMoveRecv``)."""
+    data_move_recv(schedule, dst_array, _as_universe(where))

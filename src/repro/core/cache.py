@@ -1,0 +1,130 @@
+"""Content-keyed schedule caching.
+
+"Since the schedule can often be computed once and reused for multiple
+data transfers ... the cost of creating the schedule can be amortized"
+(§4.1.4).  The paper's programs hold schedules in variables; this module
+makes the reuse automatic: :class:`ScheduleCache` keys schedules by the
+*content* of the request — library names, method, both distributions and
+both SetOfRegions — so a repeated ``get_or_build`` with an equivalent
+request returns the stored schedule without communication.
+
+Keys are computed locally and deterministically, so every rank hits or
+misses together (the cache never desynchronizes a collective).  Irregular
+distributions and index regions hash their full index content (cached on
+the object after the first use — the arrays are immutable by convention).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from repro.core.api import mc_compute_schedule
+from repro.core.region import IndexRegion, MaskRegion, Region, SectionRegion
+from repro.core.registry import get_adapter
+from repro.core.schedule import CommSchedule, ScheduleMethod
+from repro.core.setofregions import SetOfRegions
+
+__all__ = ["ScheduleCache", "region_key", "sor_key", "dist_key"]
+
+
+def _digest(array: np.ndarray) -> str:
+    return hashlib.sha1(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def region_key(region: Region) -> tuple:
+    """Deterministic content key of one region."""
+    if isinstance(region, SectionRegion):
+        s = region.section
+        return ("section", s.starts, s.stops, s.steps, region.order)
+    if isinstance(region, (IndexRegion, MaskRegion)):
+        cached = getattr(region, "_content_key", None)
+        if cached is None:
+            cached = ("indices", len(region.indices), _digest(region.indices))
+            region._content_key = cached
+        return cached
+    raise TypeError(f"cannot key region type {type(region).__name__}")
+
+
+def sor_key(sor: SetOfRegions) -> tuple:
+    """Deterministic content key of a SetOfRegions."""
+    return tuple(region_key(r) for r in sor.regions)
+
+
+def dist_key(dist) -> tuple:
+    """Deterministic content key of a distribution."""
+    desc = dist.descriptor()
+    if desc.kind == "irregular":
+        cached = getattr(dist, "_content_key", None)
+        if cached is None:
+            owners, nprocs = desc.payload
+            cached = ("irregular", nprocs, len(owners), _digest(owners))
+            dist._content_key = cached
+        return cached
+    # Regular descriptors have small, hashable payloads.
+    return (desc.kind, _freeze(desc.payload))
+
+
+def _freeze(obj: Any):
+    if isinstance(obj, np.ndarray):
+        return ("nd", obj.shape, _digest(obj))
+    if isinstance(obj, (tuple, list)):
+        return tuple(_freeze(o) for o in obj)
+    return obj
+
+
+class ScheduleCache:
+    """Per-rank cache of communication schedules (collective-safe keys).
+
+    One instance per SPMD context (create it inside the SPMD function).
+    ``get_or_build`` is collective exactly when it misses — which, because
+    keys are pure functions of the request content, happens on every rank
+    or on none.
+    """
+
+    def __init__(self, where):
+        self._where = where
+        self._store: dict[tuple, CommSchedule] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get_or_build(
+        self,
+        src_lib: str,
+        src_array,
+        src_sor: SetOfRegions,
+        dst_lib: str,
+        dst_array,
+        dst_sor: SetOfRegions,
+        method: ScheduleMethod = ScheduleMethod.COOPERATION,
+    ) -> CommSchedule:
+        """Return a cached schedule for this request, building on miss.
+
+        Single-program only (both arrays local): the key includes both
+        distributions, which must be inspectable here.
+        """
+        key = (
+            src_lib,
+            dst_lib,
+            method,
+            dist_key(get_adapter(src_lib).dist_of(src_array)),
+            sor_key(src_sor),
+            dist_key(get_adapter(dst_lib).dist_of(dst_array)),
+            sor_key(dst_sor),
+        )
+        hit = self._store.get(key)
+        if hit is not None:
+            self.hits += 1
+            return hit
+        self.misses += 1
+        sched = mc_compute_schedule(
+            self._where, src_lib, src_array, src_sor,
+            dst_lib, dst_array, dst_sor, method,
+        )
+        self._store[key] = sched
+        return sched

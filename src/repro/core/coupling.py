@@ -1,0 +1,66 @@
+"""Coupling helpers for separate-program Meta-Chaos (§5.2, §5.4).
+
+Convenience layer over :class:`~repro.core.universe.TwoProgramUniverse`:
+build the universe from a :class:`~repro.vmachine.program.ProgramContext`,
+and drive repeated bidirectional exchanges with one symmetric schedule —
+"the communication schedule is also symmetric ... the only change required
+would be to switch the calls to MC_DataMoveSend and MC_DataMoveRecv
+between the programs" (§4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.datamove import data_move_recv, data_move_send
+from repro.core.schedule import CommSchedule
+from repro.core.universe import TwoProgramUniverse
+from repro.vmachine.program import ProgramContext
+
+__all__ = ["coupled_universe", "CoupledExchange"]
+
+
+def coupled_universe(
+    ctx: ProgramContext, peer: str, role: str
+) -> TwoProgramUniverse:
+    """Universe for a copy between this program and program ``peer``.
+
+    ``role`` is this program's part: ``"src"`` if it owns the source data
+    structure of the schedule about to be built, ``"dst"`` otherwise.
+    """
+    return TwoProgramUniverse(ctx.comm, ctx.peer(peer), role)
+
+
+class CoupledExchange:
+    """A reusable bidirectional exchange over one symmetric schedule.
+
+    Constructed on both programs with the same schedule (each side holds
+    its own halves).  ``push`` moves data in the schedule's forward
+    direction, ``pull`` in reverse; each side calls the method with its
+    own local array and the object works out whether to send or receive.
+    """
+
+    def __init__(self, universe: TwoProgramUniverse, schedule: CommSchedule):
+        self.universe = universe
+        self.schedule = schedule
+
+    @property
+    def _is_src(self) -> bool:
+        return self.universe.my_src_rank is not None
+
+    def push(self, local_array: Any) -> None:
+        """Forward copy: source program sends, destination receives."""
+        if self._is_src:
+            data_move_send(self.schedule, local_array, self.universe)
+        else:
+            data_move_recv(self.schedule, local_array, self.universe)
+
+    def pull(self, local_array: Any) -> None:
+        """Reverse copy along the same (symmetric) schedule."""
+        rev = self.schedule.reverse()
+        runiverse = self.universe.reversed()
+        if self._is_src:
+            # Forward-source becomes reverse-destination.
+            data_move_recv(rev, local_array, runiverse)
+        else:
+            data_move_send(rev, local_array, runiverse)

@@ -1,0 +1,302 @@
+"""Library adapters: the interface functions every library exports (§4.1.3).
+
+"The implementation of the schedule computation algorithm requires that a
+set of procedures be provided by both the source and destination data
+parallel libraries ... a standard set of inquiry functions."  A
+:class:`LibraryAdapter` bundles those procedures:
+
+- :meth:`~LibraryAdapter.deref_lin` — dereference linearization positions
+  of a SetOfRegions to (owner rank, local address);
+- :meth:`~LibraryAdapter.local_elements` — enumerate the calling rank's
+  own elements of a SetOfRegions (with their linearization positions);
+- :meth:`~LibraryAdapter.pack` / :meth:`~LibraryAdapter.unpack` — move
+  elements between local storage and communication buffers;
+- :meth:`~LibraryAdapter.export_handle` — produce the exchangeable data
+  descriptor the *duplication* schedule method ships between programs.
+
+"A major concern in designing Meta-Chaos was to require that relatively
+few procedures be provided by the data parallel library implementor" —
+the base class derives almost everything from the library's
+:class:`~repro.distrib.base.Distribution`, so a concrete adapter mostly
+chooses a *cost policy* (closed-form regular arithmetic vs. per-element
+translation-table lookups).
+
+Adapters register by library name in a process-global registry, which is
+what the paper's ``MC_ComputeSched(HPF, ...)`` first argument looks up.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.setofregions import SetOfRegions
+from repro.core.region import SectionRegion
+from repro.distrib.base import DistDescriptor, Distribution
+from repro.distrib.cartesian import CartesianDist
+from repro.vmachine.process import current_process
+
+__all__ = [
+    "RemoteHandle",
+    "LibraryAdapter",
+    "register_adapter",
+    "get_adapter",
+    "registered_libraries",
+]
+
+
+@dataclass(frozen=True)
+class RemoteHandle:
+    """Exchangeable stand-in for a distributed array of another program.
+
+    Carries everything dereferencing needs (distribution descriptor,
+    global shape, element size) but no data.  ``nbytes`` is its transport
+    size — dominated by the distribution descriptor, which is tiny for
+    regular distributions and data-sized for Chaos translation tables.
+    """
+
+    library: str
+    descriptor: DistDescriptor
+    shape: tuple[int, ...]
+    itemsize: int
+
+    @property
+    def nbytes(self) -> int:
+        return 64 + self.descriptor.nbytes
+
+    def materialize(self) -> "MaterializedHandle":
+        return MaterializedHandle(self)
+
+
+class MaterializedHandle:
+    """A :class:`RemoteHandle` with its distribution rebuilt for lookups."""
+
+    def __init__(self, remote: RemoteHandle):
+        self.library = remote.library
+        self.shape = remote.shape
+        self.itemsize = remote.itemsize
+        self.dist = remote.descriptor.materialize()
+
+
+class LibraryAdapter(abc.ABC):
+    """Interface functions of one data parallel library.
+
+    Concrete adapters supply :attr:`name`, the handle introspection
+    methods, and the cost policy; the heavy lifting (linearization
+    arithmetic, owner lookup) is generic.
+    """
+
+    #: registry key; the paper's library identifier (e.g. "hpf", "chaos")
+    name: str = ""
+
+    # -- handle introspection (override per library) -------------------------
+
+    @abc.abstractmethod
+    def dist_of(self, handle: Any) -> Distribution:
+        """The distribution of an array handle (local or materialized)."""
+
+    @abc.abstractmethod
+    def shape_of(self, handle: Any) -> tuple[int, ...]:
+        """Global shape of the handle."""
+
+    @abc.abstractmethod
+    def local_data(self, array: Any) -> np.ndarray:
+        """The rank-local flat storage of a *local* array handle."""
+
+    @abc.abstractmethod
+    def itemsize_of(self, handle: Any) -> int:
+        """Element size in bytes."""
+
+    # -- cost policy (override per library) -----------------------------------
+
+    @abc.abstractmethod
+    def charge_deref(self, n: int) -> None:
+        """Charge the cost of dereferencing ``n`` elements."""
+
+    def charge_locate(self, nruns: int, nelems: int) -> None:
+        """Charge the cost of enumerating ``nelems`` locally-owned elements
+        found as ``nruns`` runs."""
+        current_process().charge_locate(nruns, nelems)
+
+    # -- derived operations (generic) ------------------------------------------
+
+    def deref_lin(
+        self, handle: Any, sor: SetOfRegions, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Owner rank and local offset of each linearization position.
+
+        This is the paper's "dereferencing an object in a SetOfRegions to
+        determine the owning processor and local address, and a position
+        in the linearization".
+        """
+        shape = self.shape_of(handle)
+        gidx = sor.lin_to_global(np.asarray(positions, dtype=np.int64), shape)
+        self.charge_deref(len(gidx))
+        return self.dist_of(handle).owner_of_flat(gidx)
+
+    def deref_range(
+        self, handle: Any, sor: SetOfRegions, lo: int, hi: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`deref_lin` for the contiguous position range [lo, hi)."""
+        return self.deref_lin(handle, sor, np.arange(lo, hi, dtype=np.int64))
+
+    def local_elements(
+        self, handle: Any, sor: SetOfRegions, rank: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Linearization positions and local offsets of ``rank``'s elements.
+
+        Generic fallback: dereference everything and filter.  Regular
+        libraries override this with closed-form block intersection (no
+        per-element dereference), which is what makes the duplication
+        method communication-free *and* cheap for regular meshes.
+        """
+        n = sor.size
+        ranks, offsets = self.deref_range(handle, sor, 0, n)
+        mask = ranks == rank
+        return np.flatnonzero(mask).astype(np.int64), offsets[mask]
+
+    # -- data movement ----------------------------------------------------------
+
+    def pack(self, array: Any, offsets: np.ndarray) -> np.ndarray:
+        """Gather local elements at ``offsets`` into a contiguous buffer."""
+        data = self.local_data(array)
+        current_process().charge_pack(len(offsets))
+        return data[offsets]
+
+    def unpack(self, array: Any, offsets: np.ndarray, values: np.ndarray) -> None:
+        """Scatter buffer ``values`` into local elements at ``offsets``.
+
+        Rejects lossy element-type conversions (e.g. float buffers into an
+        integer array): the libraries of the era transferred raw typed
+        buffers, and a silent truncation would corrupt data undetectably.
+        Widening/same-kind conversions (float32 -> float64, int -> float)
+        are allowed.
+        """
+        data = self.local_data(array)
+        values = np.asarray(values)
+        if len(offsets) and not np.can_cast(values.dtype, data.dtype, "same_kind"):
+            raise TypeError(
+                f"refusing lossy element conversion {values.dtype} -> "
+                f"{data.dtype} during a data move; convert explicitly first"
+            )
+        current_process().charge_pack(len(offsets))
+        data[offsets] = values
+
+    def copy_local(
+        self, src_array: Any, src_offsets: np.ndarray, dst_array: Any, dst_offsets: np.ndarray
+    ) -> None:
+        """Direct local-to-local copy (no intermediate buffer).
+
+        The paper highlights this as a Meta-Chaos advantage over Multiblock
+        Parti's internal buffering for intra-processor moves (§5.3), so
+        only one pack-side charge applies.
+        """
+        current_process().charge_pack(len(src_offsets))
+        self.local_data(dst_array)[dst_offsets] = self.local_data(src_array)[src_offsets]
+
+    # -- duplication-method support ----------------------------------------------
+
+    def export_handle(self, array: Any) -> RemoteHandle:
+        """Exchangeable descriptor of a local array (for duplication)."""
+        return RemoteHandle(
+            library=self.name,
+            descriptor=self.dist_of(array).descriptor(),
+            shape=self.shape_of(array),
+            itemsize=self.itemsize_of(array),
+        )
+
+    def resolve_handle(self, handle: Any) -> Any:
+        """Accept either a local array or a RemoteHandle and return an
+        object usable with the introspection methods."""
+        if isinstance(handle, RemoteHandle):
+            return handle.materialize()
+        return handle
+
+
+# -- helpers shared by the regular-library adapters -----------------------------
+
+
+def cartesian_local_elements(
+    dist: CartesianDist,
+    shape: tuple[int, ...],
+    sor: SetOfRegions,
+    rank: int,
+    charge,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-form ``local_elements`` for Cartesian block distributions.
+
+    Intersects every SectionRegion with the rank's owned block per
+    dimension, producing the rank's elements without dereferencing the
+    rest.  Falls back to a full (cheap, vectorized) scan for CYCLIC-style
+    dims where ownership is not a contiguous block, and for IndexRegions.
+
+    ``charge(nruns, nelems)`` is the adapter's locate cost hook.
+    """
+    positions: list[np.ndarray] = []
+    offsets: list[np.ndarray] = []
+    start = 0
+    contiguous = all(d.kind in ("block", "collapsed") for d in dist.dims)
+    block = dist.owned_block(rank) if contiguous else None
+    for region in sor.regions:
+        n = region.size
+        # The closed-form path assumes the default row-major linearization
+        # (lin_offset_of enumerates C-order); other orders use the scan.
+        if isinstance(region, SectionRegion) and contiguous and region.order == "C":
+            lows = tuple(b[0] for b in block)
+            highs = tuple(b[1] for b in block)
+            sub = region.section.intersect_block(lows, highs)
+            if sub is not None:
+                lin = region.section.lin_offset_of(sub)
+                gidx = sub.global_flat(shape)
+                _, offs = dist.owner_of_flat(gidx)
+                # Run count ~ product of counts of all but the last dim.
+                nruns = max(1, sub.size // max(1, sub.counts[-1]))
+                charge(nruns, len(lin))
+                positions.append(lin + start)
+                offsets.append(offs)
+        else:
+            gidx = region.global_flat(shape)
+            ranks, offs = dist.owner_of_flat(gidx)
+            mask = ranks == rank
+            charge(1, n)
+            positions.append(np.flatnonzero(mask).astype(np.int64) + start)
+            offsets.append(offs[mask])
+        start += n
+    if not positions:
+        z = np.zeros(0, dtype=np.int64)
+        return z, z
+    return np.concatenate(positions), np.concatenate(offsets)
+
+
+# -- the registry -----------------------------------------------------------------
+
+_REGISTRY: dict[str, LibraryAdapter] = {}
+
+
+def register_adapter(adapter: LibraryAdapter) -> LibraryAdapter:
+    """Register a library's adapter under ``adapter.name``.
+
+    Re-registering the same name replaces the entry (useful in tests).
+    """
+    if not adapter.name:
+        raise ValueError("adapter needs a non-empty name")
+    _REGISTRY[adapter.name] = adapter
+    return adapter
+
+
+def get_adapter(name: str) -> LibraryAdapter:
+    """Look up a registered library adapter by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no data parallel library {name!r} registered with Meta-Chaos; "
+            f"known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_libraries() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,464 @@
+"""Communication-schedule computation (§4.1.3, §5.1).
+
+A :class:`CommSchedule` tells each processor, per peer, *which local
+elements to send* and *which local elements to receive into*, with both
+sides ordered by the linearization so the k-th packed element lands in the
+k-th unpacked slot.  The paper's Figure 8 algorithm is implemented in two
+variants:
+
+``ScheduleMethod.COOPERATION``
+    Source-group processors dereference the source side of an even chunk
+    of the linearization and ship the results to the destination-group
+    processors, which dereference the destination side of their chunk,
+    form the complete schedule entries, and distribute each processor's
+    halves (a dense all-to-all — the paper notes schedule building
+    "requires an all-to-all communication ... and a relatively small
+    amount of data is sent").
+
+``ScheduleMethod.DUPLICATION``
+    Source and destination data descriptors are first made available on
+    every processor (free within one program; an explicit exchange across
+    programs — impractical when a descriptor is data-sized, like a Chaos
+    translation table).  Every processor then computes its own halves
+    locally with *no* communication: it enumerates its owned elements on
+    each side and dereferences the opposite library for them.  The
+    opposite-side dereference happens once for the send role and once for
+    the receive role, which is why duplication "must call the Chaos
+    dereference function twice" and costs about 2x cooperation when the
+    dereference dominates (paper Table 2).
+
+Both produce identical data movement: the same messages, sizes and
+element order (verified by the test suite).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.linearization import Linearization, check_conformance
+from repro.core.registry import LibraryAdapter, get_adapter
+from repro.core.setofregions import SetOfRegions
+from repro.core.universe import (
+    TAG_DESCRIPTOR,
+    TAG_SCHED_PIECES,
+    TAG_SCHED_SRCINFO,
+    Universe,
+)
+from repro.core.wire import RunEncoded
+
+__all__ = ["ScheduleMethod", "CommSchedule", "build_schedule", "chunk_ranges"]
+
+
+class ScheduleMethod(enum.Enum):
+    """How ownership information is assembled into a schedule."""
+
+    COOPERATION = "cooperation"
+    DUPLICATION = "duplication"
+
+
+@dataclass
+class CommSchedule:
+    """One processor's halves of a communication schedule.
+
+    ``sends[d]`` — local offsets (into the *source* array's local storage)
+    of the elements this processor ships to destination-group rank ``d``,
+    in linearization order.  Present only on source-group members.
+
+    ``recvs[s]`` — local offsets (into the *destination* array) receiving
+    the elements sent by source-group rank ``s``, in the same order.
+    Present only on destination-group members.
+
+    The schedule is symmetric (§4.3): :meth:`reverse` yields the schedule
+    for copying the destination data back onto the source elements.
+    """
+
+    src_lib: str
+    dst_lib: str
+    n_elements: int
+    src_size: int
+    dst_size: int
+    method: ScheduleMethod
+    sends: dict[int, np.ndarray] = field(default_factory=dict)
+    recvs: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def reverse(self) -> "CommSchedule":
+        """The same mapping with the copy direction flipped."""
+        return CommSchedule(
+            src_lib=self.dst_lib,
+            dst_lib=self.src_lib,
+            n_elements=self.n_elements,
+            src_size=self.dst_size,
+            dst_size=self.src_size,
+            method=self.method,
+            sends={s: offs for s, offs in self.recvs.items()},
+            recvs={d: offs for d, offs in self.sends.items()},
+        )
+
+    # -- introspection used by tests and benchmarks -------------------------
+
+    @property
+    def send_count(self) -> int:
+        return int(sum(len(v) for v in self.sends.values()))
+
+    @property
+    def recv_count(self) -> int:
+        return int(sum(len(v) for v in self.recvs.values()))
+
+    def message_partners(self) -> tuple[list[int], list[int]]:
+        """(destinations we send to, sources we receive from), nonempty only."""
+        return (
+            sorted(d for d, v in self.sends.items() if len(v)),
+            sorted(s for s, v in self.recvs.items() if len(v)),
+        )
+
+
+def chunk_ranges(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split [0, n) into ``parts`` near-equal contiguous ranges."""
+    if parts < 1:
+        raise ValueError("parts must be positive")
+    base, extra = divmod(n, parts)
+    ranges = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def _group_by(keys: np.ndarray, values: np.ndarray) -> dict[int, np.ndarray]:
+    """Partition ``values`` by ``keys`` preserving order within each group."""
+    if len(keys) == 0:
+        return {}
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_values = values[order]
+    uniq, starts = np.unique(sorted_keys, return_index=True)
+    bounds = np.append(starts, len(sorted_keys))
+    return {
+        int(k): sorted_values[bounds[i] : bounds[i + 1]]
+        for i, k in enumerate(uniq)
+    }
+
+
+def build_schedule(
+    universe: Universe,
+    src_lib: str,
+    src_handle,
+    src_sor: SetOfRegions | None,
+    dst_lib: str,
+    dst_handle,
+    dst_sor: SetOfRegions | None,
+    method: ScheduleMethod = ScheduleMethod.COOPERATION,
+) -> CommSchedule:
+    """Collectively compute a communication schedule.
+
+    Every processor of the universe (both groups) must call this with the
+    same arguments for its role:
+
+    - source-group members pass their ``src_handle``/``src_sor``;
+    - destination-group members pass ``dst_handle``/``dst_sor``;
+    - in a single program every processor passes all four;
+    - across two programs, the opposite side's handle/sor may be ``None``
+      (cooperation) — duplication needs both SetOfRegions on both sides,
+      since the mapping is recomputed locally everywhere.
+    """
+    proc = universe.process
+    proc.charge_startup()
+    src_adapter = get_adapter(src_lib)
+    dst_adapter = get_adapter(dst_lib)
+
+    # The handles' distributions must span exactly their universe group —
+    # a mismatch would produce schedule entries addressing ranks that do
+    # not exist (or silently starve some).
+    if src_handle is not None and universe.my_src_rank is not None:
+        nprocs = src_adapter.dist_of(src_adapter.resolve_handle(src_handle)).nprocs
+        if nprocs != universe.src_size:
+            raise ValueError(
+                f"source structure is distributed over {nprocs} processors "
+                f"but the source group has {universe.src_size}"
+            )
+    if dst_handle is not None and universe.my_dst_rank is not None:
+        nprocs = dst_adapter.dist_of(dst_adapter.resolve_handle(dst_handle)).nprocs
+        if nprocs != universe.dst_size:
+            raise ValueError(
+                f"destination structure is distributed over {nprocs} "
+                f"processors but the destination group has {universe.dst_size}"
+            )
+
+    n = _conformance_size(universe, src_handle, src_sor, dst_handle, dst_sor,
+                          src_adapter, dst_adapter)
+
+    if method is ScheduleMethod.COOPERATION:
+        sends, recvs = _build_cooperation(
+            universe, src_adapter, src_handle, src_sor,
+            dst_adapter, dst_handle, dst_sor, n,
+        )
+    elif method is ScheduleMethod.DUPLICATION:
+        sends, recvs = _build_duplication(
+            universe, src_adapter, src_handle, src_sor,
+            dst_adapter, dst_handle, dst_sor, n,
+        )
+    else:  # pragma: no cover - enum exhausted
+        raise ValueError(f"unknown method {method}")
+
+    return CommSchedule(
+        src_lib=src_lib,
+        dst_lib=dst_lib,
+        n_elements=n,
+        src_size=universe.src_size,
+        dst_size=universe.dst_size,
+        method=method,
+        sends=sends,
+        recvs=recvs,
+    )
+
+
+def _conformance_size(
+    universe: Universe,
+    src_handle, src_sor, dst_handle, dst_sor,
+    src_adapter: LibraryAdapter, dst_adapter: LibraryAdapter,
+) -> int:
+    """Element count, validated across both sides (§4.1.2's one constraint)."""
+    if universe.single_program:
+        src_linz = Linearization(src_sor, src_adapter.shape_of(src_handle))
+        dst_linz = Linearization(dst_sor, dst_adapter.shape_of(dst_handle))
+        return check_conformance(src_linz, dst_linz)
+    # Two programs: rank 0 of each side exchanges its count.
+    my_n = (src_sor or dst_sor).size
+    if universe.my_src_rank == 0:
+        universe.send_to_dst(0, my_n, TAG_SCHED_SRCINFO)
+        other = universe.recv_from_dst(0, TAG_SCHED_SRCINFO)
+    elif universe.my_dst_rank == 0:
+        universe.send_to_src(0, my_n, TAG_SCHED_SRCINFO)
+        other = universe.recv_from_src(0, TAG_SCHED_SRCINFO)
+    else:
+        other = my_n
+    if universe.my_src_rank == 0 or universe.my_dst_rank == 0:
+        if other != my_n:
+            raise ValueError(
+                f"source SetOfRegions has a different element count "
+                f"({my_n} here vs {other} on the peer program)"
+            )
+    return my_n
+
+
+# ---------------------------------------------------------------------------
+# cooperation
+# ---------------------------------------------------------------------------
+
+
+def _overlaps(lo: int, hi: int, chunks: list[tuple[int, int]]) -> list[int]:
+    """Indices of chunks intersecting [lo, hi)."""
+    return [i for i, (clo, chi) in enumerate(chunks) if max(lo, clo) < min(hi, chi)]
+
+
+def _build_cooperation(
+    universe, src_adapter, src_handle, src_sor,
+    dst_adapter, dst_handle, dst_sor, n,
+):
+    src_chunks = chunk_ranges(n, universe.src_size)
+    dst_chunks = chunk_ranges(n, universe.dst_size)
+    stash: dict[int, tuple] = {}
+
+    # Phase 1: source side dereferences its linearization chunk and ships
+    # the (owner, local offset) info to the destination chunk owners.
+    if universe.my_src_rank is not None:
+        lo, hi = src_chunks[universe.my_src_rank]
+        sranks, soffs = src_adapter.deref_range(src_handle, src_sor, lo, hi)
+        for d in _overlaps(lo, hi, dst_chunks):
+            dlo, dhi = dst_chunks[d]
+            olo, ohi = max(lo, dlo), min(hi, dhi)
+            piece = (
+                olo,
+                RunEncoded(sranks[olo - lo : ohi - lo]),
+                RunEncoded(soffs[olo - lo : ohi - lo]),
+            )
+            if universe.same_proc_dst(d):
+                stash[universe.my_src_rank] = piece
+            else:
+                universe.send_to_dst(d, piece, TAG_SCHED_SRCINFO)
+
+    # Phase 2: destination side dereferences its chunk, merges in the
+    # source info, and forms complete schedule entries for its chunk.
+    src_pieces: list | None = None
+    dst_pieces: list | None = None
+    if universe.my_dst_rank is not None:
+        dlo, dhi = dst_chunks[universe.my_dst_rank]
+        m = dhi - dlo
+        sranks = np.empty(m, dtype=np.int64)
+        soffs = np.empty(m, dtype=np.int64)
+        for s in _overlaps(dlo, dhi, src_chunks):
+            if universe.same_proc_src(s):
+                olo, r, o = stash.pop(s)
+            else:
+                olo, r, o = universe.recv_from_src(s, TAG_SCHED_SRCINFO)
+            sranks[olo - dlo : olo - dlo + len(r)] = r.array
+            soffs[olo - dlo : olo - dlo + len(o)] = o.array
+        dranks, doffs = dst_adapter.deref_range(dst_handle, dst_sor, dlo, dhi)
+
+        # Halves for every source-group processor: (dranks, soffs) of the
+        # entries it owns on the source side, in linearization order.
+        by_s_dranks = _group_by(sranks, dranks)
+        by_s_soffs = _group_by(sranks, soffs)
+        src_pieces = [
+            (
+                RunEncoded(by_s_dranks.get(s, _EMPTY)),
+                RunEncoded(by_s_soffs.get(s, _EMPTY)),
+            )
+            for s in range(universe.src_size)
+        ]
+        # Halves for every destination-group processor: (sranks, doffs).
+        by_d_sranks = _group_by(dranks, sranks)
+        by_d_doffs = _group_by(dranks, doffs)
+        dst_pieces = [
+            (
+                RunEncoded(by_d_sranks.get(d, _EMPTY)),
+                RunEncoded(by_d_doffs.get(d, _EMPTY)),
+            )
+            for d in range(universe.dst_size)
+        ]
+
+    # Phase 3: dense distribution of the halves, then local assembly.
+    my_src_half, my_dst_half = _distribute_pieces(universe, src_pieces, dst_pieces)
+
+    sends: dict[int, np.ndarray] = {}
+    recvs: dict[int, np.ndarray] = {}
+    if universe.my_src_rank is not None:
+        # Pieces arrive in destination-chunk order == linearization order.
+        dprocs = np.concatenate([p[0].array for p in my_src_half]) if my_src_half else _EMPTY
+        soffs_all = np.concatenate([p[1].array for p in my_src_half]) if my_src_half else _EMPTY
+        sends = _group_by(dprocs, soffs_all)
+    if universe.my_dst_rank is not None:
+        sprocs = np.concatenate([p[0].array for p in my_dst_half]) if my_dst_half else _EMPTY
+        doffs_all = np.concatenate([p[1].array for p in my_dst_half]) if my_dst_half else _EMPTY
+        recvs = _group_by(sprocs, doffs_all)
+    return sends, recvs
+
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def _distribute_pieces(universe, src_pieces, dst_pieces):
+    """Dense all-to-all of schedule halves from destination-chunk owners.
+
+    Every destination-group processor addresses one message to every
+    source-group processor and one to every destination-group processor
+    (merged when the two coincide).  Receivers collect one piece from
+    every destination-chunk owner, in rank order.
+    """
+    if universe.single_program:
+        comm_size = universe.dst_size
+        me = universe.my_dst_rank
+        merged = [
+            (src_pieces[p], dst_pieces[p]) for p in range(comm_size)
+        ]
+        mine = None
+        for p in range(comm_size):
+            if p == me:
+                mine = merged[p]
+            else:
+                universe.send_to_dst(p, merged[p], TAG_SCHED_PIECES)
+        my_src_half, my_dst_half = [], []
+        for q in range(comm_size):
+            if q == me:
+                s_piece, d_piece = mine
+            else:
+                s_piece, d_piece = universe.recv_from_dst(q, TAG_SCHED_PIECES)
+            my_src_half.append(s_piece)
+            my_dst_half.append(d_piece)
+        return my_src_half, my_dst_half
+
+    # Two programs: only destination-group members hold pieces.
+    if universe.my_dst_rank is not None:
+        for s in range(universe.src_size):
+            universe.send_to_src(s, src_pieces[s], TAG_SCHED_PIECES)
+        me = universe.my_dst_rank
+        for d in range(universe.dst_size):
+            if d != me:
+                universe.send_to_dst(d, dst_pieces[d], TAG_SCHED_PIECES)
+        my_dst_half = []
+        for q in range(universe.dst_size):
+            my_dst_half.append(
+                dst_pieces[me] if q == me else universe.recv_from_dst(q, TAG_SCHED_PIECES)
+            )
+        return None, my_dst_half
+    # Pure source-group member.
+    my_src_half = [
+        universe.recv_from_dst(q, TAG_SCHED_PIECES)
+        for q in range(universe.dst_size)
+    ]
+    return my_src_half, None
+
+
+# ---------------------------------------------------------------------------
+# duplication
+# ---------------------------------------------------------------------------
+
+
+def _build_duplication(
+    universe, src_adapter, src_handle, src_sor,
+    dst_adapter, dst_handle, dst_sor, n,
+):
+    # Make both descriptors available everywhere.  Inside one program both
+    # arrays are already at hand — no communication (paper Table 5
+    # discussion).  Across programs, rank 0 of each side exports its data
+    # descriptor to the peer, which broadcasts it internally; the
+    # transport is charged the descriptor's true size (huge for
+    # translation tables — the paper's practicality caveat).
+    if not universe.single_program:
+        src_handle, dst_handle = _exchange_descriptors(
+            universe, src_adapter, src_handle, dst_adapter, dst_handle
+        )
+        if src_sor is None or dst_sor is None:
+            raise ValueError(
+                "the duplication method needs both SetOfRegions on every "
+                "processor (the mapping is recomputed locally)"
+            )
+    src_local = src_adapter.resolve_handle(src_handle)
+    dst_local = dst_adapter.resolve_handle(dst_handle)
+
+    sends: dict[int, np.ndarray] = {}
+    recvs: dict[int, np.ndarray] = {}
+    if universe.my_src_rank is not None:
+        # Send role: my source-side elements; dereference the destination
+        # library to learn where each goes.
+        lin_mine, soffs_mine = src_adapter.local_elements(
+            src_local, src_sor, universe.my_src_rank
+        )
+        dranks, _ = dst_adapter.deref_lin(dst_local, dst_sor, lin_mine)
+        sends = _group_by(dranks, soffs_mine)
+    if universe.my_dst_rank is not None:
+        # Receive role: my destination-side elements; dereference the
+        # source library to learn who sends each.  (The second dereference
+        # of the expensive side — duplication's 2x.)
+        lin_mine, doffs_mine = dst_adapter.local_elements(
+            dst_local, dst_sor, universe.my_dst_rank
+        )
+        sranks, _ = src_adapter.deref_lin(src_local, src_sor, lin_mine)
+        recvs = _group_by(sranks, doffs_mine)
+    return sends, recvs
+
+
+def _exchange_descriptors(universe, src_adapter, src_handle, dst_adapter, dst_handle):
+    """Cross-program descriptor exchange for the duplication method."""
+    if universe.my_src_rank is not None:
+        comm = universe.comm  # TwoProgramUniverse attribute
+        if universe.my_src_rank == 0:
+            universe.send_to_dst(0, src_adapter.export_handle(src_handle), TAG_DESCRIPTOR)
+            remote = universe.recv_from_dst(0, TAG_DESCRIPTOR)
+        else:
+            remote = None
+        remote = comm.bcast(remote, root=0)
+        return src_handle, remote
+    comm = universe.comm
+    if universe.my_dst_rank == 0:
+        remote = universe.recv_from_src(0, TAG_DESCRIPTOR)
+        universe.send_to_src(0, dst_adapter.export_handle(dst_handle), TAG_DESCRIPTOR)
+    else:
+        remote = None
+    remote = comm.bcast(remote, root=0)
+    return remote, dst_handle

@@ -1,0 +1,88 @@
+"""SetOfRegions: ordered groups of Regions (§4.1.1-4.1.2).
+
+"Regions are gathered into an ordered group called a SetOfRegions ...
+the linearization of a SetOfRegions is the linearization of the first
+Region in the set followed by the linearization of the remaining
+Regions."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.region import Region
+
+__all__ = ["SetOfRegions"]
+
+
+class SetOfRegions:
+    """An ordered collection of Regions with a concatenated linearization."""
+
+    def __init__(self, regions: list[Region] | None = None):
+        self.regions: list[Region] = list(regions) if regions else []
+        self._starts: np.ndarray | None = None
+
+    def add(self, region: Region) -> "SetOfRegions":
+        """Append a region (the paper's ``MC_AddRegion2Set``)."""
+        if not isinstance(region, Region):
+            raise TypeError(f"expected a Region, got {type(region).__name__}")
+        self.regions.append(region)
+        self._starts = None
+        return self
+
+    @property
+    def size(self) -> int:
+        """Total element count across all regions."""
+        return sum(r.size for r in self.regions)
+
+    @property
+    def starts(self) -> np.ndarray:
+        """Linearization start offset of each region (plus a final sentinel
+        equal to the total size)."""
+        if self._starts is None or len(self._starts) != len(self.regions) + 1:
+            sizes = [r.size for r in self.regions]
+            self._starts = np.concatenate(([0], np.cumsum(sizes, dtype=np.int64)))
+        return self._starts
+
+    def lin_to_global(
+        self, positions: np.ndarray, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Flat global index of each linearization position (vectorized).
+
+        Positions are split by region (searchsorted over the region start
+        offsets) and each slice is resolved by its region.  The output is
+        ordered like ``positions``.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if len(positions) == 0:
+            return np.zeros(0, dtype=np.int64)
+        total = self.size
+        if positions.min(initial=0) < 0 or positions.max(initial=0) >= total:
+            raise IndexError("linearization position out of range")
+        starts = self.starts
+        region_ids = np.searchsorted(starts, positions, side="right") - 1
+        out = np.empty(len(positions), dtype=np.int64)
+        for rid in np.unique(region_ids):
+            mask = region_ids == rid
+            local = positions[mask] - starts[rid]
+            out[mask] = self.regions[rid].lin_to_global(local, shape)
+        return out
+
+    def global_flat(self, shape: tuple[int, ...]) -> np.ndarray:
+        """All selected flat global indices in linearization order."""
+        if not self.regions:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate([r.global_flat(shape) for r in self.regions])
+
+    def nbytes_descriptor(self) -> int:
+        """Shipping size of the set's compact description."""
+        return 16 + sum(r.nbytes_descriptor() for r in self.regions)
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self):
+        return iter(self.regions)
+
+    def __repr__(self) -> str:
+        return f"SetOfRegions({self.regions!r})"

@@ -1,0 +1,156 @@
+"""Where the two sides of a copy live: one program or two (§5.1-5.2).
+
+Meta-Chaos moves data between a *source group* of processors (owning the
+source data structure) and a *destination group* (owning the destination).
+In the single-program case (paper Figure 2) the two groups are the same
+processors; in the two-program case (Figure 3) they are disjoint programs
+connected by an inter-communicator.
+
+:class:`Universe` hides the difference from the schedule builder and the
+data-move engine: group sizes, role membership, sends addressed by group
+rank, and the dense piece-distribution exchange used during schedule
+construction.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.vmachine.comm import Communicator, InterComm
+from repro.vmachine.process import Process
+
+__all__ = ["Universe", "SingleProgramUniverse", "TwoProgramUniverse"]
+
+# Reserved tag blocks for Meta-Chaos traffic (outside user tag space).
+TAG_SCHED_SRCINFO = 1 << 20
+TAG_SCHED_PIECES = (1 << 20) + 1
+TAG_DATA = (1 << 20) + 2
+TAG_DESCRIPTOR = (1 << 20) + 3
+
+
+class Universe(abc.ABC):
+    """Topology of one source-group/destination-group pairing."""
+
+    #: number of processors in the source / destination groups
+    src_size: int
+    dst_size: int
+    #: this processor's rank within each group (None if not a member)
+    my_src_rank: int | None
+    my_dst_rank: int | None
+    #: True when both groups are the same program's processors
+    single_program: bool
+
+    @property
+    def process(self) -> Process:
+        return self._process
+
+    # -- addressed sends/recvs ------------------------------------------------
+
+    @abc.abstractmethod
+    def send_to_src(self, s: int, payload: Any, tag: int) -> None: ...
+
+    @abc.abstractmethod
+    def send_to_dst(self, d: int, payload: Any, tag: int) -> None: ...
+
+    @abc.abstractmethod
+    def recv_from_src(self, s: int, tag: int) -> Any: ...
+
+    @abc.abstractmethod
+    def recv_from_dst(self, d: int, tag: int) -> Any: ...
+
+    # -- same-physical-processor tests -----------------------------------------
+
+    def same_proc_dst(self, d: int) -> bool:
+        """Is destination-group rank ``d`` this very processor?"""
+        return self.single_program and self.my_src_rank == d
+
+    def same_proc_src(self, s: int) -> bool:
+        """Is source-group rank ``s`` this very processor?"""
+        return self.single_program and self.my_dst_rank == s
+
+    @abc.abstractmethod
+    def reversed(self) -> "Universe":
+        """The same topology with source and destination roles swapped."""
+
+
+class SingleProgramUniverse(Universe):
+    """Both data structures live in one SPMD program (paper Figure 2)."""
+
+    def __init__(self, comm: Communicator):
+        self.comm = comm
+        self._process = comm.process
+        self.src_size = comm.size
+        self.dst_size = comm.size
+        self.my_src_rank = comm.rank
+        self.my_dst_rank = comm.rank
+        self.single_program = True
+
+    def send_to_src(self, s: int, payload: Any, tag: int) -> None:
+        self.comm.send(s, payload, tag)
+
+    def send_to_dst(self, d: int, payload: Any, tag: int) -> None:
+        self.comm.send(d, payload, tag)
+
+    def recv_from_src(self, s: int, tag: int) -> Any:
+        return self.comm.recv(s, tag)
+
+    def recv_from_dst(self, d: int, tag: int) -> Any:
+        return self.comm.recv(d, tag)
+
+    def reversed(self) -> "SingleProgramUniverse":
+        return self
+
+
+class TwoProgramUniverse(Universe):
+    """Source and destination live in two coupled programs (Figure 3).
+
+    Each side constructs its own view: ``role`` names which group *this*
+    program plays.  The peer program must construct the complementary
+    view with the same ``intercomm`` pairing.
+    """
+
+    def __init__(self, comm: Communicator, intercomm: InterComm, role: str):
+        if role not in ("src", "dst"):
+            raise ValueError("role must be 'src' or 'dst'")
+        self.comm = comm
+        self.intercomm = intercomm
+        self.role = role
+        self._process = comm.process
+        self.single_program = False
+        if role == "src":
+            self.src_size = comm.size
+            self.dst_size = intercomm.remote_size
+            self.my_src_rank = comm.rank
+            self.my_dst_rank = None
+        else:
+            self.src_size = intercomm.remote_size
+            self.dst_size = comm.size
+            self.my_src_rank = None
+            self.my_dst_rank = comm.rank
+
+    def send_to_src(self, s: int, payload: Any, tag: int) -> None:
+        if self.role == "src":
+            self.comm.send(s, payload, tag)
+        else:
+            self.intercomm.send(s, payload, tag)
+
+    def send_to_dst(self, d: int, payload: Any, tag: int) -> None:
+        if self.role == "dst":
+            self.comm.send(d, payload, tag)
+        else:
+            self.intercomm.send(d, payload, tag)
+
+    def recv_from_src(self, s: int, tag: int) -> Any:
+        if self.role == "src":
+            return self.comm.recv(s, tag)
+        return self.intercomm.recv(s, tag)
+
+    def recv_from_dst(self, d: int, tag: int) -> Any:
+        if self.role == "dst":
+            return self.comm.recv(d, tag)
+        return self.intercomm.recv(d, tag)
+
+    def reversed(self) -> "TwoProgramUniverse":
+        flipped = "dst" if self.role == "src" else "src"
+        return TwoProgramUniverse(self.comm, self.intercomm, flipped)

@@ -1,0 +1,165 @@
+"""Schedule validation and diagnostics.
+
+Debugging a wrong inter-library copy in 1996 meant staring at message
+dumps; this module gives the reproduction proper tooling:
+
+- :func:`validate_schedule` — collective, machine-checkable consistency:
+  pairwise send/receive counts match, offsets are legal local addresses,
+  no destination slot receives twice, and the total element count equals
+  the SetOfRegions conformance size;
+- :func:`schedule_stats` — collective summary (element counts, message
+  counts, bytes, locality fraction) for performance inspection;
+- :func:`explain_schedule` — one rank's human-readable schedule dump.
+
+These are exercised by the test suite and available to library users
+through ``repro.core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.registry import get_adapter
+from repro.core.schedule import CommSchedule
+from repro.vmachine.comm import Communicator
+
+__all__ = [
+    "ScheduleValidationError",
+    "ScheduleStats",
+    "validate_schedule",
+    "schedule_stats",
+    "explain_schedule",
+]
+
+_TAG_VALIDATE = (1 << 21) + 33
+
+
+class ScheduleValidationError(AssertionError):
+    """A schedule consistency check failed."""
+
+
+@dataclass
+class ScheduleStats:
+    """Machine-level summary of one schedule (same on every rank)."""
+
+    n_elements: int
+    message_pairs: int
+    local_elements: int
+    remote_elements: int
+    max_pair_elements: int
+
+    @property
+    def locality(self) -> float:
+        """Fraction of elements that never leave their processor."""
+        total = self.local_elements + self.remote_elements
+        return self.local_elements / total if total else 1.0
+
+
+def validate_schedule(
+    comm: Communicator,
+    schedule: CommSchedule,
+    src_array=None,
+    dst_array=None,
+) -> None:
+    """Collectively verify a single-program schedule's consistency.
+
+    Raises :class:`ScheduleValidationError` (on every rank) describing the
+    first violation found.  ``src_array``/``dst_array`` enable the local
+    address-range checks when provided.
+    """
+    problems: list[str] = []
+
+    # Local structural checks.
+    for d, offs in schedule.sends.items():
+        if not 0 <= d < schedule.dst_size:
+            problems.append(f"send destination {d} out of range")
+        if src_array is not None and len(offs):
+            n = len(get_adapter(schedule.src_lib).local_data(src_array))
+            if offs.min() < 0 or offs.max() >= n:
+                problems.append(
+                    f"send offsets to {d} outside local storage [0,{n})"
+                )
+    for s, offs in schedule.recvs.items():
+        if not 0 <= s < schedule.src_size:
+            problems.append(f"receive source {s} out of range")
+        if dst_array is not None and len(offs):
+            n = len(get_adapter(schedule.dst_lib).local_data(dst_array))
+            if offs.min() < 0 or offs.max() >= n:
+                problems.append(
+                    f"recv offsets from {s} outside local storage [0,{n})"
+                )
+    all_recv = (
+        np.concatenate([v for v in schedule.recvs.values()])
+        if schedule.recvs
+        else np.zeros(0, dtype=np.int64)
+    )
+    if len(np.unique(all_recv)) != len(all_recv):
+        problems.append("a destination slot receives more than one element")
+
+    # Cross-rank pairwise counts: gather everyone's (sends, recvs) sizes.
+    send_counts = {d: len(v) for d, v in schedule.sends.items()}
+    recv_counts = {s: len(v) for s, v in schedule.recvs.items()}
+    gathered = comm.allgather((send_counts, recv_counts))
+    total_sent = 0
+    for s, (sends, _) in enumerate(gathered):
+        for d, n in sends.items():
+            total_sent += n
+            other = gathered[d][1].get(s, 0)
+            if other != n:
+                problems.append(
+                    f"pair ({s}->{d}): {n} elements sent but {other} expected"
+                )
+    if total_sent != schedule.n_elements:
+        problems.append(
+            f"schedule covers {total_sent} elements, SetOfRegions has "
+            f"{schedule.n_elements}"
+        )
+
+    # Agree on the verdict collectively so every rank raises.
+    all_problems = comm.allgather(problems)
+    flat = [p for rank_p in all_problems for p in rank_p]
+    if flat:
+        raise ScheduleValidationError("; ".join(sorted(set(flat))[:5]))
+
+
+def schedule_stats(comm: Communicator, schedule: CommSchedule) -> ScheduleStats:
+    """Collective machine-level schedule summary (identical on all ranks)."""
+    me = comm.rank
+    local = len(schedule.sends.get(me, np.zeros(0)))
+    remote = sum(len(v) for d, v in schedule.sends.items() if d != me)
+    pairs = sum(1 for d, v in schedule.sends.items() if d != me and len(v))
+    per_pair = [len(v) for d, v in schedule.sends.items() if d != me and len(v)]
+    totals = comm.allreduce(
+        (local, remote, pairs, max(per_pair, default=0)),
+        lambda a, b: (a[0] + b[0], a[1] + b[1], a[2] + b[2], max(a[3], b[3])),
+    )
+    return ScheduleStats(
+        n_elements=schedule.n_elements,
+        message_pairs=totals[2],
+        local_elements=totals[0],
+        remote_elements=totals[1],
+        max_pair_elements=totals[3],
+    )
+
+
+def explain_schedule(schedule: CommSchedule, max_entries: int = 5) -> str:
+    """Human-readable dump of this rank's halves of a schedule."""
+    lines = [
+        f"CommSchedule {schedule.src_lib} -> {schedule.dst_lib} "
+        f"({schedule.n_elements} elements, method={schedule.method.value})"
+    ]
+    for d in sorted(schedule.sends):
+        offs = schedule.sends[d]
+        head = ", ".join(str(int(o)) for o in offs[:max_entries])
+        more = f", ... +{len(offs) - max_entries}" if len(offs) > max_entries else ""
+        lines.append(f"  send {len(offs):>6} -> dst rank {d}: [{head}{more}]")
+    for s in sorted(schedule.recvs):
+        offs = schedule.recvs[s]
+        head = ", ".join(str(int(o)) for o in offs[:max_entries])
+        more = f", ... +{len(offs) - max_entries}" if len(offs) > max_entries else ""
+        lines.append(f"  recv {len(offs):>6} <- src rank {s}: [{head}{more}]")
+    if not schedule.sends and not schedule.recvs:
+        lines.append("  (this rank moves no elements)")
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Distribution protocol.
+
+A distribution maps the ``size`` global elements of a data structure onto
+``nprocs`` ranks, giving each element a unique ``(owner rank, local
+offset)`` pair, where local offsets index the rank's flat local storage
+``0 .. local_size(rank)-1``.
+
+All mapping methods are vectorized: they accept and return NumPy integer
+arrays.  Multidimensional structures are addressed here by *flat* global
+index (C order); the Cartesian distribution does the multi-index
+arithmetic internally.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Distribution", "DistDescriptor", "register_descriptor_kind"]
+
+
+@dataclass(frozen=True)
+class DistDescriptor:
+    """Exchangeable description of a distribution.
+
+    This is what the *duplication* schedule method ships between programs
+    (paper section 5.1): a compact closed-form record for regular
+    distributions, or the full owner map for irregular ones.  ``nbytes``
+    is the size charged to the transport when the descriptor is exchanged
+    — the reason duplication "is not practical ... when at least one of
+    the programs does not have a compact data descriptor (e.g. a Chaos
+    translation table, which is the same size as the data array)".
+    """
+
+    kind: str
+    payload: Any
+    nbytes: int
+
+    def materialize(self) -> "Distribution":
+        """Rebuild a full :class:`Distribution` from the descriptor.
+
+        Distribution kinds register themselves with
+        :func:`register_descriptor_kind`, so higher layers (e.g. HPF's
+        aligned distributions) can add kinds without this module knowing
+        about them.
+        """
+        # Built-in kinds register lazily (importing them here at module
+        # load would be circular); external kinds may already be present.
+        if self.kind not in _DESCRIPTOR_KINDS:
+            from repro.distrib.cartesian import CartesianDist
+            from repro.distrib.irregular import IrregularDist
+
+            _DESCRIPTOR_KINDS.setdefault(
+                "cartesian", CartesianDist.from_descriptor_payload
+            )
+            _DESCRIPTOR_KINDS.setdefault(
+                "irregular", IrregularDist.from_descriptor_payload
+            )
+        try:
+            factory = _DESCRIPTOR_KINDS[self.kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown descriptor kind {self.kind!r}; "
+                f"known: {sorted(_DESCRIPTOR_KINDS)}"
+            ) from None
+        return factory(self.payload)
+
+
+#: registry of descriptor kind -> payload factory
+_DESCRIPTOR_KINDS: dict[str, Any] = {}
+
+
+def register_descriptor_kind(kind: str, factory) -> None:
+    """Register a :class:`DistDescriptor` kind's materialization factory."""
+    _DESCRIPTOR_KINDS[kind] = factory
+
+
+class Distribution(abc.ABC):
+    """Abstract owner/offset map for one distributed data structure."""
+
+    #: number of ranks the structure is distributed over
+    nprocs: int
+    #: total number of global elements
+    size: int
+
+    @abc.abstractmethod
+    def owner_of_flat(self, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Owning rank and flat local offset of each flat global index.
+
+        Parameters
+        ----------
+        gidx:
+            integer array of flat global indices (any shape).
+
+        Returns
+        -------
+        (ranks, offsets):
+            integer arrays of the same shape as ``gidx``.
+        """
+
+    @abc.abstractmethod
+    def local_size(self, rank: int) -> int:
+        """Number of elements stored on ``rank``."""
+
+    @abc.abstractmethod
+    def local_to_global(self, rank: int, offsets: np.ndarray) -> np.ndarray:
+        """Flat global indices of the given local offsets on ``rank``."""
+
+    @abc.abstractmethod
+    def descriptor(self) -> DistDescriptor:
+        """Exchangeable descriptor (see :class:`DistDescriptor`)."""
+
+    # -- helpers shared by implementations ----------------------------------
+
+    def owned_global(self, rank: int) -> np.ndarray:
+        """All flat global indices owned by ``rank`` (ascending local offset)."""
+        return self.local_to_global(rank, np.arange(self.local_size(rank)))
+
+    def check_valid(self) -> None:
+        """Exhaustively verify the owner map is a partition (test helper).
+
+        O(size) — intended for tests on small distributions, not for hot
+        paths.
+        """
+        gidx = np.arange(self.size)
+        ranks, offsets = self.owner_of_flat(gidx)
+        if ranks.min(initial=0) < 0 or ranks.max(initial=0) >= self.nprocs:
+            raise AssertionError("owner rank out of range")
+        for r in range(self.nprocs):
+            mask = ranks == r
+            n = self.local_size(r)
+            offs = offsets[mask]
+            if len(offs) != n:
+                raise AssertionError(
+                    f"rank {r}: {len(offs)} elements mapped but local_size={n}"
+                )
+            if n and (np.sort(offs) != np.arange(n)).any():
+                raise AssertionError(f"rank {r}: local offsets are not a bijection")
+            back = self.local_to_global(r, offs)
+            if (back != gidx[mask]).any():
+                raise AssertionError(f"rank {r}: local_to_global mismatch")

@@ -1,0 +1,41 @@
+"""Distributed data parallel objects (the paper's stated future work).
+
+Section 6: "we ... are currently studying ways to incorporate distributed
+data parallel objects into the CORBA object model, so that data parallel
+programs could interoperate with distributed object systems.  Meta-Chaos
+could be used as the underlying mechanism for such an extension."
+
+This subpackage builds that extension on top of the repository's
+Meta-Chaos core:
+
+- a *server* program exports named **parallel objects** whose state
+  includes distributed arrays (any registered library) and whose methods
+  run SPMD across the server's processors
+  (:class:`~repro.dobj.server.ParallelObject`,
+  :func:`~repro.dobj.server.serve_objects`);
+- a *client* program holds :class:`~repro.dobj.client.RemoteObject`
+  proxies: small control messages (method invocation, binding) travel as
+  an ORB-style request/reply protocol between the programs' rank 0s,
+  while **bulk array arguments and results move directly between the
+  distributed memories** through Meta-Chaos schedules established once at
+  bind time — the CORBA-missing piece the paper points at.
+
+See ``examples/image_server.py`` for the satellite-image-database
+scenario from the paper's introduction, rebuilt on this layer.
+"""
+
+from repro.dobj.protocol import BoundArray, Request, Reply
+from repro.dobj.server import ParallelObject, serve_objects
+from repro.dobj.client import Broker, RemoteError, RemoteObject, connect
+
+__all__ = [
+    "BoundArray",
+    "Request",
+    "Reply",
+    "ParallelObject",
+    "serve_objects",
+    "Broker",
+    "RemoteError",
+    "RemoteObject",
+    "connect",
+]

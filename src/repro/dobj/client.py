@@ -1,0 +1,162 @@
+"""Client side of the distributed-object layer.
+
+A client program :func:`connect`\\ s to a server program and obtains
+:class:`RemoteObject` proxies.  All proxy operations are *collective over
+the client program* (every client rank calls them together): rank 0
+carries the control conversation, results are broadcast, and bind/push/
+pull involve every rank because the bulk data is distributed on both
+sides.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.coupling import CoupledExchange, coupled_universe
+from repro.core.schedule import ScheduleMethod, build_schedule
+from repro.core.setofregions import SetOfRegions
+from repro.dobj.protocol import TAG_CONTROL, BoundArray, Reply, Request
+from repro.vmachine.program import ProgramContext
+
+__all__ = ["RemoteError", "Broker", "RemoteObject", "connect"]
+
+
+class RemoteError(RuntimeError):
+    """A server-side failure, re-raised on every client rank."""
+
+
+class Broker:
+    """Connection to one object server program."""
+
+    def __init__(self, ctx: ProgramContext, server: str):
+        self.ctx = ctx
+        self.server = server
+        self._ic = ctx.peer(server)
+        self._bindings = 0
+
+    def object(self, name: str) -> "RemoteObject":
+        """Proxy for the server's object ``name`` (no round trip)."""
+        return RemoteObject(self, name)
+
+    def shutdown(self) -> None:
+        """Stop the server's dispatch loop (collective)."""
+        self._transact(Request(kind="shutdown"))
+
+    # -- internals ---------------------------------------------------------
+
+    def _transact(self, request: Request) -> Reply:
+        """Collective request/reply: rank 0 talks, everyone learns."""
+        comm = self.ctx.comm
+        reply = None
+        if comm.rank == 0:
+            self._ic.send(0, request, TAG_CONTROL)
+            reply = self._ic.recv(0, TAG_CONTROL)
+        reply = comm.bcast(reply, root=0)
+        if not reply.ok:
+            raise RemoteError(reply.error)
+        return reply
+
+
+class RemoteObject:
+    """Proxy for one named parallel object on the server."""
+
+    def __init__(self, broker: Broker, name: str):
+        self.broker = broker
+        self.name = name
+
+    def call(self, method: str, *args: Any) -> Any:
+        """Invoke an SPMD method; returns the (replicated) result.
+
+        ``args`` must be small replicated scalars/tuples — bulk data goes
+        through bindings, never through the control channel.
+        """
+        return self.broker._transact(
+            Request(kind="call", obj=self.name, method=method, args=args)
+        ).value
+
+    def call_oneway(self, method: str, *args: Any) -> None:
+        """Fire-and-forget invocation (CORBA 'oneway' semantics).
+
+        No reply, no error propagation: the request costs one control
+        message and the client continues immediately.  Unknown methods
+        are silently dropped by the server — use :meth:`call` when you
+        need the acknowledgement.
+        """
+        comm = self.broker.ctx.comm
+        if comm.rank == 0:
+            self.broker._ic.send(
+                0,
+                Request(kind="oneway", obj=self.name, method=method, args=args),
+                TAG_CONTROL,
+            )
+
+    def bind(
+        self,
+        attr: str,
+        local_lib: str,
+        local_array: Any,
+        local_sor: SetOfRegions,
+    ) -> BoundArray:
+        """Establish a bulk-data path to the object's exported array.
+
+        Collective: the request makes every server rank enter its half of
+        the Meta-Chaos schedule computation while the client ranks run
+        theirs here.  The returned binding's ``push``/``pull`` reuse the
+        schedule for any number of transfers.
+        """
+        ctx = self.broker.ctx
+        # Phase 1: the server validates the export and acknowledges (or
+        # refuses) *before* either side commits to the collective schedule
+        # computation — a refused bind must not leave the client hanging.
+        reply = self.broker._transact(
+            Request(kind="bind", obj=self.name, attr=attr)
+        )
+        # Phase 2: both programs build the schedule together.
+        universe = coupled_universe(ctx, self.broker.server, "src")
+        sched = build_schedule(
+            universe,
+            local_lib, local_array, local_sor,
+            local_lib, None, None,  # destination lives in the server
+            method=ScheduleMethod.COOPERATION,
+        )
+        return BoundArray(
+            binding_id=reply.binding,
+            obj=self.name,
+            attr=attr,
+            exchange=CoupledExchange(universe, sched),
+            local_array=local_array,
+        )
+
+    def push(self, binding: BoundArray, local_array: Any | None = None) -> None:
+        """Copy the client's array into the object's array (collective)."""
+        ctx = self.broker.ctx
+        if ctx.rank == 0:
+            self.broker._ic.send(
+                0, Request(kind="push", binding=binding.binding_id), TAG_CONTROL
+            )
+        binding.exchange.push(local_array if local_array is not None else binding.local_array)
+        self._finish()
+
+    def pull(self, binding: BoundArray, local_array: Any | None = None) -> None:
+        """Copy the object's array back into the client's (collective)."""
+        ctx = self.broker.ctx
+        if ctx.rank == 0:
+            self.broker._ic.send(
+                0, Request(kind="pull", binding=binding.binding_id), TAG_CONTROL
+            )
+        binding.exchange.pull(local_array if local_array is not None else binding.local_array)
+        self._finish()
+
+    def _finish(self) -> None:
+        comm = self.broker.ctx.comm
+        reply = None
+        if comm.rank == 0:
+            reply = self.broker._ic.recv(0, TAG_CONTROL)
+        reply = comm.bcast(reply, root=0)
+        if not reply.ok:
+            raise RemoteError(reply.error)
+
+
+def connect(ctx: ProgramContext, server: str) -> Broker:
+    """Connect this client program to the named server program."""
+    return Broker(ctx, server)

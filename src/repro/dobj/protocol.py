@@ -1,0 +1,67 @@
+"""Wire protocol of the distributed-object layer.
+
+Control traffic is tiny and structured: :class:`Request` records travel
+from the client's rank 0 to the server's rank 0, are broadcast inside the
+server program (every server rank participates in every operation — the
+methods are SPMD), and a :class:`Reply` returns.  Bulk data never rides
+this channel: array arguments/results go through Meta-Chaos schedules
+referenced by binding id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Request", "Reply", "BoundArray", "TAG_CONTROL"]
+
+TAG_CONTROL = (1 << 21) + 100
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client -> server control message."""
+
+    kind: str            # "call" | "bind" | "push" | "pull" | "shutdown"
+    obj: str = ""        # target object name
+    method: str = ""     # for "call": SPMD method name
+    args: tuple = ()     # for "call": scalar (picklable, replicated) args
+    attr: str = ""       # for "bind": exported array attribute
+    binding: int = -1    # for "push"/"pull": binding id
+
+    @property
+    def nbytes(self) -> int:
+        # Control messages are small and fixed-cost on the wire.
+        return 64 + 16 * len(self.args)
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Server -> client response to one request."""
+
+    ok: bool
+    value: Any = None
+    error: str = ""
+    binding: int = -1
+
+    @property
+    def nbytes(self) -> int:
+        return 64
+
+
+@dataclass
+class BoundArray:
+    """One established client<->server bulk-data path.
+
+    Created by ``RemoteObject.bind``: the client supplies its local
+    distributed array and region set; the server supplies the object's
+    exported array.  The stored Meta-Chaos schedule (client = source) is
+    symmetric, so the same binding serves ``push`` (client -> object) and
+    ``pull`` (object -> client).
+    """
+
+    binding_id: int
+    obj: str
+    attr: str
+    exchange: Any  # CoupledExchange
+    local_array: Any = field(default=None)

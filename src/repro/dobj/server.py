@@ -1,0 +1,158 @@
+"""Server side of the distributed-object layer.
+
+A server program constructs :class:`ParallelObject` instances (whose state
+includes distributed arrays and whose methods are SPMD across the server's
+processors), then enters :func:`serve_objects` — an ORB-style dispatch
+loop.  Control requests arrive at the server's rank 0 and are broadcast so
+every rank executes each operation collectively; bulk data moves through
+Meta-Chaos bindings.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.coupling import CoupledExchange, coupled_universe
+from repro.core.schedule import ScheduleMethod
+from repro.dobj.protocol import TAG_CONTROL, BoundArray, Reply
+from repro.vmachine.program import ProgramContext
+
+__all__ = ["ParallelObject", "serve_objects"]
+
+
+class ParallelObject(abc.ABC):
+    """Base class for server-side parallel objects.
+
+    Subclasses hold distributed arrays and define SPMD methods (plain
+    methods executed by every server rank collectively).  Every method
+    name not starting with ``_`` is remotely callable.  Arrays a client
+    may bind to are published by :meth:`export_array`.
+    """
+
+    @abc.abstractmethod
+    def export_array(self, attr: str):
+        """Return ``(library_name, array, set_of_regions)`` for ``attr``.
+
+        Raise ``KeyError`` for unknown attributes; the error travels back
+        to the client as a failed reply.
+        """
+
+    def _callable(self, method: str) -> bool:
+        return not method.startswith("_") and callable(getattr(self, method, None))
+
+
+def serve_objects(
+    ctx: ProgramContext,
+    client: str,
+    objects: dict[str, ParallelObject],
+) -> int:
+    """Run the object-server dispatch loop until the client shuts it down.
+
+    Collective over the server program.  Returns the number of requests
+    served (for monitoring/tests).
+    """
+    comm = ctx.comm
+    ic = ctx.peer(client)
+    bindings: list[BoundArray] = []
+    served = 0
+
+    while True:
+        request = None
+        if comm.rank == 0:
+            request = ic.recv(0, TAG_CONTROL)
+        request = comm.bcast(request, root=0)
+        served += 1
+
+        if request.kind == "shutdown":
+            _reply(comm, ic, Reply(ok=True))
+            return served
+
+        try:
+            if request.kind == "oneway":
+                # Fire-and-forget invocation (CORBA 'oneway'): execute but
+                # never reply — the client is already gone.
+                obj = _lookup(objects, request.obj)
+                if obj._callable(request.method):
+                    getattr(obj, request.method)(*request.args)
+                continue
+
+            if request.kind == "call":
+                obj = _lookup(objects, request.obj)
+                if not obj._callable(request.method):
+                    raise AttributeError(
+                        f"object {request.obj!r} has no remote method "
+                        f"{request.method!r}"
+                    )
+                value = getattr(obj, request.method)(*request.args)
+                _reply(comm, ic, Reply(ok=True, value=value))
+
+            elif request.kind == "bind":
+                # Validate *before* replying: once the positive reply is
+                # out, both programs commit to the collective schedule
+                # computation, so any failure must be detected first
+                # (otherwise the client would hang waiting for a peer
+                # that bailed out).
+                obj = _lookup(objects, request.obj)
+                lib, array, sor = obj.export_array(request.attr)
+                binding_id = len(bindings)
+                _reply(comm, ic, Reply(ok=True, binding=binding_id))
+                universe = coupled_universe(ctx, client, "dst")
+                sched = _bind_schedule(universe, lib, array, sor)
+                bindings.append(
+                    BoundArray(
+                        binding_id=binding_id,
+                        obj=request.obj,
+                        attr=request.attr,
+                        exchange=CoupledExchange(universe, sched),
+                        local_array=array,
+                    )
+                )
+
+            elif request.kind == "push":
+                b = bindings[request.binding]
+                b.exchange.push(b.local_array)
+                _reply(comm, ic, Reply(ok=True))
+
+            elif request.kind == "pull":
+                b = bindings[request.binding]
+                b.exchange.pull(b.local_array)
+                _reply(comm, ic, Reply(ok=True))
+
+            else:
+                raise ValueError(f"unknown request kind {request.kind!r}")
+
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            _reply(comm, ic, Reply(ok=False, error=f"{type(exc).__name__}: {exc}"))
+
+
+def _bind_schedule(universe, lib, array, sor):
+    """Server half of the bind-time schedule computation.
+
+    The client side concurrently calls its half; the *source* library's
+    identity is irrelevant to the destination group under the cooperation
+    method (only the destination's own dereferencing happens here), so
+    the destination library name stands in for it and the protocol does
+    not need to ship it.
+    """
+    from repro.core.schedule import build_schedule
+
+    return build_schedule(
+        universe,
+        lib, None, None,  # source side lives in the client program
+        lib, array, sor,
+        method=ScheduleMethod.COOPERATION,
+    )
+
+
+def _lookup(objects: dict[str, ParallelObject], name: str) -> ParallelObject:
+    try:
+        return objects[name]
+    except KeyError:
+        raise KeyError(
+            f"no object {name!r} exported; available: {sorted(objects)}"
+        ) from None
+
+
+def _reply(comm, ic, reply: Reply) -> None:
+    if comm.rank == 0:
+        ic.send(0, reply, TAG_CONTROL)

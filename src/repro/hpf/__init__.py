@@ -1,0 +1,43 @@
+"""HPF runtime analogue: BLOCK/CYCLIC distributed arrays and executors.
+
+Models the runtime layer of a High Performance Fortran compiler: arrays
+carry ``!hpf$ distribute`` style per-dimension BLOCK / CYCLIC /
+BLOCK_CYCLIC(k) / ``*`` (collapsed) mappings over a processor grid
+(:class:`~repro.hpf.array.HPFArray`), data parallel loops run as
+owner-computes ``forall`` executors (:mod:`repro.hpf.forall`), and a
+distributed matrix-vector product (:mod:`repro.hpf.matvec`) plays the
+compute-server role of the paper's client/server experiments (§5.4).
+
+The Meta-Chaos interface functions are
+:class:`~repro.hpf.interface.HPFAdapter` (registered as ``"hpf"``), and
+:func:`~repro.hpf.sections.create_region_hpf` mirrors the paper's
+``CreateRegion_HPF`` constructor (Figure 9).
+"""
+
+from repro.hpf.array import HPFArray
+from repro.hpf.sections import create_region_hpf, hpf_section
+from repro.hpf.forall import forall, forall_indexed
+from repro.hpf.matvec import distributed_matvec, local_matvec_time
+from repro.hpf.ops import cshift, hpf_dot, hpf_max, hpf_min, hpf_section_copy, hpf_sum
+from repro.hpf.align import AlignedDist, Template, align_array
+from repro.hpf.interface import HPFAdapter
+
+__all__ = [
+    "AlignedDist",
+    "Template",
+    "align_array",
+    "cshift",
+    "hpf_dot",
+    "hpf_max",
+    "hpf_min",
+    "hpf_section_copy",
+    "hpf_sum",
+    "HPFArray",
+    "create_region_hpf",
+    "hpf_section",
+    "forall",
+    "forall_indexed",
+    "distributed_matvec",
+    "local_matvec_time",
+    "HPFAdapter",
+]

@@ -1,0 +1,57 @@
+"""Owner-computes ``forall`` executors.
+
+The HPF compiler turns ``forall`` statements over aligned arrays into
+owner-computes local loops; this module provides the runtime piece:
+elementwise execution over arrays sharing one distribution, with and
+without access to the global indices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.hpf.array import HPFArray
+from repro.vmachine.process import current_process
+
+__all__ = ["forall", "forall_indexed"]
+
+
+def forall(
+    out: HPFArray, fn: Callable[..., np.ndarray], *ins: HPFArray, flops_per_elem: float = 1.0
+) -> None:
+    """``forall (i...) out = fn(ins...)`` over aligned arrays.
+
+    All arrays must share the output's distribution (the compiler would
+    have inserted a remap otherwise — that remap is exactly what
+    Meta-Chaos or the HPF runtime's own section copy provides).
+    """
+    for a in ins:
+        if not a.aligned_with(out):
+            raise ValueError(
+                "forall operands must be aligned (same distribution); "
+                "remap first (e.g. with Meta-Chaos)"
+            )
+    out.local[:] = fn(*[a.local for a in ins])
+    current_process().charge_flops(flops_per_elem * out.local.size)
+
+
+def forall_indexed(
+    out: HPFArray,
+    fn: Callable[..., np.ndarray],
+    *ins: HPFArray,
+    flops_per_elem: float = 1.0,
+) -> None:
+    """Like :func:`forall` but ``fn`` also receives the global coordinates.
+
+    ``fn(coords, *locals)`` where ``coords`` is a tuple of flat index
+    arrays, one per dimension, aligned with the local elements.
+    """
+    for a in ins:
+        if not a.aligned_with(out):
+            raise ValueError("forall operands must be aligned")
+    mine = out.dist.owned_global(out.comm.rank)
+    coords = np.unravel_index(mine, out.global_shape)
+    out.local[:] = fn(coords, *[a.local for a in ins])
+    current_process().charge_flops(flops_per_elem * out.local.size)

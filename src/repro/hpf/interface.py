@@ -1,0 +1,62 @@
+"""Meta-Chaos interface functions for the HPF runtime (§4.1.3).
+
+Functionally the same closed-form Cartesian dereferencing as Multiblock
+Parti — HPF's regular distributions answer ownership questions in O(1)
+arithmetic per element — but registered as its own library: the paper's
+whole point is that each library plugs in its own implementation of the
+same small interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.registry import (
+    LibraryAdapter,
+    cartesian_local_elements,
+    register_adapter,
+)
+from repro.core.setofregions import SetOfRegions
+from repro.distrib.base import Distribution
+from repro.hpf.array import HPFArray
+from repro.vmachine.process import current_process
+
+__all__ = ["HPFAdapter"]
+
+
+class HPFAdapter(LibraryAdapter):
+    """Interface functions for ``"hpf"``-distributed arrays."""
+
+    name = "hpf"
+
+    def dist_of(self, handle: Any) -> Distribution:
+        return handle.dist
+
+    def shape_of(self, handle: Any) -> tuple[int, ...]:
+        if isinstance(handle, HPFArray):
+            return handle.global_shape
+        return handle.shape
+
+    def local_data(self, array: Any) -> np.ndarray:
+        if not isinstance(array, HPFArray):
+            raise TypeError("a local HPFArray is required for data access")
+        return array.local
+
+    def itemsize_of(self, handle: Any) -> int:
+        return handle.itemsize
+
+    def charge_deref(self, n: int) -> None:
+        current_process().charge_deref_regular(n)
+
+    def local_elements(
+        self, handle: Any, sor: SetOfRegions, rank: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return cartesian_local_elements(
+            self.dist_of(handle), self.shape_of(handle), sor, rank,
+            charge=self.charge_locate,
+        )
+
+
+register_adapter(HPFAdapter())

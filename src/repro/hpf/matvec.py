@@ -1,0 +1,55 @@
+"""Distributed matrix-vector multiply (the HPF compute-server kernel, §5.4).
+
+The server program of the paper's client/server experiments is "an HPF
+matrix-vector multiply program that distributes the matrix and vector
+across the processors".  Here: the matrix is row-block distributed
+(``("block", "*")``), the operand vector block distributed; each multiply
+allgathers the operand (the HPF runtime's internal communication) and
+computes its row block locally.
+
+The paper observes the server "does not speed up beyond eight processors,
+because of increased internal communication costs" — with P processes the
+allgather moves O(P) messages of n/P elements over the shared ATM links,
+which is exactly what this implementation's cost accounting produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hpf.array import HPFArray
+from repro.vmachine.process import current_process
+
+__all__ = ["distributed_matvec", "local_matvec_time"]
+
+
+def distributed_matvec(A: HPFArray, x: HPFArray, y: HPFArray) -> None:
+    """``y = A @ x`` with A row-block distributed, x/y block distributed.
+
+    Collective.  ``A`` must be ``(block, *)`` over the same communicator
+    as ``x`` and ``y``; ``x`` and ``y`` are 1-D block arrays of matching
+    extents.
+    """
+    if len(A.global_shape) != 2:
+        raise ValueError("A must be a matrix")
+    m, n = A.global_shape
+    if x.global_shape != (n,) or y.global_shape != (m,):
+        raise ValueError(
+            f"shape mismatch: A {A.global_shape}, x {x.global_shape}, y {y.global_shape}"
+        )
+    comm = A.comm
+    proc = current_process()
+    # Allgather the operand vector (internal HPF communication).
+    parts = comm.allgather(x.local.copy())
+    xfull = np.concatenate(parts)
+    proc.charge_mem(xfull.nbytes)
+    # Local row-block product.
+    rows = A.local_nd
+    y.local[:] = rows @ xfull
+    proc.charge_flops(2.0 * rows.shape[0] * rows.shape[1])
+
+
+def local_matvec_time(m: int, n: int, profile) -> float:
+    """Modelled time of a *sequential* in-client matvec (Figure 15's
+    alternative to using the server): 2mn flops at the profile's rate."""
+    return 2.0 * m * n * profile.gamma_flop

@@ -1,0 +1,31 @@
+"""HPF array-section region constructors (paper Figure 9)."""
+
+from __future__ import annotations
+
+from repro.core.region import SectionRegion
+from repro.distrib.section import Section
+
+__all__ = ["create_region_hpf", "hpf_section"]
+
+
+def create_region_hpf(
+    ndims: int,
+    lower: tuple[int, ...],
+    upper: tuple[int, ...],
+    stride: tuple[int, ...] | None = None,
+) -> SectionRegion:
+    """``CreateRegion_HPF(ndims, Rleft, Rright)`` with inclusive bounds.
+
+    The paper's example builds the source region of
+    ``B[50:100, 50:100]`` as ``CreateRegion_HPF(2, (50,50), (100,100))``
+    (Fortran inclusive upper bounds; zero- vs one-based indexing is up to
+    the caller's convention — this reproduction is zero-based throughout).
+    """
+    if not (len(lower) == len(upper) == ndims):
+        raise ValueError("lower/upper must have ndims entries")
+    return SectionRegion.from_bounds(tuple(lower), tuple(upper), stride)
+
+
+def hpf_section(slices: tuple[slice, ...], shape: tuple[int, ...]) -> SectionRegion:
+    """Region from Fortran-90-style triplet slices (Python syntax)."""
+    return SectionRegion(Section.from_slices(slices, shape))

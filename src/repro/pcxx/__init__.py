@@ -1,0 +1,17 @@
+"""pC++/Tulip analogue: distributed element collections.
+
+pC++ (Bodin, Beckman, Gannon et al.) is an object-parallel C++ dialect
+whose runtime, Tulip, manages *collections* of elements distributed over
+processor objects.  The paper reports that the Indiana group provided the
+Meta-Chaos interface functions for pC++ "in a few days" — this subpackage
+plays that role: a minimal but real distributed collection
+(:class:`~repro.pcxx.collection.DistributedCollection`) plus the adapter
+(:class:`~repro.pcxx.interface.PCxxAdapter`, registered as ``"pcxx"``),
+demonstrating that a fourth, structurally different library joins the
+framework by implementing the same small interface.
+"""
+
+from repro.pcxx.collection import DistributedCollection
+from repro.pcxx.interface import PCxxAdapter
+
+__all__ = ["DistributedCollection", "PCxxAdapter"]

@@ -1,0 +1,127 @@
+"""Distributed collections of elements (the pC++ data model).
+
+A collection distributes ``n`` elements over the ranks with a cyclic,
+block, or explicit layout (pC++ aligns collections to "processor object"
+grids; cyclic is its default for load balance).  Methods are invoked
+element-parallel, owner-computes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.distrib.cartesian import BLOCK, CYCLIC, CartesianDist, DimDist
+from repro.distrib.base import Distribution
+from repro.distrib.irregular import IrregularDist
+from repro.vmachine.comm import Communicator
+from repro.vmachine.process import current_process
+
+__all__ = ["DistributedCollection"]
+
+
+class DistributedCollection:
+    """One rank's slice of a distributed element collection."""
+
+    def __init__(self, comm: Communicator, dist: Distribution, local: np.ndarray):
+        if dist.nprocs != comm.size:
+            raise ValueError(
+                f"distribution spans {dist.nprocs} procs, communicator has {comm.size}"
+            )
+        expected = dist.local_size(comm.rank)
+        if local.size != expected:
+            raise ValueError(
+                f"rank {comm.rank}: local storage {local.size} != {expected}"
+            )
+        self.comm = comm
+        self.dist = dist
+        self.local = np.ascontiguousarray(local).reshape(-1)
+
+    @classmethod
+    def create(
+        cls,
+        comm: Communicator,
+        n: int,
+        layout: str = "cyclic",
+        owners: np.ndarray | None = None,
+        dtype=np.float64,
+    ) -> "DistributedCollection":
+        """Collection of ``n`` zero elements.
+
+        ``layout`` is ``"cyclic"`` (pC++ default), ``"block"``, or
+        ``"explicit"`` with an ``owners`` map.
+        """
+        if layout == "cyclic":
+            dist: Distribution = CartesianDist((DimDist(CYCLIC if comm.size > 1 else "collapsed", n, comm.size),))
+        elif layout == "block":
+            dist = CartesianDist((DimDist(BLOCK if comm.size > 1 else "collapsed", n, comm.size),))
+        elif layout == "explicit":
+            if owners is None:
+                raise ValueError("explicit layout needs an owners map")
+            dist = IrregularDist(owners, comm.size)
+        else:
+            raise ValueError(f"unknown layout {layout!r}")
+        return cls(comm, dist, np.zeros(dist.local_size(comm.rank), dtype=dtype))
+
+    @classmethod
+    def from_global(
+        cls, comm: Communicator, full: np.ndarray, layout: str = "cyclic",
+        owners: np.ndarray | None = None,
+    ) -> "DistributedCollection":
+        coll = cls.create(comm, len(full), layout, owners, dtype=full.dtype)
+        coll.local[:] = full[coll.my_globals()]
+        return coll
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.dist.size
+
+    @property
+    def global_shape(self) -> tuple[int, ...]:
+        return (self.dist.size,)
+
+    @property
+    def dtype(self):
+        return self.local.dtype
+
+    @property
+    def itemsize(self) -> int:
+        return self.local.dtype.itemsize
+
+    def my_globals(self) -> np.ndarray:
+        return self.dist.owned_global(self.comm.rank)
+
+    # -- element-parallel methods ---------------------------------------------------
+
+    def apply(self, fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+              flops_per_elem: float = 1.0) -> None:
+        """Element-parallel method invocation: ``e = fn(global_index, e)``."""
+        self.local[:] = fn(self.my_globals(), self.local)
+        current_process().charge_flops(flops_per_elem * self.local.size)
+
+    def reduce(self, op: Callable[[float, float], float], initial: float = 0.0) -> float:
+        """Collection-wide reduction (collective, returns on every rank)."""
+        import functools
+
+        local_val = functools.reduce(op, self.local.tolist(), initial)
+        current_process().charge_flops(self.local.size)
+        return self.comm.allreduce(local_val, op)
+
+    def gather_global(self) -> np.ndarray | None:
+        """Collect all elements on rank 0 (testing oracle)."""
+        pieces = self.comm.gather((self.comm.rank, self.local.copy()))
+        if pieces is None:
+            return None
+        out = np.zeros(self.size, dtype=self.dtype)
+        for rank, local in pieces:
+            out[self.dist.owned_global(rank)] = local
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedCollection(n={self.size}, "
+            f"rank={self.comm.rank}/{self.comm.size})"
+        )

@@ -1,0 +1,65 @@
+"""Meta-Chaos interface functions for pC++/Tulip (§4.1.3).
+
+Tulip dereferences an element through the collection's alignment objects
+— a virtual call and a few divisions, cheaper than a Chaos table lookup
+but costlier than raw block arithmetic.  The adapter charges a fixed
+multiple of the regular dereference rate to reflect that.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.registry import LibraryAdapter, register_adapter
+from repro.core.setofregions import SetOfRegions
+from repro.distrib.base import Distribution
+from repro.pcxx.collection import DistributedCollection
+from repro.vmachine.process import current_process
+
+__all__ = ["PCxxAdapter"]
+
+# Tulip element dereference ~ one virtual dispatch + alignment arithmetic.
+_TULIP_DEREF_FACTOR = 8.0
+
+
+class PCxxAdapter(LibraryAdapter):
+    """Interface functions for ``"pcxx"`` collections."""
+
+    name = "pcxx"
+
+    def dist_of(self, handle: Any) -> Distribution:
+        return handle.dist
+
+    def shape_of(self, handle: Any) -> tuple[int, ...]:
+        if isinstance(handle, DistributedCollection):
+            return handle.global_shape
+        return handle.shape
+
+    def local_data(self, array: Any) -> np.ndarray:
+        if not isinstance(array, DistributedCollection):
+            raise TypeError("a local DistributedCollection is required")
+        return array.local
+
+    def itemsize_of(self, handle: Any) -> int:
+        return handle.itemsize
+
+    def charge_deref(self, n: int) -> None:
+        proc = current_process()
+        proc.charge(n * _TULIP_DEREF_FACTOR * proc.cost.profile.deref_regular)
+
+    def local_elements(
+        self, handle: Any, sor: SetOfRegions, rank: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scan the region element list against the collection's layout."""
+        shape = self.shape_of(handle)
+        dist = self.dist_of(handle)
+        gidx = sor.global_flat(shape)
+        ranks, offsets = dist.owner_of_flat(gidx)
+        self.charge_deref(len(gidx))
+        mask = ranks == rank
+        return np.flatnonzero(mask).astype(np.int64), offsets[mask]
+
+
+register_adapter(PCxxAdapter())

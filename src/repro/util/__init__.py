@@ -1,0 +1,10 @@
+"""Cross-library utilities built on the Meta-Chaos core.
+
+- :mod:`repro.util.checkpoint` — gather/scatter any library's distributed
+  data through its *canonical form* (the virtual linearization), e.g. for
+  checkpointing, I/O staging, or feeding sequential tools.
+"""
+
+from repro.util.checkpoint import gather_canonical, scatter_canonical
+
+__all__ = ["gather_canonical", "scatter_canonical"]

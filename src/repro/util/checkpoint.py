@@ -1,0 +1,98 @@
+"""Canonical-form gather/scatter (checkpointing through the linearization).
+
+The paper's linearization "organizes data structures into a canonical
+form".  These helpers exploit exactly that: the elements of *any*
+registered library's SetOfRegions are collected onto one rank in
+linearization order (a dense 1-D buffer a checkpoint writer or sequential
+tool can use directly), or scattered back from such a buffer.
+
+Implementation: the root-side staging buffer is itself a distributed
+structure — a Chaos array whose translation table assigns every element to
+the root — so both operations are ordinary Meta-Chaos copies and inherit
+message aggregation, schedule symmetry, and cost accounting for free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chaos import ChaosArray
+from repro.core import (
+    IndexRegion,
+    ScheduleMethod,
+    SetOfRegions,
+    mc_compute_schedule,
+    mc_copy,
+    mc_new_set_of_regions,
+)
+from repro.vmachine.comm import Communicator
+
+__all__ = ["gather_canonical", "scatter_canonical"]
+
+
+def _staging(comm: Communicator, n: int, root: int, dtype) -> ChaosArray:
+    owners = np.full(n, root, dtype=np.int64)
+    staging = ChaosArray.zeros(comm, owners, dtype=dtype)
+    return staging
+
+
+def gather_canonical(
+    comm: Communicator,
+    lib: str,
+    array,
+    sor: SetOfRegions,
+    root: int = 0,
+    dtype=np.float64,
+) -> np.ndarray | None:
+    """Collect ``sor``'s elements on ``root`` in linearization order.
+
+    Collective.  Returns the dense canonical buffer on ``root`` and
+    ``None`` elsewhere.
+    """
+    n = sor.size
+    staging = _staging(comm, n, root, dtype)
+    sched = mc_compute_schedule(
+        comm,
+        lib, array, sor,
+        "chaos", staging, mc_new_set_of_regions(IndexRegion(np.arange(n))),
+        ScheduleMethod.COOPERATION,
+    )
+    mc_copy(comm, sched, array, staging)
+    return staging.local.copy() if comm.rank == root else None
+
+
+def scatter_canonical(
+    comm: Communicator,
+    values: np.ndarray | None,
+    lib: str,
+    array,
+    sor: SetOfRegions,
+    root: int = 0,
+) -> None:
+    """Distribute a canonical buffer from ``root`` into ``sor``'s elements.
+
+    Collective; ``values`` (length ``sor.size``, linearization order) is
+    only read on ``root``.
+    """
+    n = sor.size
+    if comm.rank == root:
+        values = np.asarray(values)
+        if values.shape != (n,):
+            raise ValueError(
+                f"canonical buffer has shape {values.shape}, expected ({n},)"
+            )
+        dtype = values.dtype
+    else:
+        dtype = np.float64
+    # Everyone must agree on the staging dtype.
+    dtype = comm.bcast(dtype, root=root)
+    staging = _staging(comm, n, root, dtype)
+    if comm.rank == root:
+        staging.local[:] = values
+    sched = mc_compute_schedule(
+        comm,
+        "chaos", staging, mc_new_set_of_regions(IndexRegion(np.arange(n))),
+        lib, array, sor,
+        ScheduleMethod.COOPERATION,
+    )
+    mc_copy(comm, sched, staging, array)

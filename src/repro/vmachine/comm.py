@@ -1,0 +1,453 @@
+"""Communicators: tagged point-to-point messaging plus collectives.
+
+A :class:`Communicator` spans an ordered group of virtual processors and
+gives each a local rank.  All collectives are implemented *on top of* the
+point-to-point layer (binomial trees, dissemination barrier, pairwise
+exchange), so their logical-clock cost emerges from the same cost model as
+application messaging instead of being special-cased.
+
+An :class:`InterComm` connects the processes of two different programs (the
+MPI inter-communicator analogue) and is what Meta-Chaos uses for the
+separate-program experiments (paper sections 5.2 and 5.4).
+
+.. warning:: The transport is **zero-copy**: the receiver gets a reference
+   to the very object that was sent.  As with any zero-copy messaging
+   layer, a sender must not mutate a payload after sending it (send a
+   ``.copy()`` when the buffer will be reused), and a receiver that plans
+   to mutate a payload in place should copy it first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.vmachine.message import ANY_TAG, Mailbox, Message, payload_nbytes
+from repro.vmachine.process import Process
+
+__all__ = ["Communicator", "InterComm", "Request"]
+
+# Tags >= _COLLECTIVE_TAG_BASE are reserved for internal collective traffic.
+_COLLECTIVE_TAG_BASE = 1 << 24
+# Default wall-clock receive timeout; converts SPMD deadlocks in buggy
+# application code into diagnosable failures.
+_RECV_TIMEOUT_S = 120.0
+
+
+class _Endpoint:
+    """Shared plumbing between intra- and inter-communicators."""
+
+    def __init__(
+        self,
+        process: Process,
+        router: dict[int, Mailbox],
+        context: int,
+        contention: float,
+    ):
+        self.process = process
+        self._router = router
+        self._context = context
+        self._contention = contention
+
+    # -- raw point-to-point (global-rank addressed) ------------------------
+
+    def _send_global(self, dest_global: int, payload: Any, tag: int) -> None:
+        proc = self.process
+        mailbox = self._router.get(dest_global)
+        if mailbox is None:
+            raise ValueError(f"no such rank {dest_global} on this machine")
+        nbytes = payload_nbytes(payload)
+        # Sender pays injection (occupancy); the payload becomes available
+        # one wire latency after injection completes.
+        proc.charge(proc.cost.send_occupancy(nbytes, self._contention))
+        arrival = proc.clock + proc.cost.post_injection_latency()
+        proc.stats["messages_sent"] += 1
+        proc.stats["bytes_sent"] += nbytes
+        if proc.trace is not None:
+            from repro.vmachine.trace import TraceEvent
+
+            proc.trace.append(
+                TraceEvent("send", proc.clock, proc.rank, dest_global,
+                           self._context + tag if tag != ANY_TAG else tag,
+                           nbytes)
+            )
+        mailbox.deliver(
+            Message(
+                source=proc.rank,
+                dest=dest_global,
+                tag=self._context + tag if tag != ANY_TAG else tag,
+                payload=payload,
+                arrival=arrival,
+                nbytes=nbytes,
+            )
+        )
+
+    def _recv_global(self, source_global: int, tag: int) -> Any:
+        proc = self.process
+        wire_tag = self._context + tag if tag != ANY_TAG else tag
+        msg = proc.mailbox.receive(source_global, wire_tag, timeout=_RECV_TIMEOUT_S)
+        wait = max(0.0, msg.arrival - proc.clock)
+        proc.advance_to(msg.arrival)
+        proc.charge(proc.cost.recv_overhead(msg.nbytes))
+        proc.stats["messages_received"] += 1
+        proc.stats["bytes_received"] += msg.nbytes
+        if proc.trace is not None:
+            from repro.vmachine.trace import TraceEvent
+
+            proc.trace.append(
+                TraceEvent("recv", proc.clock, proc.rank, source_global,
+                           wire_tag, msg.nbytes, wait)
+            )
+        return msg.payload
+
+
+class Request:
+    """Handle for a nonblocking operation.
+
+    Sends on this transport are buffered and eager, so a send request is
+    complete at creation.  A receive request defers the matching: the
+    payload only enters the program (and the clock only advances to the
+    arrival time) at :meth:`wait` — which is exactly what makes
+    computation/communication overlap visible in logical time.
+    """
+
+    __slots__ = ("_endpoint", "_source_global", "_tag", "_payload", "_done")
+
+    def __init__(self, endpoint=None, source_global=None, tag=None, payload=None,
+                 done=False):
+        self._endpoint = endpoint
+        self._source_global = source_global
+        self._tag = tag
+        self._payload = payload
+        self._done = done
+
+    def test(self) -> bool:
+        """True when :meth:`wait` would not block (never charges time)."""
+        if self._done:
+            return True
+        proc = self._endpoint.process
+        wire_tag = (
+            self._endpoint._context + self._tag
+            if self._tag != ANY_TAG
+            else self._tag
+        )
+        return proc.mailbox.probe(self._source_global, wire_tag)
+
+    def wait(self) -> Any:
+        """Complete the operation; returns the payload for receives."""
+        if self._done:
+            return self._payload
+        self._payload = self._endpoint._recv_global(self._source_global, self._tag)
+        self._done = True
+        return self._payload
+
+
+class Communicator(_Endpoint):
+    """Intra-program communicator over an ordered group of global ranks.
+
+    ``members[i]`` is the global rank of local rank ``i``.  All ranks in the
+    group must construct the communicator with the same ``members`` order
+    and ``context`` id (the :class:`~repro.vmachine.machine.VirtualMachine`
+    and :mod:`~repro.vmachine.program` helpers guarantee this).
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        members: list[int],
+        router: dict[int, Mailbox],
+        context: int = 0,
+        contention: float = 1.0,
+    ):
+        super().__init__(process, router, context, contention)
+        self.members = list(members)
+        if process.rank not in self.members:
+            raise ValueError(
+                f"process rank {process.rank} is not in communicator group {members}"
+            )
+        self.rank = self.members.index(process.rank)
+        self.size = len(self.members)
+        self._collective_seq = 0
+
+    # -- point-to-point ----------------------------------------------------
+
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        """Send ``payload`` to local rank ``dest``."""
+        self._check_rank(dest)
+        self._send_global(self.members[dest], payload, tag)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Receive a message from local rank ``source``."""
+        self._check_rank(source)
+        return self._recv_global(self.members[source], tag)
+
+    def sendrecv(
+        self, dest: int, payload: Any, source: int, send_tag: int = 0, recv_tag: int = 0
+    ) -> Any:
+        """Combined send+receive (deadlock-free pairwise exchange)."""
+        self.send(dest, payload, send_tag)
+        return self.recv(source, recv_tag)
+
+    def probe(self, source: int, tag: int = 0) -> bool:
+        """Non-blocking, zero-cost test for a pending matching message."""
+        self._check_rank(source)
+        wire_tag = self._context + tag if tag != ANY_TAG else tag
+        return self.process.mailbox.probe(self.members[source], wire_tag)
+
+    def recv_any(self, tag: int = 0) -> tuple[int, Any]:
+        """Receive from *any* group member (MPI_ANY_SOURCE).
+
+        Returns ``(source_local_rank, payload)``.  Matching is still
+        confined to this communicator's tag namespace, so wildcard
+        receives never steal another communicator's traffic.
+        """
+        proc = self.process
+        wire_tag = self._context + tag if tag != ANY_TAG else tag
+        from repro.vmachine.message import ANY_SOURCE
+
+        msg = proc.mailbox.receive(ANY_SOURCE, wire_tag, timeout=_RECV_TIMEOUT_S)
+        wait = max(0.0, msg.arrival - proc.clock)
+        proc.advance_to(msg.arrival)
+        proc.charge(proc.cost.recv_overhead(msg.nbytes))
+        proc.stats["messages_received"] += 1
+        proc.stats["bytes_received"] += msg.nbytes
+        if proc.trace is not None:
+            from repro.vmachine.trace import TraceEvent
+
+            proc.trace.append(
+                TraceEvent("recv", proc.clock, proc.rank, msg.source,
+                           wire_tag, msg.nbytes, wait)
+            )
+        return self.members.index(msg.source), msg.payload
+
+    def isend(self, dest: int, payload: Any, tag: int = 0) -> Request:
+        """Nonblocking send.  Buffered-eager: complete immediately."""
+        self.send(dest, payload, tag)
+        return Request(done=True)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Nonblocking receive: match and charge only at ``wait()``.
+
+        Work performed between ``irecv`` and ``wait`` overlaps the message
+        flight time — the classic latency-hiding pattern the inspector/
+        executor libraries of the era used.
+        """
+        self._check_rank(source)
+        return Request(self, self.members[source], tag)
+
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self.size:
+            raise ValueError(f"rank {r} out of range for communicator of size {self.size}")
+
+    # -- collectives -------------------------------------------------------
+
+    def _next_tag(self) -> int:
+        self._collective_seq += 1
+        return _COLLECTIVE_TAG_BASE + self._collective_seq
+
+    def barrier(self) -> None:
+        """Dissemination barrier: ceil(log2 P) rounds of pairwise messages."""
+        tag = self._next_tag()
+        if self.size == 1:
+            return
+        distance = 1
+        while distance < self.size:
+            dest = (self.rank + distance) % self.size
+            source = (self.rank - distance) % self.size
+            self.send(dest, None, tag)
+            self.recv(source, tag)
+            distance *= 2
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        """Binomial-tree broadcast; returns the payload on every rank."""
+        tag = self._next_tag()
+        if self.size == 1:
+            return payload
+        vrank = (self.rank - root) % self.size
+        # Phase 1: receive from parent (the rank that differs in my lowest
+        # set bit).  The root (vrank 0) never receives and exits the loop
+        # with mask = first power of two >= size.
+        mask = 1
+        while mask < self.size:
+            if vrank & mask:
+                parent = ((vrank - mask) + root) % self.size
+                payload = self.recv(parent, tag)
+                break
+            mask <<= 1
+        # Phase 2: forward to children vrank + m for each m below the bit at
+        # which we received (below the tree top, for the root).
+        mask >>= 1
+        while mask >= 1:
+            if vrank + mask < self.size:
+                child = ((vrank + mask) + root) % self.size
+                self.send(child, payload, tag)
+            mask >>= 1
+        return payload
+
+    def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
+        """Gather one payload from every rank at ``root`` (rank order)."""
+        tag = self._next_tag()
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = payload
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src, tag)
+            return out
+        self.send(root, payload, tag)
+        return None
+
+    def allgather(self, payload: Any) -> list[Any]:
+        """Gather at rank 0, then broadcast the full list."""
+        gathered = self.gather(payload, root=0)
+        return self.bcast(gathered, root=0)
+
+    def scatter(self, payloads: list[Any] | None, root: int = 0) -> Any:
+        """Scatter one element of ``payloads`` to each rank."""
+        tag = self._next_tag()
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise ValueError("scatter root needs one payload per rank")
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(dest, payloads[dest], tag)
+            return payloads[root]
+        return self.recv(root, tag)
+
+    def alltoall(self, payloads: list[Any]) -> list[Any]:
+        """Pairwise-exchange all-to-all; ``payloads[i]`` goes to rank ``i``.
+
+        ``None`` entries are still exchanged (they cost one small message);
+        use :meth:`alltoall_sparse` to skip empty pairs — the distinction
+        matters for the message-count accounting in the benchmarks.
+        """
+        if len(payloads) != self.size:
+            raise ValueError("alltoall needs one payload per rank")
+        tag = self._next_tag()
+        result: list[Any] = [None] * self.size
+        result[self.rank] = payloads[self.rank]
+        for step in range(1, self.size):
+            dest = (self.rank + step) % self.size
+            source = (self.rank - step) % self.size
+            result[source] = self.sendrecv(dest, payloads[dest], source, tag, tag)
+        return result
+
+    def alltoall_sparse(self, payloads: dict[int, Any]) -> dict[int, Any]:
+        """All-to-all that only sends to ranks present in ``payloads``.
+
+        Every rank must call it.  A preliminary allgather of destination
+        sets tells each rank how many messages to expect; then only the
+        non-empty pairs exchange data.  This is how Meta-Chaos data moves
+        send at most one message per communicating processor pair.
+        """
+        dests = sorted(payloads.keys())
+        for d in dests:
+            self._check_rank(d)
+        all_dests = self.allgather(dests)
+        tag = self._next_tag()
+        incoming = sorted(
+            src for src, their in enumerate(all_dests) if self.rank in their
+        )
+        result: dict[int, Any] = {}
+        # Self-delivery is free of messaging.
+        if self.rank in payloads:
+            result[self.rank] = payloads[self.rank]
+        for d in dests:
+            if d != self.rank:
+                self.send(d, payloads[d], tag)
+        for src in incoming:
+            if src != self.rank:
+                result[src] = self.recv(src, tag)
+        return result
+
+    def scan(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        """Inclusive prefix reduction: rank r gets op-fold of ranks 0..r.
+
+        Linear pipeline (rank r receives the prefix from r-1, folds, and
+        forwards) — the latency chain is the realistic cost of a scan on
+        a message-passing machine without special hardware.
+        """
+        tag = self._next_tag()
+        acc = value
+        if self.rank > 0:
+            prefix = self.recv(self.rank - 1, tag)
+            acc = op(prefix, value)
+        if self.rank < self.size - 1:
+            self.send(self.rank + 1, acc, tag)
+        return acc
+
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """Partition the communicator by ``color`` (collective).
+
+        Ranks passing the same color form a new communicator, ordered by
+        ``key`` (default: current rank).  Mirrors ``MPI_Comm_split``; used
+        by applications that carve worker subsets out of a program.
+        """
+        if key is None:
+            key = self.rank
+        triples = self.allgather((color, key, self.members[self.rank]))
+        mine = sorted(
+            (k, g) for c, k, g in triples if c == color
+        )
+        members = [g for _, g in mine]
+        # Deterministic context offset shared by the group: derived from
+        # the color, this communicator's context, and the collective epoch
+        # (so repeated splits never share a tag namespace).
+        new_context = self._context + ((color + 1) << 25) + (self._collective_seq << 13)
+        return Communicator(
+            self.process, members, self._router,
+            context=new_context, contention=self._contention,
+        )
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Any:
+        """Tree reduction with a user-supplied associative ``op``."""
+        gathered = self.gather(value, root=root)
+        if self.rank != root:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        reduced = self.reduce(value, op, root=0)
+        return self.bcast(reduced, root=0)
+
+
+class InterComm(_Endpoint):
+    """Connects the processes of two programs (local group vs remote group).
+
+    Ranks passed to :meth:`send`/:meth:`recv` are *remote-group* local
+    ranks, mirroring MPI inter-communicator semantics.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        local_members: list[int],
+        remote_members: list[int],
+        router: dict[int, Mailbox],
+        context: int,
+        contention: float = 1.0,
+    ):
+        super().__init__(process, router, context, contention)
+        self.local_members = list(local_members)
+        self.remote_members = list(remote_members)
+        if process.rank not in self.local_members:
+            raise ValueError(
+                f"process rank {process.rank} is not in local group {local_members}"
+            )
+        self.rank = self.local_members.index(process.rank)
+        self.local_size = len(self.local_members)
+        self.remote_size = len(self.remote_members)
+
+    def send(self, dest_remote: int, payload: Any, tag: int = 0) -> None:
+        """Send to local rank ``dest_remote`` of the *remote* group."""
+        if not 0 <= dest_remote < self.remote_size:
+            raise ValueError(f"remote rank {dest_remote} out of range")
+        self._send_global(self.remote_members[dest_remote], payload, tag)
+
+    def recv(self, source_remote: int, tag: int = 0) -> Any:
+        """Receive from local rank ``source_remote`` of the *remote* group."""
+        if not 0 <= source_remote < self.remote_size:
+            raise ValueError(f"remote rank {source_remote} out of range")
+        return self._recv_global(self.remote_members[source_remote], tag)

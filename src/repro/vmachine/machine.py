@@ -1,0 +1,184 @@
+"""SPMD execution on the virtual machine.
+
+:class:`VirtualMachine` spawns one thread per virtual processor, binds a
+:class:`~repro.vmachine.process.Process` to each, hands every rank a world
+:class:`~repro.vmachine.comm.Communicator`, and joins the threads.  An
+exception on any rank closes every mailbox (so blocked receives fail fast
+rather than deadlock) and is re-raised on the host thread as
+:class:`SPMDError` with per-rank tracebacks.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.vmachine.comm import Communicator
+from repro.vmachine.cost_model import CostModel, IBM_SP2, MachineProfile
+from repro.vmachine.message import Mailbox
+from repro.vmachine.process import Process
+from repro.vmachine.timing import TimingReport, merge_timings
+
+__all__ = ["VirtualMachine", "SPMDResult", "RankError", "SPMDError"]
+
+# Context-id spacing between communicators; user+collective tags stay below.
+CONTEXT_STRIDE = 1 << 32
+
+
+@dataclass
+class RankError:
+    """Captured failure of one rank."""
+
+    rank: int
+    exception: BaseException
+    formatted: str
+
+
+class SPMDError(RuntimeError):
+    """One or more ranks raised; carries every rank's traceback."""
+
+    def __init__(self, errors: list[RankError]):
+        self.errors = errors
+        chunks = [f"{len(errors)} rank(s) failed:"]
+        for e in errors:
+            chunks.append(f"--- rank {e.rank} ---\n{e.formatted}")
+        super().__init__("\n".join(chunks))
+
+
+@dataclass
+class SPMDResult:
+    """Outcome of one SPMD run."""
+
+    values: list[Any]
+    clocks: list[float]
+    timings: list[TimingReport]
+    stats: list[dict[str, float]]
+    #: per-rank message traces (populated when the run traced messages)
+    traces: list[list] = field(default_factory=list)
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Logical elapsed time of the run: the slowest rank's clock."""
+        return max(self.clocks) * 1e3 if self.clocks else 0.0
+
+    @property
+    def merged_timing(self) -> TimingReport:
+        """Per-phase times merged across ranks (max per phase)."""
+        return merge_timings(self.timings, how="max")
+
+    def total_stat(self, key: str) -> float:
+        """Sum of one counter (e.g. ``messages_sent``) across all ranks."""
+        return sum(s.get(key, 0.0) for s in self.stats)
+
+
+class VirtualMachine:
+    """A fixed-size virtual distributed-memory machine.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of virtual processors.
+    profile:
+        Cost-model calibration (defaults to the IBM SP2 used for the
+        paper's Tables 1-5).
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        profile: MachineProfile = IBM_SP2,
+        trace: bool = False,
+        check_leaks: bool = True,
+    ):
+        if nprocs < 1:
+            raise ValueError("need at least one virtual processor")
+        self.nprocs = nprocs
+        self.profile = profile
+        self.cost_model = CostModel(profile)
+        self.trace = trace
+        #: fail the run if any message is delivered but never received
+        self.check_leaks = check_leaks
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> SPMDResult:
+        """Run ``fn(comm, *args, **kwargs)`` on every rank and collect results.
+
+        ``fn`` receives the world communicator as its first argument; the
+        ambient :class:`Process` is reachable as ``comm.process`` or via
+        :func:`~repro.vmachine.process.current_process`.
+        """
+        router: dict[int, Mailbox] = {}
+        processes = [Process(r, self.nprocs, self.cost_model) for r in range(self.nprocs)]
+        for p in processes:
+            router[p.rank] = p.mailbox
+            if self.trace:
+                p.trace = []
+
+        members = list(range(self.nprocs))
+        contention = self.profile.contention_factor(self.nprocs)
+        values: list[Any] = [None] * self.nprocs
+        errors: list[RankError] = []
+        errors_lock = threading.Lock()
+
+        def worker(proc: Process) -> None:
+            proc.bind()
+            try:
+                comm = Communicator(
+                    proc, members, router, context=0, contention=contention
+                )
+                values[proc.rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported to host
+                with errors_lock:
+                    errors.append(
+                        RankError(proc.rank, exc, traceback.format_exc())
+                    )
+                # Unblock every other rank waiting on a receive.
+                for mb in router.values():
+                    mb.close()
+            finally:
+                proc.unbind()
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(p,), name=f"vproc-{p.rank}", daemon=True
+            )
+            for p in processes
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if errors:
+            errors.sort(key=lambda e: e.rank)
+            raise SPMDError(errors)
+
+        # A correct SPMD program consumes every message it sends; leftovers
+        # mean mismatched sends/receives (a silent protocol bug).
+        if self.check_leaks:
+            leaked = {
+                p.rank: p.mailbox.pending()
+                for p in processes
+                if p.mailbox.pending()
+            }
+            if leaked:
+                raise SPMDError(
+                    [
+                        RankError(
+                            rank,
+                            RuntimeError("unconsumed messages"),
+                            f"rank {rank}: {n} message(s) were delivered "
+                            "but never received (mismatched send/recv)",
+                        )
+                        for rank, n in sorted(leaked.items())
+                    ]
+                )
+
+        return SPMDResult(
+            values=values,
+            clocks=[p.clock for p in processes],
+            timings=[p.timer.report for p in processes],
+            stats=[p.stats for p in processes],
+            traces=[p.trace if p.trace is not None else [] for p in processes],
+        )

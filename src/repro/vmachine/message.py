@@ -1,0 +1,130 @@
+"""Messages and per-rank mailboxes.
+
+A :class:`Mailbox` is the receive side of one virtual processor.  Senders
+append :class:`Message` envelopes; the receiver blocks until a message
+matching ``(source, tag)`` is available.  Matching supports the usual MPI
+wildcards (:data:`ANY_SOURCE`, :data:`ANY_TAG`) and preserves pairwise FIFO
+order: two messages from the same source with the same tag are received in
+the order they were sent.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Mailbox", "payload_nbytes"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Best-effort size in bytes of a message payload.
+
+    NumPy arrays report their buffer size; tuples/lists/dicts are sized
+    recursively; everything else is charged a small fixed envelope.  The
+    size feeds the cost model only — it does not have to be exact, just
+    monotone in the real data volume.
+    """
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (tuple, list)):
+        return 8 + sum(payload_nbytes(item) for item in payload)
+    if isinstance(payload, dict):
+        return 8 + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items()
+        )
+    if isinstance(payload, (int, float, bool)) or payload is None:
+        return 8
+    if isinstance(payload, str):
+        return len(payload)
+    # Opaque object: charge an envelope. Schedules and descriptors define
+    # their own nbytes property so they do not land here.
+    return 64
+
+
+@dataclass
+class Message:
+    """One in-flight message envelope."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    #: logical time at which the payload is available at the receiver
+    arrival: float
+    #: payload size used for cost accounting
+    nbytes: int = field(default=0)
+
+    def matches(self, source: int, tag: int) -> bool:
+        return (source == ANY_SOURCE or source == self.source) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+
+class Mailbox:
+    """Blocking, condition-variable based receive queue for one rank."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._messages: deque[Message] = deque()
+        self._closed = False
+
+    def deliver(self, message: Message) -> None:
+        """Called by the sender thread to enqueue a message."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError(
+                    f"mailbox of rank {self.rank} is closed; "
+                    f"late message from rank {message.source}"
+                )
+            self._messages.append(message)
+            self._cond.notify_all()
+
+    def receive(self, source: int, tag: int, timeout: float | None = None) -> Message:
+        """Block until a message matching ``(source, tag)`` arrives.
+
+        Raises ``TimeoutError`` after ``timeout`` wall-clock seconds, which
+        turns an SPMD deadlock into a diagnosable test failure instead of a
+        hung process.
+        """
+        with self._cond:
+            while True:
+                for i, msg in enumerate(self._messages):
+                    if msg.matches(source, tag):
+                        del self._messages[i]
+                        return msg
+                if self._closed:
+                    raise RuntimeError(
+                        f"rank {self.rank}: receive(source={source}, tag={tag}) "
+                        "on a closed mailbox"
+                    )
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"rank {self.rank}: receive(source={source}, tag={tag}) "
+                        f"timed out after {timeout}s "
+                        f"({len(self._messages)} unmatched message(s) pending)"
+                    )
+
+    def probe(self, source: int, tag: int) -> bool:
+        """Non-blocking test for a matching pending message."""
+        with self._lock:
+            return any(m.matches(source, tag) for m in self._messages)
+
+    def pending(self) -> int:
+        """Number of undelivered messages (used by leak checks in tests)."""
+        with self._lock:
+            return len(self._messages)
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,118 @@
+"""Virtual processor context.
+
+Each SPMD rank executes in its own thread with a :class:`Process` object as
+its identity: global rank, logical clock, mailbox, cost model and phase
+timer.  Library code retrieves the ambient process via
+:func:`current_process`, so application kernels read like ordinary SPMD
+code (``comm.rank``, ``comm.send(...)``) without threading machinery
+leaking through.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.vmachine.cost_model import CostModel
+from repro.vmachine.message import Mailbox
+from repro.vmachine.timing import PhaseTimer
+
+__all__ = ["Process", "current_process"]
+
+_tls = threading.local()
+
+
+def current_process() -> "Process":
+    """The :class:`Process` bound to the calling thread.
+
+    Raises ``RuntimeError`` outside of a :class:`~repro.vmachine.machine.
+    VirtualMachine` run — catching accidental use of distributed APIs from
+    the driving (host) thread.
+    """
+    proc = getattr(_tls, "process", None)
+    if proc is None:
+        raise RuntimeError(
+            "no virtual process bound to this thread; distributed calls are "
+            "only valid inside VirtualMachine.run()"
+        )
+    return proc
+
+
+class Process:
+    """State of one virtual processor.
+
+    The *logical clock* (``self.clock``, seconds) is the process's notion of
+    elapsed time.  All charges go through :meth:`charge`/:meth:`advance_to`
+    so the phase timer sees a consistent view.
+    """
+
+    def __init__(self, rank: int, nprocs: int, cost_model: CostModel):
+        self.rank = rank
+        self.nprocs = nprocs
+        self.cost = cost_model
+        self.clock = 0.0
+        self.mailbox = Mailbox(rank)
+        self.timer = PhaseTimer(lambda: self.clock)
+        #: counters useful for invariant checks in tests/benchmarks
+        self.stats: dict[str, float] = {
+            "messages_sent": 0,
+            "messages_received": 0,
+            "bytes_sent": 0,
+            "bytes_received": 0,
+        }
+        #: free-form per-rank scratch for application code
+        self.env: dict[str, Any] = {}
+        #: message trace (list of TraceEvent) when tracing is enabled
+        self.trace: list | None = None
+
+    # -- clock management --------------------------------------------------
+
+    def charge(self, seconds: float) -> None:
+        """Advance the logical clock by a cost-model duration."""
+        if seconds < 0:
+            raise ValueError(f"negative charge {seconds}")
+        self.clock += seconds
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute logical time ``t`` (no-op if
+        already past it) — used when a receive waits for a message that has
+        not yet 'arrived' in logical time."""
+        if t > self.clock:
+            self.clock = t
+
+    # -- convenience charge helpers ---------------------------------------
+
+    def charge_flops(self, n: float) -> None:
+        self.charge(self.cost.flops(n))
+
+    def charge_mem(self, nbytes: float) -> None:
+        self.charge(self.cost.mem(nbytes))
+
+    def charge_deref_irregular(self, nelems: float) -> None:
+        self.charge(self.cost.deref_irregular(nelems))
+
+    def charge_deref_regular(self, nelems: float) -> None:
+        self.charge(self.cost.deref_regular(nelems))
+
+    def charge_hash(self, nrefs: float) -> None:
+        self.charge(self.cost.hash_refs(nrefs))
+
+    def charge_pack(self, nelems: float) -> None:
+        self.charge(self.cost.pack(nelems))
+
+    def charge_locate(self, nruns: float, nelems: float) -> None:
+        self.charge(self.cost.locate(nruns, nelems))
+
+    def charge_startup(self) -> None:
+        self.charge(self.cost.startup())
+
+    # -- thread binding ----------------------------------------------------
+
+    def bind(self) -> None:
+        _tls.process = self
+
+    def unbind(self) -> None:
+        _tls.process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process(rank={self.rank}/{self.nprocs}, clock={self.clock * 1e3:.3f}ms)"

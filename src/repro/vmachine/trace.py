@@ -1,0 +1,102 @@
+"""Message tracing and communication analysis.
+
+Pass ``trace=True`` to :class:`~repro.vmachine.machine.VirtualMachine` (or
+``repro.vmachine.program.run_programs``) and every rank records a
+:class:`TraceEvent` per message send/receive, with logical timestamps and
+receive wait times.  The helpers here turn those event streams into the
+communication summaries performance work actually uses:
+
+- :func:`message_matrix` — bytes (or message counts) per (source,
+  destination) rank pair;
+- :func:`rank_activity` — per-rank busy vs. blocked-receiving time;
+- :func:`format_timeline` — compact text timeline for debugging
+  choreography problems (who waited on whom, when).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TraceEvent", "message_matrix", "rank_activity", "format_timeline"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One message endpoint event on one rank."""
+
+    kind: str       # "send" | "recv"
+    time: float     # logical clock after the operation completed
+    rank: int       # the rank recording the event
+    peer: int       # global rank of the other endpoint
+    tag: int
+    nbytes: int
+    #: for "recv": logical seconds spent blocked before the message arrived
+    wait: float = 0.0
+
+
+def message_matrix(
+    traces: list[list[TraceEvent]], what: str = "bytes"
+) -> np.ndarray:
+    """P x P matrix of traffic from sends: entry [s, d].
+
+    ``what`` is ``"bytes"`` or ``"count"``.
+    """
+    nprocs = len(traces)
+    out = np.zeros((nprocs, nprocs), dtype=np.int64)
+    for events in traces:
+        for e in events:
+            if e.kind == "send":
+                out[e.rank, e.peer] += e.nbytes if what == "bytes" else 1
+    return out
+
+
+def rank_activity(
+    traces: list[list[TraceEvent]], clocks: list[float]
+) -> list[dict[str, float]]:
+    """Per-rank time budget: total, blocked-in-receive, and busy seconds."""
+    out = []
+    for events, total in zip(traces, clocks):
+        waited = sum(e.wait for e in events if e.kind == "recv")
+        out.append(
+            {
+                "total": total,
+                "blocked": waited,
+                "busy": max(0.0, total - waited),
+                "messages_sent": float(sum(1 for e in events if e.kind == "send")),
+                "messages_received": float(
+                    sum(1 for e in events if e.kind == "recv")
+                ),
+            }
+        )
+    return out
+
+
+def format_timeline(
+    traces: list[list[TraceEvent]], limit: int = 40, unit: float = 1e-3
+) -> str:
+    """Merge all ranks' events into one time-ordered text log.
+
+    ``unit`` scales timestamps (default: milliseconds).  Long traces are
+    truncated to the first ``limit`` events (communication bugs are
+    almost always visible at the start).
+    """
+    merged = sorted(
+        (e for events in traces for e in events), key=lambda e: (e.time, e.rank)
+    )
+    lines = []
+    for e in merged[:limit]:
+        if e.kind == "send":
+            arrow = f"{e.rank} -> {e.peer}"
+            extra = ""
+        else:
+            arrow = f"{e.rank} <- {e.peer}"
+            extra = f" (waited {e.wait / unit:.3f})" if e.wait > 0 else ""
+        lines.append(
+            f"{e.time / unit:10.3f}  {e.kind:<4} {arrow:>9}  "
+            f"tag={e.tag & 0xFFFF:<6} {e.nbytes:>8} B{extra}"
+        )
+    if len(merged) > limit:
+        lines.append(f"... {len(merged) - limit} more events")
+    return "\n".join(lines)

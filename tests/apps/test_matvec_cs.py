@@ -1,0 +1,64 @@
+"""Client/server matvec application tests (§5.4 machinery)."""
+
+import pytest
+
+from repro.apps.matvec_cs import run_client_server_matvec
+from repro.vmachine import ALPHA_FARM_ATM, IBM_SP2
+
+
+class TestScenario:
+    def test_phases_reported(self):
+        t = run_client_server_matvec(1, 4, n=64, nvectors=2)
+        assert t.sched_ms > 0
+        assert t.matrix_ms > 0
+        assert t.server_ms > 0
+        assert t.vector_ms >= 0
+        assert t.nvectors == 2
+        assert t.total_ms == pytest.approx(
+            t.sched_ms + t.matrix_ms + t.server_ms + t.vector_ms
+        )
+
+    def test_setup_amortized_over_vectors(self):
+        """Paper Figure 14: schedule+matrix fixed, vector+compute linear."""
+        t1 = run_client_server_matvec(1, 4, n=64, nvectors=1)
+        t5 = run_client_server_matvec(1, 4, n=64, nvectors=5)
+        assert t5.sched_ms == pytest.approx(t1.sched_ms, rel=0.05)
+        assert t5.matrix_ms == pytest.approx(t1.matrix_ms, rel=0.05)
+        assert t5.server_ms > 3 * t1.server_ms
+
+    def test_server_compute_shrinks_with_processes_then_comm_grows(self):
+        """Paper Figures 10-12: compute scales down with server processes,
+        but schedule time rises again past ~4 processes (all-to-all message
+        count plus ATM link contention)."""
+        t2 = run_client_server_matvec(1, 2, n=256, nvectors=1)
+        t4 = run_client_server_matvec(1, 4, n=256, nvectors=1)
+        t16 = run_client_server_matvec(1, 16, n=256, nvectors=1)
+        assert t16.server_ms < t2.server_ms
+        assert t16.sched_ms > t4.sched_ms
+
+    def test_parallel_client(self):
+        t = run_client_server_matvec(4, 4, n=64, nvectors=1)
+        assert t.total_ms > 0
+
+    def test_local_alternative_scales_with_vectors_and_client(self):
+        t1 = run_client_server_matvec(1, 4, n=128, nvectors=2)
+        t2 = run_client_server_matvec(2, 4, n=128, nvectors=2)
+        assert t1.local_alternative_ms == pytest.approx(
+            2 * t2.local_alternative_ms
+        )
+
+    def test_speedup_emerges_with_enough_vectors(self):
+        """Paper Figure 15: with enough multiplies by the same matrix, the
+        server path beats the sequential client."""
+        few = run_client_server_matvec(1, 8, n=512, nvectors=1,
+                                       profile=ALPHA_FARM_ATM)
+        many = run_client_server_matvec(1, 8, n=512, nvectors=20,
+                                        profile=ALPHA_FARM_ATM)
+        assert many.speedup_vs_local > few.speedup_vs_local
+        assert many.speedup_vs_local > 1.0
+
+    def test_profile_selectable(self):
+        a = run_client_server_matvec(1, 2, n=64, nvectors=1, profile=IBM_SP2)
+        b = run_client_server_matvec(1, 2, n=64, nvectors=1,
+                                     profile=ALPHA_FARM_ATM)
+        assert a.total_ms != b.total_ms

@@ -1,0 +1,97 @@
+"""Mesh generation and interface mapping tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.meshes import (
+    delaunay_mesh,
+    full_remap_mapping,
+    grid_mesh,
+    interface_mapping,
+)
+
+
+class TestGridMesh:
+    def test_structure(self):
+        m = grid_mesh(4, 5)
+        m.validate()
+        assert m.npoints == 20
+        # right + down + diagonal edges
+        assert m.nedges == 4 * 4 + 3 * 5 + 3 * 4
+
+    def test_no_self_edges(self):
+        m = grid_mesh(6, 6)
+        assert (m.ia != m.ib).all()
+
+    def test_coords_in_unit_square(self):
+        m = grid_mesh(5, 7)
+        assert m.coords.min() >= 0.0 and m.coords.max() <= 1.0
+
+
+class TestDelaunayMesh:
+    def test_structure(self):
+        m = delaunay_mesh(300, seed=1)
+        m.validate()
+        assert m.npoints == 300
+        # Planar triangulations: ~3n edges.
+        assert 2 * 300 < m.nedges < 3 * 300
+
+    def test_edges_unique_undirected(self):
+        m = delaunay_mesh(100, seed=2)
+        pairs = set(zip(m.ia.tolist(), m.ib.tolist()))
+        assert len(pairs) == m.nedges
+        assert (m.ia < m.ib).all()
+
+    def test_deterministic_by_seed(self):
+        a = delaunay_mesh(50, seed=3)
+        b = delaunay_mesh(50, seed=3)
+        np.testing.assert_array_equal(a.ia, b.ia)
+
+    def test_connected_degrees(self):
+        m = delaunay_mesh(200, seed=4)
+        deg = np.bincount(m.ia, minlength=200) + np.bincount(m.ib, minlength=200)
+        assert deg.min() >= 2  # every point participates
+
+
+class TestFullRemapMapping:
+    def test_identity(self):
+        irreg, r1, r2 = full_remap_mapping((3, 4), 12)
+        np.testing.assert_array_equal(irreg, np.arange(12))
+        np.testing.assert_array_equal(r1 * 4 + r2, np.arange(12))
+
+    def test_permuted(self):
+        irreg, r1, r2 = full_remap_mapping((3, 4), 12, seed=7)
+        assert sorted(irreg.tolist()) == list(range(12))
+        assert not np.array_equal(irreg, np.arange(12))
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            full_remap_mapping((3, 4), 13)
+
+
+class TestInterfaceMapping:
+    def test_only_strip_cells(self):
+        irreg, r1, r2 = interface_mapping((10, 8), 200, strip=2)
+        inside = (r1 >= 2) & (r1 < 8) & (r2 >= 2) & (r2 < 6)
+        assert not inside.any()
+
+    def test_distinct_nodes(self):
+        irreg, _, _ = interface_mapping((6, 6), 100, strip=1)
+        assert len(np.unique(irreg)) == len(irreg)
+
+    def test_too_small_mesh_rejected(self):
+        with pytest.raises(ValueError, match="larger"):
+            interface_mapping((10, 10), 5, strip=2)
+
+    @given(
+        n0=st.integers(3, 12),
+        n1=st.integers(3, 12),
+        strip=st.integers(1, 2),
+    )
+    def test_property_strip_count(self, n0, n1, strip):
+        irreg, r1, r2 = interface_mapping((n0, n1), n0 * n1 * 2, strip=strip)
+        inner0 = max(0, n0 - 2 * strip)
+        inner1 = max(0, n1 - 2 * strip)
+        assert len(r1) == n0 * n1 - inner0 * inner1

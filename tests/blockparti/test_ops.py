@@ -1,0 +1,95 @@
+"""Stencil sweep executor tests."""
+
+import numpy as np
+import pytest
+
+from repro.blockparti import (
+    BlockPartiArray,
+    build_ghost_schedule,
+    fill_block,
+    jacobi_sweep,
+)
+from repro.vmachine.machine import SPMDError
+
+from helpers import run_spmd
+
+G = np.random.default_rng(8).random((11, 13))
+
+
+def oracle_sweep(g, iterations=1):
+    out = g.copy()
+    for _ in range(iterations):
+        nxt = out.copy()
+        nxt[1:-1, 1:-1] = (
+            out[:-2, 1:-1] + out[2:, 1:-1] + out[1:-1, :-2] + out[1:-1, 2:]
+        )
+        out = nxt
+    return out
+
+
+class TestJacobiSweep:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 6, 9])
+    def test_single_sweep_matches_oracle(self, nprocs):
+        def spmd(comm):
+            a = BlockPartiArray.from_global(comm, G)
+            gs = build_ghost_schedule(a)
+            jacobi_sweep(a, gs)
+            return a.gather_global()
+
+        got = run_spmd(nprocs, spmd).values[0]
+        np.testing.assert_allclose(got, oracle_sweep(G))
+
+    def test_iterated_sweeps(self):
+        def spmd(comm):
+            a = BlockPartiArray.from_global(comm, G)
+            gs = build_ghost_schedule(a)
+            for _ in range(4):
+                jacobi_sweep(a, gs)
+            return a.gather_global()
+
+        got = run_spmd(4, spmd).values[0]
+        np.testing.assert_allclose(got, oracle_sweep(G, iterations=4))
+
+    def test_boundary_rows_unchanged(self):
+        def spmd(comm):
+            a = BlockPartiArray.from_global(comm, G)
+            gs = build_ghost_schedule(a)
+            jacobi_sweep(a, gs)
+            return a.gather_global()
+
+        got = run_spmd(2, spmd).values[0]
+        np.testing.assert_allclose(got[0], G[0])
+        np.testing.assert_allclose(got[-1], G[-1])
+        np.testing.assert_allclose(got[:, 0], G[:, 0])
+        np.testing.assert_allclose(got[:, -1], G[:, -1])
+
+    def test_charges_flops(self):
+        def spmd(comm):
+            a = BlockPartiArray.from_global(comm, G)
+            gs = build_ghost_schedule(a)
+            t0 = comm.process.clock
+            jacobi_sweep(a, gs)
+            return comm.process.clock - t0
+
+        assert all(v > 0 for v in run_spmd(2, spmd).values)
+
+    def test_1d_array_rejected(self):
+        def spmd(comm):
+            a = BlockPartiArray.zeros(comm, (10,))
+            gs = build_ghost_schedule(a)
+            jacobi_sweep(a, gs)
+
+        with pytest.raises(SPMDError, match="2-D"):
+            run_spmd(2, spmd)
+
+
+class TestFillBlock:
+    def test_refill_existing_array(self):
+        def spmd(comm):
+            a = BlockPartiArray.zeros(comm, (5, 4))
+            fill_block(a, lambda i, j: 1.0 * i * j)
+            return a.gather_global()
+
+        got = run_spmd(4, spmd).values[0]
+        ii, jj = np.meshgrid(np.arange(5), np.arange(4), indexing="ij")
+        np.testing.assert_allclose(got, 1.0 * ii * jj)

@@ -1,0 +1,191 @@
+"""Ghost-fill and native regular-section copy schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.blockparti import (
+    BlockPartiArray,
+    build_copy_schedule,
+    build_ghost_schedule,
+    parti_region,
+)
+from repro.distrib.section import Section
+from repro.vmachine.machine import SPMDError
+
+from helpers import run_spmd
+
+G = np.random.default_rng(6).random((12, 10))
+
+
+class TestGhostSchedule:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 6])
+    def test_ghosts_match_global_neighbors(self, nprocs):
+        def spmd(comm):
+            a = BlockPartiArray.from_global(comm, G)
+            gs = build_ghost_schedule(a)
+            ext = gs.exchange(a)
+            (l0, h0), (l1, h1) = a.owned_block()
+            ok = True
+            if l0 > 0:
+                ok &= bool(np.allclose(ext[0, 1 : 1 + (h1 - l1)], G[l0 - 1, l1:h1]))
+            if h0 < 12:
+                ok &= bool(np.allclose(ext[-1, 1 : 1 + (h1 - l1)], G[h0, l1:h1]))
+            if l1 > 0:
+                ok &= bool(np.allclose(ext[1 : 1 + (h0 - l0), 0], G[l0:h0, l1 - 1]))
+            if h1 < 10:
+                ok &= bool(np.allclose(ext[1 : 1 + (h0 - l0), -1], G[l0:h0, h1]))
+            return ok
+
+        assert all(run_spmd(nprocs, spmd).values)
+
+    def test_global_boundary_ghosts_zero(self):
+        def spmd(comm):
+            a = BlockPartiArray.from_global(comm, G)
+            gs = build_ghost_schedule(a)
+            ext = gs.exchange(a)
+            (l0, _), (l1, _) = a.owned_block()
+            checks = []
+            if l0 == 0:
+                checks.append(bool((ext[0] == 0).all()))
+            if l1 == 0:
+                checks.append(bool((ext[:, 0] == 0).all()))
+            return all(checks) if checks else True
+
+        assert all(run_spmd(4, spmd).values)
+
+    def test_width_two(self):
+        def spmd(comm):
+            a = BlockPartiArray.from_global(comm, G)
+            gs = build_ghost_schedule(a, width=2)
+            ext = gs.exchange(a)
+            (l0, h0), (l1, h1) = a.owned_block()
+            if l0 >= 2:
+                return bool(
+                    np.allclose(ext[0:2, 2 : 2 + (h1 - l1)], G[l0 - 2 : l0, l1:h1])
+                )
+            return True
+
+        assert all(run_spmd(2, spmd).values)
+
+    def test_exchange_is_snapshot(self):
+        # Mutating the array after exchange must not corrupt neighbors.
+        def spmd(comm):
+            a = BlockPartiArray.from_global(comm, G)
+            gs = build_ghost_schedule(a)
+            ext = gs.exchange(a)
+            a.local[:] = -1.0
+            ext2 = gs.exchange(a)
+            (l0, h0), (l1, h1) = a.owned_block()
+            if l0 > 0:
+                return bool((ext2[0, 1 : 1 + (h1 - l1)] == -1.0).all())
+            return True
+
+        assert all(run_spmd(3, spmd).values)
+
+    def test_message_count_one_per_face(self):
+        def spmd(comm):
+            a = BlockPartiArray.from_global(comm, G)
+            gs = build_ghost_schedule(a)
+            comm.barrier()
+            before = comm.process.stats["messages_sent"]
+            gs.exchange(a)
+            return comm.process.stats["messages_sent"] - before, len(gs.faces)
+
+        for sent, faces in run_spmd(4, spmd).values:
+            assert sent == faces
+
+
+class TestPartiCopySchedule:
+    def _oracle(self, src_slices, dst_shape, dst_slices):
+        out = np.zeros(dst_shape)
+        out[dst_slices] = G[src_slices]
+        return out
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 8])
+    def test_copy_matches_oracle(self, nprocs):
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, G)
+            B = BlockPartiArray.zeros(comm, (15, 15))
+            sched = build_copy_schedule(
+                A, parti_region((2, 1), (9, 8)), B, parti_region((5, 4), (12, 11))
+            )
+            sched.execute(A, B)
+            return B.gather_global()
+
+        got = run_spmd(nprocs, spmd).values[0]
+        expected = self._oracle(
+            (slice(2, 10), slice(1, 9)), (15, 15), (slice(5, 13), slice(4, 12))
+        )
+        np.testing.assert_allclose(got, expected)
+
+    def test_strided_sections(self):
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, G)
+            B = BlockPartiArray.zeros(comm, (6, 5))
+            src = parti_region((0, 0), (11, 9), (2, 2))
+            dst = parti_region((0, 0), (5, 4))
+            sched = build_copy_schedule(A, src, B, dst)
+            sched.execute(A, B)
+            return B.gather_global()
+
+        got = run_spmd(4, spmd).values[0]
+        np.testing.assert_allclose(got, G[0:12:2, 0:10:2])
+
+    def test_size_mismatch_rejected(self):
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, G)
+            B = BlockPartiArray.zeros(comm, (6, 5))
+            build_copy_schedule(
+                A, parti_region((0, 0), (3, 3)), B, parti_region((0, 0), (2, 2))
+            )
+
+        with pytest.raises(SPMDError, match="counts differ"):
+            run_spmd(2, spmd)
+
+    def test_schedule_reusable(self):
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, G)
+            B = BlockPartiArray.zeros(comm, (12, 10))
+            region = parti_region((0, 0), (11, 9))
+            sched = build_copy_schedule(A, region, B, region)
+            sched.execute(A, B)
+            A.local *= 3.0
+            sched.execute(A, B)
+            return B.gather_global()
+
+        got = run_spmd(3, spmd).values[0]
+        np.testing.assert_allclose(got, 3.0 * G)
+
+    def test_local_copy_uses_intermediate_buffer_charge(self):
+        """Parti stages self-transfers through a buffer (paper §5.3):
+        at P=1 the copy still costs two packing passes."""
+
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, G)
+            B = BlockPartiArray.zeros(comm, (12, 10))
+            region = parti_region((0, 0), (11, 9))
+            sched = build_copy_schedule(A, region, B, region)
+            t0 = comm.process.clock
+            sched.execute(A, B)
+            return comm.process.clock - t0
+
+        elapsed = run_spmd(1, spmd).values[0]
+        pack = 120 * 350e-9  # one pass over 120 elements on the SP2 profile
+        assert elapsed >= 2 * pack * 0.99
+
+    def test_aggregation_one_message_per_pair(self):
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, G)
+            B = BlockPartiArray.zeros(comm, (12, 10))
+            region = parti_region((0, 0), (11, 9))
+            sched = build_copy_schedule(A, region, B, region)
+            comm.barrier()
+            before = comm.process.stats["messages_sent"]
+            sched.execute(A, B)
+            sent = comm.process.stats["messages_sent"] - before
+            partners = len(
+                [d for d, v in sched.sends.items() if len(v) and d != comm.rank]
+            )
+            return sent == partners
+
+        assert all(run_spmd(4, spmd).values)

@@ -1,0 +1,77 @@
+"""ChaosArray tests."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosArray, TranslationTable
+from repro.vmachine.machine import SPMDError
+
+from helpers import run_spmd
+
+N = 50
+VALUES = np.random.default_rng(13).random(N)
+OWNERS = np.random.default_rng(14).integers(0, 4, N)
+
+
+class TestConstruction:
+    def test_zeros_partition(self):
+        def spmd(comm):
+            a = ChaosArray.zeros(comm, OWNERS % comm.size)
+            return a.local.size
+
+        assert sum(run_spmd(4, spmd).values) == N
+
+    def test_from_global_roundtrip(self):
+        def spmd(comm):
+            a = ChaosArray.from_global(comm, VALUES, OWNERS % comm.size)
+            return a.gather_global()
+
+        for p in (1, 2, 4):
+            np.testing.assert_allclose(run_spmd(p, spmd).values[0], VALUES)
+
+    def test_like_shares_table(self):
+        def spmd(comm):
+            a = ChaosArray.from_global(comm, VALUES, OWNERS % comm.size)
+            b = ChaosArray.like(a)
+            return b.table is a.table and (b.local == 0).all()
+
+        assert all(run_spmd(3, spmd).values)
+
+    def test_like_with_dtype(self):
+        def spmd(comm):
+            a = ChaosArray.zeros(comm, OWNERS % comm.size)
+            b = ChaosArray.like(a, dtype=np.int32)
+            return b.dtype == np.int32
+
+        assert all(run_spmd(2, spmd).values)
+
+    def test_local_storage_in_global_index_order(self):
+        def spmd(comm):
+            a = ChaosArray.from_global(comm, VALUES, OWNERS % comm.size)
+            mine = a.my_globals()
+            return bool(np.allclose(a.local, VALUES[mine]))
+
+        assert all(run_spmd(4, spmd).values)
+
+    def test_wrong_local_size_rejected(self):
+        def spmd(comm):
+            t = TranslationTable.from_owners(OWNERS % comm.size, comm.size)
+            ChaosArray(comm, t, np.zeros(N + 1))
+
+        with pytest.raises(SPMDError, match="local storage"):
+            run_spmd(2, spmd)
+
+    def test_table_size_mismatch_rejected(self):
+        def spmd(comm):
+            t = TranslationTable.from_owners(np.zeros(5, dtype=int), 1)
+            ChaosArray(comm, t, np.zeros(5))
+
+        with pytest.raises(SPMDError, match="spans"):
+            run_spmd(2, spmd)
+
+    def test_global_shape_and_itemsize(self):
+        def spmd(comm):
+            a = ChaosArray.zeros(comm, OWNERS % comm.size)
+            return (a.global_shape, a.itemsize, a.size)
+
+        assert run_spmd(2, spmd).values[0] == ((N,), 8, N)

@@ -1,0 +1,105 @@
+"""Unstructured edge-sweep executor tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.meshes import delaunay_mesh, grid_mesh
+from repro.chaos import ChaosArray, EdgeSweep, rcb_owners
+from repro.chaos.partition import block_owners, random_owners
+from repro.vmachine.machine import SPMDError
+
+from helpers import run_spmd
+
+MESH = grid_mesh(8, 8)
+X0 = np.random.default_rng(21).random(MESH.npoints)
+
+
+def oracle_edge_sweep(x, ia, ib, iterations=1):
+    y = np.zeros_like(x)
+    for _ in range(iterations):
+        flux = (x[ia] + x[ib]) / 4.0
+        np.add.at(y, ia, flux)
+        np.add.at(y, ib, flux)
+    return y
+
+
+class TestEdgeSweep:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 6])
+    @pytest.mark.parametrize("partition", ["rcb", "block", "random"])
+    def test_matches_oracle(self, nprocs, partition):
+        def spmd(comm):
+            if partition == "rcb":
+                owners = rcb_owners(MESH.coords, comm.size)
+            elif partition == "block":
+                owners = block_owners(MESH.npoints, comm.size)
+            else:
+                owners = random_owners(MESH.npoints, comm.size, seed=3)
+            x = ChaosArray.from_global(comm, X0, owners)
+            y = ChaosArray.like(x)
+            eo = block_owners(MESH.nedges, comm.size)
+            mine = np.flatnonzero(eo == comm.rank)
+            sweep = EdgeSweep(x, MESH.ia[mine], MESH.ib[mine])
+            sweep.execute(x, y)
+            return y.gather_global()
+
+        got = run_spmd(nprocs, spmd).values[0]
+        np.testing.assert_allclose(got, oracle_edge_sweep(X0, MESH.ia, MESH.ib))
+
+    def test_repeated_execution(self):
+        def spmd(comm):
+            owners = rcb_owners(MESH.coords, comm.size)
+            x = ChaosArray.from_global(comm, X0, owners)
+            y = ChaosArray.like(x)
+            eo = block_owners(MESH.nedges, comm.size)
+            mine = np.flatnonzero(eo == comm.rank)
+            sweep = EdgeSweep(x, MESH.ia[mine], MESH.ib[mine])
+            for _ in range(3):
+                y.local[:] = 0.0
+                sweep.execute(x, y)
+                x.local[:] = y.local
+            return x.gather_global()
+
+        got = run_spmd(4, spmd).values[0]
+        expect = X0.copy()
+        for _ in range(3):
+            expect = oracle_edge_sweep(expect, MESH.ia, MESH.ib)
+        np.testing.assert_allclose(got, expect)
+
+    def test_mismatched_endpoint_arrays(self):
+        def spmd(comm):
+            owners = block_owners(MESH.npoints, comm.size)
+            x = ChaosArray.from_global(comm, X0, owners)
+            EdgeSweep(x, MESH.ia[:5], MESH.ib[:4])
+
+        with pytest.raises(SPMDError, match="same length"):
+            run_spmd(2, spmd)
+
+    def test_rcb_partition_communicates_less_than_random(self):
+        """Locality matters: RCB's halo (and message volume) is smaller."""
+        mesh = delaunay_mesh(400, seed=4)
+        x0 = np.random.default_rng(5).random(400)
+
+        def make(partition):
+            def spmd(comm):
+                owners = (
+                    rcb_owners(mesh.coords, comm.size)
+                    if partition == "rcb"
+                    else random_owners(mesh.npoints, comm.size, seed=6)
+                )
+                x = ChaosArray.from_global(comm, x0, owners)
+                y = ChaosArray.like(x)
+                eo = block_owners(mesh.nedges, comm.size)
+                mine = np.flatnonzero(eo == comm.rank)
+                # Edges also live where their endpoints live under RCB? No:
+                # keep edge distribution identical so only the halo differs.
+                sweep = EdgeSweep(x, mesh.ia[mine], mesh.ib[mine])
+                comm.barrier()
+                before = comm.process.stats["bytes_sent"]
+                sweep.execute(x, y)
+                return comm.process.stats["bytes_sent"] - before
+
+            return spmd
+
+        rcb_bytes = sum(run_spmd(4, make("rcb")).values)
+        rnd_bytes = sum(run_spmd(4, make("random")).values)
+        assert rcb_bytes < rnd_bytes

@@ -1,0 +1,100 @@
+"""Partitioner tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chaos.partition import block_owners, cyclic_owners, random_owners, rcb_owners
+
+
+class TestSimplePartitioners:
+    def test_block_contiguous(self):
+        o = block_owners(10, 3)
+        np.testing.assert_array_equal(o, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2])
+
+    def test_cyclic(self):
+        o = cyclic_owners(7, 3)
+        np.testing.assert_array_equal(o, [0, 1, 2, 0, 1, 2, 0])
+
+    def test_random_in_range_and_covering(self):
+        o = random_owners(100, 7, seed=1)
+        assert o.min() >= 0 and o.max() < 7
+        assert len(np.unique(o)) == 7  # every rank non-empty
+
+    def test_random_deterministic_by_seed(self):
+        np.testing.assert_array_equal(
+            random_owners(50, 4, seed=9), random_owners(50, 4, seed=9)
+        )
+        assert not np.array_equal(
+            random_owners(50, 4, seed=9), random_owners(50, 4, seed=10)
+        )
+
+
+class TestRCB:
+    @pytest.fixture
+    def coords(self):
+        return np.random.default_rng(20).random((200, 2))
+
+    def test_balanced_parts(self, coords):
+        for p in (2, 3, 4, 7, 8):
+            o = rcb_owners(coords, p)
+            counts = np.bincount(o, minlength=p)
+            assert counts.min() >= len(coords) // p - 2
+            assert counts.max() <= -(-len(coords) // p) + 2
+
+    def test_parts_are_spatially_coherent(self, coords):
+        """RCB parts have smaller bounding boxes than random parts."""
+        p = 4
+        o = rcb_owners(coords, p)
+        r = random_owners(len(coords), p, seed=0)
+
+        def mean_bbox_area(owners):
+            areas = []
+            for part in range(p):
+                pts = coords[owners == part]
+                span = pts.max(axis=0) - pts.min(axis=0)
+                areas.append(span[0] * span[1])
+            return np.mean(areas)
+
+        assert mean_bbox_area(o) < 0.6 * mean_bbox_area(r)
+
+    def test_single_part(self, coords):
+        o = rcb_owners(coords, 1)
+        assert (o == 0).all()
+
+    def test_1d_coords_rejected(self):
+        with pytest.raises(ValueError):
+            rcb_owners(np.zeros(10), 2)
+
+    def test_rcb_reduces_edge_cut_vs_random(self):
+        """The property that keeps the irregular sweep's halo small."""
+        from repro.apps.meshes import grid_mesh
+
+        mesh = grid_mesh(12, 12)
+        p = 4
+        o_rcb = rcb_owners(mesh.coords, p)
+        o_rand = random_owners(mesh.npoints, p, seed=2)
+
+        def edge_cut(owners):
+            return int(np.sum(owners[mesh.ia] != owners[mesh.ib]))
+
+        assert edge_cut(o_rcb) < 0.5 * edge_cut(o_rand)
+
+
+@given(n=st.integers(1, 200), p=st.integers(1, 8))
+def test_property_block_and_cyclic_are_balanced(n, p):
+    for fn in (block_owners, cyclic_owners):
+        o = fn(n, p)
+        counts = np.bincount(o, minlength=p)
+        assert counts.max() - counts.min() <= -(-n // p)
+
+
+@given(n=st.integers(2, 100), p=st.integers(1, 6), seed=st.integers(0, 5))
+def test_property_rcb_is_partition(n, p, seed):
+    coords = np.random.default_rng(seed).random((n, 2))
+    if p > n:
+        p = n
+    o = rcb_owners(coords, p)
+    assert o.min() >= 0 and o.max() < p
+    assert len(o) == n

@@ -1,0 +1,118 @@
+"""Redistribution (remap) and graph-partitioner tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.meshes import grid_mesh
+from repro.chaos import (
+    ChaosArray,
+    bfs_owners,
+    build_remap_schedule,
+    random_owners,
+    rcb_owners,
+    remap,
+)
+from repro.vmachine.machine import SPMDError
+
+from helpers import run_spmd
+
+N = 60
+VALUES = np.random.default_rng(50).random(N)
+
+
+class TestRemap:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4])
+    def test_values_preserved(self, nprocs):
+        old = random_owners(N, 8, seed=1)
+        new = random_owners(N, 8, seed=2)
+
+        def spmd(comm):
+            a = ChaosArray.from_global(comm, VALUES, old % comm.size)
+            b = remap(a, new % comm.size)
+            return b.gather_global()
+
+        got = run_spmd(nprocs, spmd).values[0]
+        np.testing.assert_allclose(got, VALUES)
+
+    def test_new_distribution_applied(self):
+        new = random_owners(N, 4, seed=3)
+
+        def spmd(comm):
+            a = ChaosArray.from_global(comm, VALUES, np.arange(N) % comm.size)
+            b = remap(a, new % comm.size)
+            return b.local.size
+
+        sizes = run_spmd(4, spmd).values
+        expected = np.bincount(new % 4, minlength=4)
+        assert sizes == expected.tolist()
+
+    def test_schedule_reuse(self):
+        new = random_owners(N, 3, seed=4)
+
+        def spmd(comm):
+            a = ChaosArray.from_global(comm, VALUES, np.arange(N) % comm.size)
+            sched, table = build_remap_schedule(a, new % comm.size)
+            b1 = remap(a, new % comm.size, sched, table)
+            a.local *= 2.0
+            b2 = remap(a, new % comm.size, sched, table)
+            return b1.gather_global(), b2.gather_global()
+
+        g1, g2 = run_spmd(3, spmd).values[0]
+        np.testing.assert_allclose(g1, VALUES)
+        np.testing.assert_allclose(g2, 2.0 * VALUES)
+
+    def test_wrong_owner_map_size(self):
+        def spmd(comm):
+            a = ChaosArray.from_global(comm, VALUES, np.arange(N) % comm.size)
+            remap(a, np.zeros(N + 1, dtype=np.int64))
+
+        with pytest.raises(SPMDError, match="owner map"):
+            run_spmd(2, spmd)
+
+    def test_remap_to_same_distribution_is_identity(self):
+        def spmd(comm):
+            owners = np.arange(N) % comm.size
+            a = ChaosArray.from_global(comm, VALUES, owners)
+            b = remap(a, owners)
+            return bool(np.allclose(a.local, b.local))
+
+        assert all(run_spmd(4, spmd).values)
+
+
+class TestBFSPartitioner:
+    MESH = grid_mesh(14, 14)
+
+    def test_balanced(self):
+        for p in (2, 3, 4, 7):
+            o = bfs_owners(self.MESH.npoints, self.MESH.ia, self.MESH.ib, p)
+            counts = np.bincount(o, minlength=p)
+            assert counts.sum() == self.MESH.npoints
+            assert counts.max() <= -(-self.MESH.npoints // p) + 1
+
+    def test_low_edge_cut(self):
+        p = 4
+        o = bfs_owners(self.MESH.npoints, self.MESH.ia, self.MESH.ib, p)
+        r = random_owners(self.MESH.npoints, p, seed=9)
+
+        def cut(owners):
+            return int(np.sum(owners[self.MESH.ia] != owners[self.MESH.ib]))
+
+        assert cut(o) < 0.5 * cut(r)
+
+    def test_single_part(self):
+        o = bfs_owners(10, np.array([0, 1]), np.array([1, 2]), 1)
+        assert (o == 0).all()
+
+    def test_disconnected_points_assigned(self):
+        # Point 4 has no edges at all.
+        o = bfs_owners(5, np.array([0, 1, 2]), np.array([1, 2, 3]), 2)
+        assert o.min() >= 0 and len(o) == 5
+
+    def test_invalid_nparts(self):
+        with pytest.raises(ValueError):
+            bfs_owners(5, np.zeros(0, dtype=int), np.zeros(0, dtype=int), 0)
+
+    def test_deterministic(self):
+        a = bfs_owners(self.MESH.npoints, self.MESH.ia, self.MESH.ib, 4, seed=5)
+        b = bfs_owners(self.MESH.npoints, self.MESH.ia, self.MESH.ib, 4, seed=5)
+        np.testing.assert_array_equal(a, b)

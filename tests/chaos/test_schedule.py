@@ -1,0 +1,159 @@
+"""Chaos inspector/executor schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    ChaosArray,
+    TranslationTable,
+    build_chaos_copy_schedule,
+    build_gather_schedule,
+)
+from repro.vmachine import IBM_SP2
+
+from helpers import run_spmd
+
+N = 60
+VALUES = np.random.default_rng(15).random(N)
+OWNERS = np.random.default_rng(16).integers(0, 4, N)
+REFS = np.random.default_rng(17).integers(0, N, 150)
+
+
+class TestGatherSchedule:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4])
+    def test_gather_resolves_all_references(self, nprocs):
+        def spmd(comm):
+            a = ChaosArray.from_global(comm, VALUES, OWNERS % comm.size)
+            myrefs = REFS[comm.rank :: comm.size]
+            sched, local = build_gather_schedule(a, myrefs)
+            buf = sched.gather(a)
+            return bool(np.allclose(buf[local], VALUES[myrefs]))
+
+        assert all(run_spmd(nprocs, spmd).values)
+
+    def test_scatter_add_accumulates_to_owners(self):
+        def spmd(comm):
+            a = ChaosArray.from_global(comm, VALUES, OWNERS % comm.size)
+            y = ChaosArray.like(a)
+            myrefs = REFS[comm.rank :: comm.size]
+            sched, local = build_gather_schedule(a, myrefs)
+            contrib = np.zeros(a.local.size + sched.halo_size)
+            np.add.at(contrib, local, 1.0)  # +1 per reference
+            sched.scatter_add(y, contrib)
+            return y.gather_global()
+
+        got = run_spmd(4, spmd).values[0]
+        expected = np.bincount(REFS, minlength=N).astype(float)
+        np.testing.assert_allclose(got, expected)
+
+    def test_dedup_derefs_unique_only(self):
+        """References are hashed and deduplicated before table lookup."""
+
+        def spmd(comm):
+            a = ChaosArray.from_global(comm, VALUES, OWNERS % comm.size)
+            refs = np.zeros(1000, dtype=np.int64)  # 1000 refs, 1 unique
+            t0 = comm.process.clock
+            build_gather_schedule(a, refs)
+            return comm.process.clock - t0
+
+        elapsed = run_spmd(1, spmd).values[0]
+        # 1000 hashes + 1 deref, NOT 1000 derefs
+        assert elapsed < 1000 * IBM_SP2.hash_ref + 20 * IBM_SP2.deref
+
+    def test_gather_message_aggregation(self):
+        def spmd(comm):
+            a = ChaosArray.from_global(comm, VALUES, OWNERS % comm.size)
+            myrefs = REFS[comm.rank :: comm.size]
+            sched, _ = build_gather_schedule(a, myrefs)
+            comm.barrier()
+            before = comm.process.stats["messages_sent"]
+            sched.gather(a)
+            return comm.process.stats["messages_sent"] - before == len(sched.sends)
+
+        assert all(run_spmd(4, spmd).values)
+
+    def test_reusable_across_sweeps(self):
+        def spmd(comm):
+            a = ChaosArray.from_global(comm, VALUES, OWNERS % comm.size)
+            myrefs = REFS[comm.rank :: comm.size]
+            sched, local = build_gather_schedule(a, myrefs)
+            ok = True
+            for k in (1.0, 2.0, 5.0):
+                a.local[:] = k * VALUES[a.my_globals()]
+                buf = sched.gather(a)
+                ok &= bool(np.allclose(buf[local], k * VALUES[myrefs]))
+            return ok
+
+        assert all(run_spmd(3, spmd).values)
+
+
+class TestChaosCopySchedule:
+    PERM = np.random.default_rng(18).permutation(N)
+
+    def _build(self, comm):
+        src = ChaosArray.from_global(comm, VALUES, OWNERS % comm.size)
+        dst = ChaosArray.zeros(comm, (OWNERS + 1) % comm.size)
+        sched = build_chaos_copy_schedule(
+            comm, src.table, np.arange(N), dst.table, self.PERM
+        )
+        return src, dst, sched
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 4])
+    def test_copy_matches_oracle(self, nprocs):
+        def spmd(comm):
+            src, dst, sched = self._build(comm)
+            sched.execute(src.local, dst.local, comm)
+            return dst.gather_global()
+
+        got = run_spmd(nprocs, spmd).values[0]
+        expected = np.zeros(N)
+        expected[self.PERM] = VALUES
+        np.testing.assert_allclose(got, expected)
+
+    def test_reverse_restores(self):
+        def spmd(comm):
+            src, dst, sched = self._build(comm)
+            sched.execute(src.local, dst.local, comm)
+            back = ChaosArray.like(src)
+            sched.reverse().execute(dst.local, back.local, comm)
+            return back.gather_global()
+
+        np.testing.assert_allclose(run_spmd(3, spmd).values[0], VALUES)
+
+    def test_mapping_length_mismatch(self):
+        def spmd(comm):
+            src, dst, _ = self._build(comm)
+            build_chaos_copy_schedule(
+                comm, src.table, np.arange(5), dst.table, np.arange(6)
+            )
+
+        from repro.vmachine.machine import SPMDError
+
+        with pytest.raises(SPMDError, match="differ in length"):
+            run_spmd(2, spmd)
+
+    def test_copy_costs_more_than_metachaos(self):
+        """Paper §5.1: the Chaos copy pays an extra internal copy."""
+        import repro.chaos.interface  # noqa: F401
+        from helpers import index_sor
+
+        from repro.core import mc_compute_schedule, mc_copy
+
+        def spmd(comm):
+            src, dst, csched = self._build(comm)
+            t0 = comm.process.clock
+            csched.execute(src.local, dst.local, comm)
+            chaos_time = comm.process.clock - t0
+
+            msched = mc_compute_schedule(
+                comm,
+                "chaos", src, index_sor(np.arange(N)),
+                "chaos", dst, index_sor(self.PERM),
+            )
+            t0 = comm.process.clock
+            mc_copy(comm, msched, src, dst)
+            mc_time = comm.process.clock - t0
+            return chaos_time, mc_time
+
+        for chaos_time, mc_time in run_spmd(2, spmd).values:
+            assert chaos_time > mc_time

@@ -1,0 +1,168 @@
+"""Distributed CSR sparse matrix-vector tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.chaos import ChaosArray, DistributedCSR, random_owners, rcb_owners
+from repro.vmachine import IBM_SP2
+from repro.vmachine.machine import SPMDError
+
+from helpers import run_spmd
+
+N = 48
+A = sp.random(N, N, density=0.2, random_state=5, format="csr")
+XV = np.random.default_rng(110).random(N)
+DENSE = np.where(
+    np.random.default_rng(111).random((10, N)) > 0.6,
+    np.random.default_rng(112).random((10, N)),
+    0.0,
+)
+
+
+def _assemble(comm, rows, vals, n):
+    pieces = comm.gather((rows, vals))
+    if comm.rank != 0:
+        return None
+    y = np.zeros(n)
+    for r, v in pieces:
+        y[r] = v
+    return y
+
+
+class TestSpmv:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 6])
+    def test_matches_scipy(self, nprocs):
+        def spmd(comm):
+            x = ChaosArray.from_global(
+                comm, XV, random_owners(N, comm.size, seed=1) % comm.size
+            )
+            M = DistributedCSR.from_global(
+                comm, A, random_owners(N, comm.size, seed=2) % comm.size, x
+            )
+            return _assemble(comm, M.my_rows, M.spmv(x), N)
+
+        got = run_spmd(nprocs, spmd).values[0]
+        np.testing.assert_allclose(got, A @ XV)
+
+    def test_dense_input(self):
+        def spmd(comm):
+            x = ChaosArray.from_global(
+                comm, XV, random_owners(N, comm.size, seed=1) % comm.size
+            )
+            M = DistributedCSR.from_global(
+                comm, DENSE, random_owners(10, comm.size, seed=3) % comm.size, x
+            )
+            return _assemble(comm, M.my_rows, M.spmv(x), 10)
+
+        got = run_spmd(3, spmd).values[0]
+        np.testing.assert_allclose(got, DENSE @ XV)
+
+    def test_empty_rows_produce_zero(self):
+        mat = np.zeros((6, N))
+        mat[1] = 1.0
+        mat[4, ::2] = 2.0
+
+        def spmd(comm):
+            x = ChaosArray.from_global(
+                comm, XV, np.arange(N) % comm.size
+            )
+            M = DistributedCSR.from_global(
+                comm, mat, np.arange(6) % comm.size, x
+            )
+            return _assemble(comm, M.my_rows, M.spmv(x), 6)
+
+        got = run_spmd(2, spmd).values[0]
+        np.testing.assert_allclose(got, mat @ XV)
+        assert got[0] == 0.0 and got[2] == 0.0
+
+    def test_inspector_reused_across_spmv(self):
+        """The executor reuses the localized columns: repeated products
+        cost no further dereferences (only gather traffic + flops)."""
+
+        def spmd(comm):
+            x = ChaosArray.from_global(
+                comm, XV, random_owners(N, comm.size, seed=1) % comm.size
+            )
+            M = DistributedCSR.from_global(
+                comm, A, random_owners(N, comm.size, seed=2) % comm.size, x
+            )
+            M.spmv(x)  # warm
+            t0 = comm.process.clock
+            M.spmv(x)
+            executor_time = comm.process.clock - t0
+            # The executor must not pay table dereference rates.
+            assert executor_time < M.nnz_local * IBM_SP2.deref / 4 + 0.01
+            return True
+
+        assert all(run_spmd(4, spmd).values)
+
+    def test_spmv_iteration_converges(self):
+        """Power iteration on a stochastic matrix: a real Chaos-style
+        application loop (repeated spmv on the same schedule)."""
+        P_mat = np.random.default_rng(113).random((N, N))
+        P_mat /= P_mat.sum(axis=0, keepdims=True)  # column-stochastic
+
+        def spmd(comm):
+            owners = random_owners(N, comm.size, seed=4) % comm.size
+            x = ChaosArray.from_global(comm, np.ones(N) / N, owners)
+            M = DistributedCSR.from_global(comm, P_mat, owners, x)
+            for _ in range(12):
+                local = M.spmv(x)
+                # rows were partitioned with the same owners as x, so the
+                # result rows are exactly my x entries (ascending ids).
+                order = np.argsort(M.my_rows)
+                x.local[:] = local[order]
+            return x.gather_global()
+
+        got = run_spmd(4, spmd).values[0]
+        expect = np.ones(N) / N
+        for _ in range(12):
+            expect = P_mat @ expect
+        np.testing.assert_allclose(got, expect, rtol=1e-10)
+
+    def test_layout_mismatch_rejected(self):
+        def spmd(comm):
+            x = ChaosArray.from_global(comm, XV, np.arange(N) % comm.size)
+            M = DistributedCSR.from_global(comm, A, np.arange(N) % comm.size, x)
+            other = ChaosArray.from_global(
+                comm, XV, (np.arange(N) + 1) % comm.size
+            )
+            M.spmv(other)
+
+        with pytest.raises(SPMDError, match="layout"):
+            run_spmd(2, spmd)
+
+    def test_structure_validation(self):
+        def spmd(comm):
+            x = ChaosArray.from_global(comm, XV, np.arange(N) % comm.size)
+            DistributedCSR(
+                x, np.array([0]), np.array([0, 1, 2]), np.array([0]),
+                np.array([1.0]),
+            )
+
+        with pytest.raises(SPMDError, match="indptr"):
+            run_spmd(1, spmd)
+
+
+class TestWeightedRCB:
+    def test_weight_balance(self):
+        rng = np.random.default_rng(114)
+        coords = rng.random((300, 2))
+        weights = rng.integers(1, 20, 300).astype(float)
+        o = rcb_owners(coords, 6, weights)
+        loads = np.bincount(o, weights=weights, minlength=6)
+        assert loads.max() / loads.mean() < 1.2
+
+    def test_unit_weights_match_default(self):
+        coords = np.random.default_rng(115).random((100, 2))
+        np.testing.assert_array_equal(
+            rcb_owners(coords, 4), rcb_owners(coords, 4, np.ones(100))
+        )
+
+    def test_bad_weights_rejected(self):
+        coords = np.zeros((5, 2))
+        with pytest.raises(ValueError, match="one entry"):
+            rcb_owners(coords, 2, np.ones(4))
+        with pytest.raises(ValueError, match="nonnegative"):
+            rcb_owners(coords, 2, -np.ones(5))

@@ -1,0 +1,17 @@
+"""Pytest configuration: make ``tests.helpers`` importable and quiet down
+hypothesis' health checks for the (thread-spawning) SPMD property tests."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=25,
+)
+settings.load_profile("repro")

@@ -1,0 +1,78 @@
+"""Paper-shaped API wrapper tests (§4.2, Figure 9)."""
+
+import numpy as np
+import pytest
+
+import repro.hpf  # noqa: F401
+from repro.core import (
+    IndexRegion,
+    mc_add_region_to_set,
+    mc_compute_schedule,
+    mc_copy,
+    mc_data_move_recv,
+    mc_data_move_send,
+    mc_new_set_of_regions,
+)
+from repro.hpf import HPFArray, create_region_hpf
+
+from helpers import run_spmd
+
+
+class TestSetConstruction:
+    def test_new_set_empty(self):
+        sor = mc_new_set_of_regions()
+        assert sor.size == 0
+
+    def test_new_set_prefilled(self):
+        sor = mc_new_set_of_regions(IndexRegion(np.arange(3)), IndexRegion(np.arange(2)))
+        assert sor.size == 5
+
+    def test_add_region_to_set(self):
+        sor = mc_new_set_of_regions()
+        out = mc_add_region_to_set(IndexRegion(np.arange(4)), sor)
+        assert out is sor and sor.size == 4
+
+
+class TestFigure9Flow:
+    """The exact call sequence of the paper's Figure 9, in one program."""
+
+    def test_full_sequence(self):
+        def spmd(comm):
+            B = HPFArray.from_function(
+                comm, (20, 10), lambda i, j: 100.0 * i + j, ("block", "block")
+            )
+            A = HPFArray.distribute(comm, (5, 6), ("block", "block"))
+
+            src_region = create_region_hpf(2, (5, 2), (9, 7))
+            src_set = mc_new_set_of_regions()
+            mc_add_region_to_set(src_region, src_set)
+
+            dst_region = create_region_hpf(2, (0, 0), (4, 5))
+            dst_set = mc_new_set_of_regions()
+            mc_add_region_to_set(dst_region, dst_set)
+
+            sched = mc_compute_schedule(
+                comm, "hpf", B, src_set, "hpf", A, dst_set
+            )
+            # Within one program the send and receive halves can be driven
+            # separately, like the paper's two-program code...
+            mc_data_move_send(comm, sched, B)
+            mc_data_move_recv(comm, sched, A)
+            first = A.gather_global()
+            # ...or as the one-shot copy.
+            A.local[:] = 0.0
+            mc_copy(comm, sched, B, A)
+            second = A.gather_global()
+            return first, second
+
+        first, second = run_spmd(4, spmd).values[0]
+        ii, jj = np.meshgrid(np.arange(5, 10), np.arange(2, 8), indexing="ij")
+        expected = 100.0 * ii + jj
+        np.testing.assert_allclose(second, expected)
+        # The split path misses same-processor elements only via the
+        # local-copy step that mc_copy performs; at 4 procs with these two
+        # small arrays some elements are processor-local, so only the
+        # one-shot result is guaranteed complete.  Where the split path
+        # wrote, it must agree.
+        mask = first != 0
+        np.testing.assert_allclose(first[mask], expected[mask])

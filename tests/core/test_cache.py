@@ -1,0 +1,125 @@
+"""Schedule-cache tests."""
+
+import numpy as np
+import pytest
+
+import repro.blockparti  # noqa: F401
+import repro.chaos  # noqa: F401
+from repro.blockparti import BlockPartiArray
+from repro.chaos import ChaosArray
+from repro.core import (
+    IndexRegion,
+    ScheduleCache,
+    ScheduleMethod,
+    SectionRegion,
+    mc_copy,
+    mc_new_set_of_regions,
+    region_key,
+    sor_key,
+)
+from repro.distrib.section import Section
+
+from helpers import run_spmd
+
+N = 36
+PERM = np.random.default_rng(90).permutation(N)
+
+
+def _sors():
+    src = mc_new_set_of_regions(SectionRegion(Section.full((6, 6))))
+    dst = mc_new_set_of_regions(IndexRegion(PERM))
+    return src, dst
+
+
+class TestKeys:
+    def test_section_key_is_content(self):
+        a = SectionRegion(Section((0, 0), (4, 4), (1, 1)))
+        b = SectionRegion(Section((0, 0), (4, 4), (1, 1)))
+        c = SectionRegion(Section((0, 0), (4, 4), (1, 1)), order="F")
+        assert region_key(a) == region_key(b)
+        assert region_key(a) != region_key(c)
+
+    def test_index_key_is_content(self):
+        a = IndexRegion(np.array([3, 1, 2]))
+        b = IndexRegion(np.array([3, 1, 2]))
+        c = IndexRegion(np.array([1, 3, 2]))
+        assert region_key(a) == region_key(b)
+        assert region_key(a) != region_key(c)
+
+    def test_sor_key_ordered(self):
+        r1, r2 = IndexRegion(np.arange(3)), IndexRegion(np.arange(4))
+        from repro.core import SetOfRegions
+
+        assert sor_key(SetOfRegions([r1, r2])) != sor_key(SetOfRegions([r2, r1]))
+
+
+class TestCache:
+    def test_hit_skips_rebuild(self):
+        def spmd(comm):
+            A = BlockPartiArray.zeros(comm, (6, 6))
+            B = ChaosArray.zeros(comm, PERM % comm.size)
+            cache = ScheduleCache(comm)
+            src, dst = _sors()
+            s1 = cache.get_or_build("blockparti", A, src, "chaos", B, dst)
+            t0 = comm.process.clock
+            m0 = comm.process.stats["messages_sent"]
+            # Equivalent request, new region objects: must hit.
+            src2, dst2 = _sors()
+            s2 = cache.get_or_build("blockparti", A, src2, "chaos", B, dst2)
+            assert s2 is s1
+            assert comm.process.stats["messages_sent"] == m0  # no collective
+            assert cache.hits == 1 and cache.misses == 1
+            return comm.process.clock - t0
+
+        elapsed = run_spmd(4, spmd).values[0]
+        assert elapsed < 1e-3  # key hashing only
+
+    def test_distinct_requests_miss(self):
+        def spmd(comm):
+            A = BlockPartiArray.zeros(comm, (6, 6))
+            B = ChaosArray.zeros(comm, PERM % comm.size)
+            cache = ScheduleCache(comm)
+            src, dst = _sors()
+            cache.get_or_build("blockparti", A, src, "chaos", B, dst)
+            cache.get_or_build(
+                "blockparti", A, src, "chaos", B, dst,
+                ScheduleMethod.DUPLICATION,
+            )
+            other_dst = mc_new_set_of_regions(IndexRegion(np.arange(N)))
+            cache.get_or_build("blockparti", A, src, "chaos", B, other_dst)
+            return (cache.misses, len(cache))
+
+        misses, size = run_spmd(2, spmd).values[0]
+        assert misses == 3 and size == 3
+
+    def test_cached_schedule_still_copies_correctly(self):
+        values = np.random.default_rng(91).random((6, 6))
+
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, values)
+            B = ChaosArray.zeros(comm, PERM % comm.size)
+            cache = ScheduleCache(comm)
+            for _ in range(3):
+                src, dst = _sors()
+                sched = cache.get_or_build("blockparti", A, src, "chaos", B, dst)
+                mc_copy(comm, sched, A, B)
+            return B.gather_global()
+
+        got = run_spmd(3, spmd).values[0]
+        expected = np.zeros(N)
+        expected[PERM] = values.ravel()
+        np.testing.assert_allclose(got, expected)
+
+    def test_different_distributions_key_apart(self):
+        def spmd(comm):
+            A = BlockPartiArray.zeros(comm, (6, 6))
+            B1 = ChaosArray.zeros(comm, PERM % comm.size)
+            B2 = ChaosArray.zeros(comm, (PERM + 1) % comm.size)
+            cache = ScheduleCache(comm)
+            src, dst = _sors()
+            cache.get_or_build("blockparti", A, src, "chaos", B1, dst)
+            src2, dst2 = _sors()
+            cache.get_or_build("blockparti", A, src2, "chaos", B2, dst2)
+            return cache.misses
+
+        assert run_spmd(2, spmd).values[0] == 2

@@ -1,0 +1,150 @@
+"""Two-program coupling tests: schedules and exchanges across programs."""
+
+import numpy as np
+import pytest
+
+import repro.blockparti  # noqa: F401
+import repro.chaos  # noqa: F401
+import repro.hpf  # noqa: F401
+from repro.blockparti import BlockPartiArray
+from repro.chaos import ChaosArray
+from repro.core import ScheduleMethod, mc_compute_schedule
+from repro.core.coupling import CoupledExchange, coupled_universe
+from repro.vmachine import ProgramSpec, run_programs
+from repro.vmachine.machine import SPMDError
+
+from helpers import index_sor, section_sor
+
+SHAPE = (10, 8)
+G = np.random.default_rng(9).random(SHAPE)
+PERM = np.random.default_rng(10).permutation(80)
+
+
+def _run(psrc, pdst, method=ScheduleMethod.COOPERATION, push_back=True):
+    def src_prog(ctx):
+        comm = ctx.comm
+        A = BlockPartiArray.from_global(comm, G)
+        uni = coupled_universe(ctx, "dstp", "src")
+        sched = mc_compute_schedule(
+            uni,
+            "blockparti", A, section_sor((slice(0, 10), slice(0, 8)), SHAPE),
+            "chaos", None, index_sor(PERM) if method is ScheduleMethod.DUPLICATION else None,
+            method,
+        )
+        ex = CoupledExchange(uni, sched)
+        ex.push(A)
+        if push_back:
+            A2 = BlockPartiArray.zeros(comm, SHAPE)
+            ex.pull(A2)
+            return A2.gather_global()
+        return None
+
+    def dst_prog(ctx):
+        comm = ctx.comm
+        B = ChaosArray.zeros(comm, (PERM * 3) % comm.size)
+        uni = coupled_universe(ctx, "srcp", "dst")
+        sched = mc_compute_schedule(
+            uni,
+            "blockparti", None,
+            section_sor((slice(0, 10), slice(0, 8)), SHAPE)
+            if method is ScheduleMethod.DUPLICATION else None,
+            "chaos", B, index_sor(PERM),
+            method,
+        )
+        ex = CoupledExchange(uni, sched)
+        ex.push(B)
+        out = B.gather_global()
+        if push_back:
+            B.local *= 2.0
+            ex.pull(B)
+        return out
+
+    return run_programs(
+        [ProgramSpec("srcp", psrc, src_prog), ProgramSpec("dstp", pdst, dst_prog)]
+    )
+
+
+class TestCrossProgramCopy:
+    @pytest.mark.parametrize("psrc,pdst", [(1, 1), (1, 4), (3, 2), (4, 1)])
+    def test_push_delivers_oracle_result(self, psrc, pdst):
+        res = _run(psrc, pdst, push_back=False)
+        got = res["dstp"].values[0]
+        expected = np.zeros(80)
+        expected[PERM] = G.ravel()
+        np.testing.assert_allclose(got, expected)
+
+    def test_pull_uses_symmetric_schedule(self):
+        res = _run(2, 3, push_back=True)
+        got_back = res["srcp"].values[0]
+        np.testing.assert_allclose(got_back, 2.0 * G)
+
+    def test_duplication_across_programs(self):
+        """Requires both SetOfRegions everywhere + descriptor exchange."""
+        res = _run(2, 2, method=ScheduleMethod.DUPLICATION, push_back=False)
+        got = res["dstp"].values[0]
+        expected = np.zeros(80)
+        expected[PERM] = G.ravel()
+        np.testing.assert_allclose(got, expected)
+
+    def test_duplication_without_remote_sor_fails(self):
+        def src_prog(ctx):
+            A = BlockPartiArray.from_global(ctx.comm, G)
+            uni = coupled_universe(ctx, "dstp", "src")
+            mc_compute_schedule(
+                uni,
+                "blockparti", A, section_sor((slice(0, 10), slice(0, 8)), SHAPE),
+                "chaos", None, None,  # missing remote SetOfRegions
+                ScheduleMethod.DUPLICATION,
+            )
+
+        def dst_prog(ctx):
+            B = ChaosArray.zeros(ctx.comm, PERM % ctx.comm.size)
+            uni = coupled_universe(ctx, "srcp", "dst")
+            mc_compute_schedule(
+                uni,
+                "blockparti", None, section_sor((slice(0, 10), slice(0, 8)), SHAPE),
+                "chaos", B, index_sor(PERM),
+                ScheduleMethod.DUPLICATION,
+            )
+
+        with pytest.raises(SPMDError, match="both SetOfRegions"):
+            run_programs(
+                [ProgramSpec("srcp", 1, src_prog), ProgramSpec("dstp", 1, dst_prog)]
+            )
+
+    def test_cross_program_size_mismatch_detected(self):
+        def src_prog(ctx):
+            A = BlockPartiArray.from_global(ctx.comm, G)
+            uni = coupled_universe(ctx, "dstp", "src")
+            mc_compute_schedule(
+                uni,
+                "blockparti", A, section_sor((slice(0, 10), slice(0, 8)), SHAPE),
+                "chaos", None, None,
+            )
+
+        def dst_prog(ctx):
+            B = ChaosArray.zeros(ctx.comm, np.arange(10) % ctx.comm.size)
+            uni = coupled_universe(ctx, "srcp", "dst")
+            mc_compute_schedule(
+                uni,
+                "blockparti", None, None,
+                "chaos", B, index_sor(np.arange(10)),
+            )
+
+        with pytest.raises(SPMDError, match="different element count"):
+            run_programs(
+                [ProgramSpec("srcp", 1, src_prog), ProgramSpec("dstp", 1, dst_prog)]
+            )
+
+
+class TestCoupledUniverseHelper:
+    def test_unknown_peer(self):
+        def prog(ctx):
+            with pytest.raises(KeyError, match="no peer"):
+                coupled_universe(ctx, "ghost", "src")
+            return True
+
+        res = run_programs(
+            [ProgramSpec("a", 1, prog), ProgramSpec("b", 1, lambda c: None)]
+        )
+        assert res["a"].values == [True]

@@ -1,0 +1,215 @@
+"""Data-move engine tests: correctness against the sequential oracle,
+message aggregation, and the direct-local-copy path."""
+
+import numpy as np
+import pytest
+
+import repro.blockparti  # noqa: F401
+import repro.chaos  # noqa: F401
+import repro.hpf  # noqa: F401
+from repro.blockparti import BlockPartiArray
+from repro.chaos import ChaosArray
+from repro.core import ScheduleMethod, mc_compute_schedule, mc_copy
+from repro.core.universe import SingleProgramUniverse
+from repro.hpf import HPFArray
+from repro.vmachine.machine import SPMDError
+
+from helpers import both_methods, index_sor, oracle_copy, run_spmd, section_sor
+
+SHAPE_A = (12, 10)
+N_B = 80
+GA = np.random.default_rng(2).random(SHAPE_A)
+PERM = np.random.default_rng(3).permutation(N_B)
+
+
+def _setup(comm):
+    A = BlockPartiArray.from_global(comm, GA)
+    B = ChaosArray.zeros(comm, (PERM * 7) % comm.size)
+    src = section_sor((slice(2, 10), slice(0, 10)), SHAPE_A)
+    dst = index_sor(PERM)
+    return A, B, src, dst
+
+
+class TestCopyCorrectness:
+    @pytest.mark.parametrize("method", both_methods())
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 8])
+    def test_copy_matches_oracle(self, method, nprocs):
+        def spmd(comm):
+            A, B, src, dst = _setup(comm)
+            sched = mc_compute_schedule(
+                comm, "blockparti", A, src, "chaos", B, dst, method
+            )
+            mc_copy(comm, sched, A, B)
+            return B.gather_global()
+
+        got = run_spmd(nprocs, spmd).values[0]
+        expected = oracle_copy(GA, _make_src(), np.zeros(N_B), _make_dst())
+        np.testing.assert_allclose(got, expected)
+
+    @pytest.mark.parametrize("method", both_methods())
+    def test_roundtrip_restores_source(self, method):
+        def spmd(comm):
+            A, B, src, dst = _setup(comm)
+            sched = mc_compute_schedule(
+                comm, "blockparti", A, src, "chaos", B, dst, method
+            )
+            mc_copy(comm, sched, A, B)
+            A.local[:] = 0.0
+            mc_copy(comm, sched.reverse(), B, A)
+            return A.gather_global()
+
+        got = run_spmd(4, spmd).values[0]
+        expected = np.zeros(SHAPE_A)
+        expected[2:10, 0:10] = GA[2:10, 0:10]
+        np.testing.assert_allclose(got, expected)
+
+    def test_repeated_moves_reuse_schedule(self):
+        def spmd(comm):
+            A, B, src, dst = _setup(comm)
+            sched = mc_compute_schedule(comm, "blockparti", A, src, "chaos", B, dst)
+            results = []
+            for k in range(3):
+                A.local[:] = GA[
+                    tuple(slice(lo, hi) for lo, hi in A.owned_block())
+                ].ravel() * (k + 1)
+                mc_copy(comm, sched, A, B)
+                results.append(B.gather_global())
+            return results
+
+        results = run_spmd(3, spmd).values[0]
+        base = oracle_copy(GA, _make_src(), np.zeros(N_B), _make_dst())
+        for k, got in enumerate(results):
+            np.testing.assert_allclose(got, base * (k + 1))
+
+    def test_multi_region_sets(self):
+        """Figure 4/6-style multi-region SetOfRegions on both sides."""
+        from repro.core import SetOfRegions, SectionRegion, IndexRegion
+        from repro.distrib.section import Section
+
+        src_sor = SetOfRegions(
+            [
+                SectionRegion(Section((1, 4), (4, 7), (1, 1))),  # 9 elems
+                SectionRegion(Section((2, 1), (6, 3), (1, 1))),  # 8 elems
+            ]
+        )
+        dst_sor = SetOfRegions(
+            [
+                IndexRegion(np.arange(10, 27, 2)),  # 9 elems
+                IndexRegion(np.array([1, 3, 5, 7, 0, 2, 4, 6])),
+            ]
+        )
+
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, GA)
+            B = ChaosArray.zeros(comm, np.arange(N_B) % comm.size)
+            sched = mc_compute_schedule(
+                comm, "blockparti", A, src_sor, "chaos", B, dst_sor
+            )
+            mc_copy(comm, sched, A, B)
+            return B.gather_global()
+
+        got = run_spmd(4, spmd).values[0]
+        expected = oracle_copy(GA, src_sor, np.zeros(N_B), dst_sor)
+        np.testing.assert_allclose(got, expected)
+
+
+def _make_src():
+    return section_sor((slice(2, 10), slice(0, 10)), SHAPE_A)
+
+
+def _make_dst():
+    return index_sor(PERM)
+
+
+class TestAggregation:
+    def test_at_most_one_message_per_processor_pair(self):
+        """Paper §4.1.4: 'at most one message is sent between each source
+        and each destination processor'."""
+
+        def spmd(comm):
+            A, B, src, dst = _setup(comm)
+            sched = mc_compute_schedule(comm, "blockparti", A, src, "chaos", B, dst)
+            comm.barrier()
+            before = comm.process.stats["messages_sent"]
+            mc_copy(comm, sched, A, B)
+            sent = comm.process.stats["messages_sent"] - before
+            partners = len(
+                [d for d, v in sched.sends.items() if len(v) and d != comm.rank]
+            )
+            assert sent == partners, (sent, partners)
+            return sent
+
+        run_spmd(4, spmd)
+
+    def test_data_bytes_conserved(self):
+        def spmd(comm):
+            A, B, src, dst = _setup(comm)
+            sched = mc_compute_schedule(comm, "blockparti", A, src, "chaos", B, dst)
+            comm.barrier()
+            s0 = comm.process.stats["bytes_sent"]
+            r0 = comm.process.stats["bytes_received"]
+            mc_copy(comm, sched, A, B)
+            return (
+                comm.process.stats["bytes_sent"] - s0,
+                comm.process.stats["bytes_received"] - r0,
+            )
+
+        res = run_spmd(4, spmd)
+        assert sum(v[0] for v in res.values) == sum(v[1] for v in res.values)
+
+    def test_local_part_costs_no_messages_at_p1(self):
+        def spmd(comm):
+            A, B, src, dst = _setup(comm)
+            sched = mc_compute_schedule(comm, "blockparti", A, src, "chaos", B, dst)
+            before = comm.process.stats["messages_sent"]
+            mc_copy(comm, sched, A, B)
+            return comm.process.stats["messages_sent"] - before
+
+        assert run_spmd(1, spmd).values == [0]
+
+
+class TestErrorPaths:
+    def test_send_on_non_source_rejected(self):
+        from repro.core.datamove import data_move_send
+        from repro.core.universe import TwoProgramUniverse
+
+        def prog_a(ctx):
+            pass
+
+        # construct the error locally with a dst-role universe
+        def prog_b(ctx):
+            uni = TwoProgramUniverse(ctx.comm, ctx.peer("a"), "dst")
+            from repro.core.schedule import CommSchedule, ScheduleMethod
+
+            sched = CommSchedule(
+                "hpf", "hpf", 0, 1, 1, ScheduleMethod.COOPERATION
+            )
+            with pytest.raises(RuntimeError, match="non-source"):
+                data_move_send(sched, None, uni)
+            return True
+
+        from repro.vmachine import ProgramSpec, run_programs
+
+        res = run_programs(
+            [ProgramSpec("a", 1, prog_a), ProgramSpec("b", 1, prog_b)]
+        )
+        assert res["b"].values == [True]
+
+    def test_mc_copy_rejects_two_program_universe(self):
+        from repro.core import mc_copy as mc_copy_fn
+        from repro.core.schedule import CommSchedule, ScheduleMethod
+        from repro.core.universe import TwoProgramUniverse
+
+        def prog_a(ctx):
+            uni = TwoProgramUniverse(ctx.comm, ctx.peer("b"), "src")
+            sched = CommSchedule("hpf", "hpf", 0, 1, 1, ScheduleMethod.COOPERATION)
+            with pytest.raises(ValueError, match="single-program"):
+                mc_copy_fn(uni, sched, None, None)
+            return True
+
+        from repro.vmachine import ProgramSpec, run_programs
+
+        res = run_programs(
+            [ProgramSpec("a", 1, prog_a), ProgramSpec("b", 1, lambda c: None)]
+        )
+        assert res["a"].values == [True]

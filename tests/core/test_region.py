@@ -1,0 +1,72 @@
+"""Region type tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.region import IndexRegion, SectionRegion
+from repro.distrib.section import Section
+
+
+class TestSectionRegion:
+    def test_size(self):
+        r = SectionRegion(Section((0, 0), (4, 6), (2, 3)))
+        assert r.size == 4
+
+    def test_from_bounds_inclusive(self):
+        # the paper's CreateRegion_HPF(2, (50,50), (100,100)) convention
+        r = SectionRegion.from_bounds((50, 50), (100, 100))
+        assert r.section.counts == (51, 51)
+
+    def test_from_bounds_with_stride(self):
+        r = SectionRegion.from_bounds((0,), (10,), (5,))
+        np.testing.assert_array_equal(r.section.dim_indices(0), [0, 5, 10])
+
+    def test_lin_to_global_row_major(self):
+        r = SectionRegion(Section((1, 1), (3, 3), (1, 1)))
+        g = r.lin_to_global(np.arange(4), (5, 5))
+        np.testing.assert_array_equal(g, [6, 7, 11, 12])
+
+    def test_global_flat_matches_lin_to_global(self):
+        r = SectionRegion(Section((0, 2), (7, 9), (3, 2)))
+        shape = (8, 10)
+        np.testing.assert_array_equal(
+            r.global_flat(shape), r.lin_to_global(np.arange(r.size), shape)
+        )
+
+    def test_descriptor_compact(self):
+        r = SectionRegion(Section((0, 0), (1000, 1000), (1, 1)))
+        assert r.nbytes_descriptor() < 100
+
+
+class TestIndexRegion:
+    def test_order_is_linearization(self):
+        r = IndexRegion(np.array([5, 2, 9]))
+        np.testing.assert_array_equal(r.lin_to_global(np.array([0, 1, 2]), (10,)), [5, 2, 9])
+
+    def test_size(self):
+        assert IndexRegion(np.arange(7)).size == 7
+
+    def test_global_flat_copies(self):
+        idx = np.array([1, 2, 3])
+        r = IndexRegion(idx)
+        out = r.global_flat((10,))
+        out[0] = 99
+        assert r.indices[0] == 1
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            IndexRegion(np.array([-1, 2]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            IndexRegion(np.zeros((2, 2), dtype=int))
+
+    def test_descriptor_data_sized(self):
+        r = IndexRegion(np.arange(1000))
+        assert r.nbytes_descriptor() == 8000
+
+    def test_duplicates_allowed_in_region(self):
+        # A region may name an element twice (e.g. gather semantics);
+        # bijection checks happen at the linearization level.
+        r = IndexRegion(np.array([3, 3]))
+        assert r.size == 2

@@ -1,0 +1,161 @@
+"""Fortran-order linearization and MaskRegion tests."""
+
+import numpy as np
+import pytest
+
+import repro.chaos  # noqa: F401
+import repro.hpf  # noqa: F401
+from repro.chaos import ChaosArray
+from repro.core import (
+    IndexRegion,
+    MaskRegion,
+    SectionRegion,
+    mc_compute_schedule,
+    mc_copy,
+    mc_new_set_of_regions,
+)
+from repro.distrib.section import Section
+from repro.hpf import HPFArray
+
+from helpers import both_methods, run_spmd
+
+G = np.arange(30, dtype=float).reshape(5, 6)
+
+
+class TestFortranOrderSection:
+    def test_global_flat_f_order(self):
+        s = Section((0, 0), (2, 3), (1, 1))
+        # C order: 0,1,2, 6,7,8 ; F order: 0,6, 1,7, 2,8
+        np.testing.assert_array_equal(
+            s.global_flat((5, 6), order="F"), [0, 6, 1, 7, 2, 8]
+        )
+
+    def test_lin_to_multi_f_roundtrip(self):
+        s = Section((1, 2), (5, 6), (2, 2))
+        lin = np.arange(s.size)
+        coords = s.lin_to_multi(lin, order="F")
+        flat = np.ravel_multi_index(coords, (5, 6))
+        np.testing.assert_array_equal(flat, s.global_flat((5, 6), order="F"))
+
+    def test_invalid_order(self):
+        s = Section((0,), (3,), (1,))
+        with pytest.raises(ValueError):
+            s.global_flat((3,), order="K")
+        with pytest.raises(ValueError):
+            s.lin_to_multi(np.arange(3), order="A")
+        with pytest.raises(ValueError):
+            SectionRegion(s, order="Z")
+
+    def test_region_orders_give_different_correspondences(self):
+        c = SectionRegion(Section.full((3, 4)), order="C")
+        f = SectionRegion(Section.full((3, 4)), order="F")
+        assert not np.array_equal(c.global_flat((3, 4)), f.global_flat((3, 4)))
+        # Same set of elements, different order.
+        assert sorted(c.global_flat((3, 4))) == sorted(f.global_flat((3, 4)))
+
+    @pytest.mark.parametrize("method", both_methods())
+    def test_f_order_copy_matches_fortran_ravel(self, method):
+        def spmd(comm):
+            A = HPFArray.from_global(comm, G, ("block", "cyclic"))
+            B = ChaosArray.zeros(comm, np.arange(30) % comm.size)
+            sched = mc_compute_schedule(
+                comm,
+                "hpf", A,
+                mc_new_set_of_regions(SectionRegion(Section.full((5, 6)), order="F")),
+                "chaos", B, mc_new_set_of_regions(IndexRegion(np.arange(30))),
+                method,
+            )
+            mc_copy(comm, sched, A, B)
+            return B.gather_global()
+
+        got = run_spmd(3, spmd).values[0]
+        np.testing.assert_allclose(got, G.ravel(order="F"))
+
+    def test_c_to_f_transpose_through_copy(self):
+        """Copy a C-ordered section onto an F-ordered one: a transpose."""
+
+        def spmd(comm):
+            A = HPFArray.from_global(comm, G, ("block", "*"))
+            B = HPFArray.distribute(comm, (6, 5), ("block", "*"))
+            sched = mc_compute_schedule(
+                comm,
+                "hpf", A,
+                mc_new_set_of_regions(SectionRegion(Section.full((5, 6)), order="C")),
+                "hpf", B,
+                mc_new_set_of_regions(SectionRegion(Section.full((6, 5)), order="F")),
+            )
+            mc_copy(comm, sched, A, B)
+            return B.gather_global()
+
+        got = run_spmd(2, spmd).values[0]
+        np.testing.assert_allclose(got, G.T)
+
+
+class TestMaskRegion:
+    def test_selects_true_positions(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 2] = mask[3, 0] = True
+        r = MaskRegion(mask)
+        np.testing.assert_array_equal(r.global_flat((4, 4)), [6, 12])
+
+    def test_f_order_enumeration(self):
+        mask = np.ones((2, 2), dtype=bool)
+        c = MaskRegion(mask, order="C")
+        f = MaskRegion(mask, order="F")
+        np.testing.assert_array_equal(c.global_flat((2, 2)), [0, 1, 2, 3])
+        np.testing.assert_array_equal(f.global_flat((2, 2)), [0, 2, 1, 3])
+
+    def test_shape_mismatch_rejected(self):
+        r = MaskRegion(np.ones((2, 3), dtype=bool))
+        with pytest.raises(ValueError, match="shape"):
+            r.global_flat((3, 2))
+        with pytest.raises(ValueError, match="shape"):
+            r.lin_to_global(np.array([0]), (6,))
+
+    def test_empty_mask(self):
+        r = MaskRegion(np.zeros((3, 3), dtype=bool))
+        assert r.size == 0
+
+    def test_descriptor_is_bit_sized(self):
+        r = MaskRegion(np.ones((100, 100), dtype=bool))
+        assert r.nbytes_descriptor() == 100 * 100 // 8
+
+    def test_where_style_copy(self):
+        """HPF WHERE: move only the elements above a threshold."""
+        mask = G > 17.0
+        n = int(mask.sum())
+
+        def spmd(comm):
+            A = HPFArray.from_global(comm, G, ("cyclic", "block"))
+            B = ChaosArray.zeros(comm, np.arange(n) % comm.size)
+            sched = mc_compute_schedule(
+                comm,
+                "hpf", A, mc_new_set_of_regions(MaskRegion(mask)),
+                "chaos", B, mc_new_set_of_regions(IndexRegion(np.arange(n))),
+            )
+            mc_copy(comm, sched, A, B)
+            return B.gather_global()
+
+        got = run_spmd(4, spmd).values[0]
+        np.testing.assert_allclose(got, G[mask])
+
+    def test_mask_as_destination(self):
+        mask = (np.arange(30).reshape(5, 6) % 7) == 0
+        n = int(mask.sum())
+        values = np.arange(n, dtype=float) + 100
+
+        def spmd(comm):
+            src = ChaosArray.from_global(comm, values, np.arange(n) % comm.size)
+            dst = HPFArray.distribute(comm, (5, 6), ("block", "block"))
+            sched = mc_compute_schedule(
+                comm,
+                "chaos", src, mc_new_set_of_regions(IndexRegion(np.arange(n))),
+                "hpf", dst, mc_new_set_of_regions(MaskRegion(mask)),
+            )
+            mc_copy(comm, sched, src, dst)
+            return dst.gather_global()
+
+        got = run_spmd(2, spmd).values[0]
+        expected = np.zeros((5, 6))
+        expected[mask] = values
+        np.testing.assert_allclose(got, expected)

@@ -1,0 +1,216 @@
+"""Library-adapter registry and generic adapter machinery tests."""
+
+import numpy as np
+import pytest
+
+import repro.blockparti  # noqa: F401  (registers "blockparti")
+import repro.chaos  # noqa: F401
+import repro.hpf  # noqa: F401
+import repro.pcxx  # noqa: F401
+from repro.core.registry import (
+    LibraryAdapter,
+    RemoteHandle,
+    get_adapter,
+    register_adapter,
+    registered_libraries,
+)
+
+from helpers import index_sor, run_spmd, section_sor
+
+
+class TestRegistry:
+    def test_all_four_libraries_registered(self):
+        libs = registered_libraries()
+        for name in ("blockparti", "chaos", "hpf", "pcxx"):
+            assert name in libs
+
+    def test_unknown_library(self):
+        with pytest.raises(KeyError, match="no data parallel library"):
+            get_adapter("fortran-d")
+
+    def test_reregistration_replaces(self):
+        original = get_adapter("pcxx")
+        try:
+            replacement = type(original)()
+            assert register_adapter(replacement) is replacement
+            assert get_adapter("pcxx") is replacement
+        finally:
+            register_adapter(original)
+
+    def test_unnamed_adapter_rejected(self):
+        class Nameless(LibraryAdapter):
+            name = ""
+            dist_of = shape_of = local_data = itemsize_of = charge_deref = None
+
+        with pytest.raises(ValueError):
+            register_adapter(Nameless.__new__(Nameless))
+
+
+class TestAdapterOperations:
+    def test_deref_lin_matches_distribution(self):
+        from repro.blockparti import BlockPartiArray
+
+        def spmd(comm):
+            arr = BlockPartiArray.zeros(comm, (8, 8))
+            adapter = get_adapter("blockparti")
+            sor = section_sor((slice(0, 8), slice(0, 8)), (8, 8))
+            ranks, offsets = adapter.deref_range(arr, sor, 0, 64)
+            r2, o2 = arr.dist.owner_of_flat(np.arange(64))
+            assert (ranks == r2).all() and (offsets == o2).all()
+            return True
+
+        assert all(run_spmd(4, spmd).values)
+
+    def test_local_elements_cover_partition(self):
+        """Union of every rank's local_elements == the full linearization."""
+        from repro.chaos import ChaosArray
+
+        owners = np.random.default_rng(3).integers(0, 4, 40)
+
+        def spmd(comm):
+            arr = ChaosArray.zeros(comm, owners % comm.size)
+            adapter = get_adapter("chaos")
+            sor = index_sor(np.random.default_rng(5).permutation(40))
+            lin, offs = adapter.local_elements(arr, sor, comm.rank)
+            return comm.gather((lin, offs))
+
+        res = run_spmd(4, spmd)
+        pieces = res.values[0]
+        all_lin = np.concatenate([p[0] for p in pieces])
+        assert sorted(all_lin.tolist()) == list(range(40))
+
+    def test_pack_unpack_roundtrip(self):
+        from repro.hpf import HPFArray
+
+        def spmd(comm):
+            src = HPFArray.from_global(
+                comm, np.arange(24, dtype=float), ("cyclic",)
+            )
+            dst = HPFArray.distribute(comm, (24,), ("cyclic",))
+            adapter = get_adapter("hpf")
+            offs = np.arange(src.local.size)
+            buf = adapter.pack(src, offs)
+            adapter.unpack(dst, offs, buf)
+            return bool((dst.local == src.local).all())
+
+        assert all(run_spmd(3, spmd).values)
+
+    def test_pack_charges_cost(self):
+        from repro.hpf import HPFArray
+
+        def spmd(comm):
+            arr = HPFArray.distribute(comm, (100,), ("block",))
+            adapter = get_adapter("hpf")
+            before = comm.process.clock
+            adapter.pack(arr, np.arange(arr.local.size))
+            return comm.process.clock - before
+
+        res = run_spmd(2, spmd)
+        assert all(v > 0 for v in res.values)
+
+
+class TestRemoteHandle:
+    def test_export_materialize_roundtrip(self):
+        from repro.blockparti import BlockPartiArray
+
+        def spmd(comm):
+            arr = BlockPartiArray.zeros(comm, (10, 6))
+            adapter = get_adapter("blockparti")
+            handle = adapter.export_handle(arr)
+            assert isinstance(handle, RemoteHandle)
+            mat = adapter.resolve_handle(handle)
+            assert adapter.shape_of(mat) == (10, 6)
+            g = np.arange(60)
+            r1, o1 = mat.dist.owner_of_flat(g)
+            r2, o2 = arr.dist.owner_of_flat(g)
+            return bool((r1 == r2).all() and (o1 == o2).all())
+
+        assert all(run_spmd(3, spmd).values)
+
+    def test_regular_handle_is_compact_irregular_is_not(self):
+        from repro.blockparti import BlockPartiArray
+        from repro.chaos import ChaosArray
+
+        def spmd(comm):
+            reg = BlockPartiArray.zeros(comm, (100, 100))
+            irr = ChaosArray.zeros(comm, np.arange(10_000) % comm.size)
+            h_reg = get_adapter("blockparti").export_handle(reg)
+            h_irr = get_adapter("chaos").export_handle(irr)
+            return (h_reg.nbytes, h_irr.nbytes)
+
+        reg_n, irr_n = run_spmd(2, spmd).values[0]
+        assert reg_n < 500
+        assert irr_n >= 8 * 10_000  # data-sized (the paper's caveat)
+
+    def test_resolve_handle_passthrough_for_local(self):
+        from repro.hpf import HPFArray
+
+        def spmd(comm):
+            arr = HPFArray.distribute(comm, (8,), ("block",))
+            adapter = get_adapter("hpf")
+            assert adapter.resolve_handle(arr) is arr
+            return True
+
+        assert all(run_spmd(2, spmd).values)
+
+    def test_remote_handle_has_no_data(self):
+        from repro.hpf import HPFArray
+
+        def spmd(comm):
+            arr = HPFArray.distribute(comm, (8,), ("block",))
+            adapter = get_adapter("hpf")
+            mat = adapter.resolve_handle(adapter.export_handle(arr))
+            with pytest.raises(TypeError):
+                adapter.local_data(mat)
+            return True
+
+        assert all(run_spmd(2, spmd).values)
+
+
+class TestDtypeSafety:
+    def test_lossy_unpack_rejected(self):
+        from repro.hpf import HPFArray
+        from repro.vmachine.machine import SPMDError
+
+        def spmd(comm):
+            dst = HPFArray.distribute(comm, (10,), ("block",), dtype=np.int64)
+            adapter = get_adapter("hpf")
+            offs = np.arange(dst.local.size)
+            adapter.unpack(dst, offs, np.full(len(offs), 1.5))
+
+        with pytest.raises(SPMDError, match="lossy element conversion"):
+            run_spmd(2, spmd)
+
+    def test_widening_unpack_allowed(self):
+        from repro.hpf import HPFArray
+
+        def spmd(comm):
+            dst = HPFArray.distribute(comm, (10,), ("block",), dtype=np.float64)
+            adapter = get_adapter("hpf")
+            offs = np.arange(dst.local.size)
+            adapter.unpack(dst, offs, np.ones(len(offs), dtype=np.float32))
+            return bool((dst.local == 1.0).all())
+
+        assert all(run_spmd(2, spmd).values)
+
+    def test_cross_dtype_copy_through_schedule(self):
+        """An int -> float copy works end to end (safe widening)."""
+        from repro.blockparti import BlockPartiArray
+        from repro.chaos import ChaosArray
+        from repro.core import IndexRegion, mc_compute_schedule, mc_copy
+        from repro.core.setofregions import SetOfRegions
+
+        def spmd(comm):
+            src = BlockPartiArray.from_global(
+                comm, np.arange(20, dtype=np.int64)
+            )
+            dst = ChaosArray.zeros(comm, np.arange(20) % comm.size)
+            sor = SetOfRegions([IndexRegion(np.arange(20))])
+            sched = mc_compute_schedule(
+                comm, "blockparti", src, sor, "chaos", dst, sor
+            )
+            mc_copy(comm, sched, src, dst)
+            return dst.gather_global()
+
+        got = run_spmd(3, spmd).values[0]
+        np.testing.assert_allclose(got, np.arange(20, dtype=float))

@@ -1,0 +1,220 @@
+"""Schedule-construction tests: both methods, structure, invariants."""
+
+import numpy as np
+import pytest
+
+import repro.blockparti  # noqa: F401
+import repro.chaos  # noqa: F401
+import repro.hpf  # noqa: F401
+from repro.blockparti import BlockPartiArray
+from repro.chaos import ChaosArray
+from repro.core import ScheduleMethod, mc_compute_schedule
+from repro.core.schedule import chunk_ranges, _group_by
+from repro.hpf import HPFArray
+from repro.vmachine.machine import SPMDError
+
+from helpers import both_methods, index_sor, run_spmd, section_sor
+
+
+class TestChunkRanges:
+    def test_even_split(self):
+        assert chunk_ranges(10, 2) == [(0, 5), (5, 10)]
+
+    def test_remainder_goes_to_early_chunks(self):
+        assert chunk_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_parts_than_elements(self):
+        ranges = chunk_ranges(2, 4)
+        assert ranges == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_zero_elements(self):
+        assert chunk_ranges(0, 3) == [(0, 0), (0, 0), (0, 0)]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(5, 0)
+
+    def test_covers_range_exactly(self):
+        for n in (0, 1, 7, 100):
+            for p in (1, 3, 8):
+                ranges = chunk_ranges(n, p)
+                assert ranges[0][0] == 0 and ranges[-1][1] == n
+                for (a, b), (c, d) in zip(ranges, ranges[1:]):
+                    assert b == c
+
+
+class TestGroupBy:
+    def test_groups_preserve_order(self):
+        keys = np.array([2, 0, 2, 1, 0])
+        vals = np.array([10, 20, 30, 40, 50])
+        groups = _group_by(keys, vals)
+        np.testing.assert_array_equal(groups[2], [10, 30])
+        np.testing.assert_array_equal(groups[0], [20, 50])
+        np.testing.assert_array_equal(groups[1], [40])
+
+    def test_empty(self):
+        assert _group_by(np.zeros(0, dtype=int), np.zeros(0, dtype=int)) == {}
+
+    def test_only_nonempty_groups(self):
+        groups = _group_by(np.array([3, 3]), np.array([1, 2]))
+        assert set(groups) == {3}
+
+
+class TestScheduleStructure:
+    def _build(self, comm, method):
+        A = BlockPartiArray.zeros(comm, (12, 12))
+        B = ChaosArray.zeros(comm, np.arange(60) % comm.size)
+        src = section_sor((slice(0, 6), slice(0, 10)), (12, 12))
+        dst = index_sor(np.random.default_rng(0).permutation(60))
+        return mc_compute_schedule(comm, "blockparti", A, src, "chaos", B, dst, method)
+
+    @pytest.mark.parametrize("method", both_methods())
+    def test_counts_partition_elements(self, method):
+        def spmd(comm):
+            sched = self._build(comm, method)
+            return (sched.send_count, sched.recv_count)
+
+        res = run_spmd(4, spmd)
+        assert sum(v[0] for v in res.values) == 60
+        assert sum(v[1] for v in res.values) == 60
+
+    @pytest.mark.parametrize("method", both_methods())
+    def test_sends_and_recvs_pair_up(self, method):
+        def spmd(comm):
+            sched = self._build(comm, method)
+            sends = {d: len(v) for d, v in sched.sends.items() if len(v)}
+            recvs = {s: len(v) for s, v in sched.recvs.items() if len(v)}
+            return comm.gather((sends, recvs))
+
+        res = run_spmd(3, spmd)
+        pieces = res.values[0]
+        for p, (sends, _) in enumerate(pieces):
+            for d, n in sends.items():
+                assert pieces[d][1][p] == n, f"pair ({p},{d}) count mismatch"
+
+    def test_methods_produce_identical_schedules(self):
+        def spmd(comm):
+            coop = self._build(comm, ScheduleMethod.COOPERATION)
+            dup = self._build(comm, ScheduleMethod.DUPLICATION)
+            assert set(coop.sends) == set(dup.sends)
+            assert set(coop.recvs) == set(dup.recvs)
+            for d in coop.sends:
+                np.testing.assert_array_equal(coop.sends[d], dup.sends[d])
+            for s in coop.recvs:
+                np.testing.assert_array_equal(coop.recvs[s], dup.recvs[s])
+            return True
+
+        assert all(run_spmd(4, spmd).values)
+
+    def test_reverse_swaps_halves(self):
+        def spmd(comm):
+            sched = self._build(comm, ScheduleMethod.COOPERATION)
+            rev = sched.reverse()
+            assert rev.src_lib == "chaos" and rev.dst_lib == "blockparti"
+            assert rev.sends.keys() == sched.recvs.keys()
+            assert rev.recvs.keys() == sched.sends.keys()
+            assert rev.n_elements == sched.n_elements
+            return True
+
+        assert all(run_spmd(2, spmd).values)
+
+    def test_message_partners_sorted_nonempty(self):
+        def spmd(comm):
+            sched = self._build(comm, ScheduleMethod.COOPERATION)
+            dests, sources = sched.message_partners()
+            assert dests == sorted(dests)
+            assert all(len(sched.sends[d]) for d in dests)
+            return True
+
+        assert all(run_spmd(3, spmd).values)
+
+    def test_conformance_error(self):
+        def spmd(comm):
+            A = BlockPartiArray.zeros(comm, (4, 4))
+            B = ChaosArray.zeros(comm, np.arange(10) % comm.size)
+            mc_compute_schedule(
+                comm,
+                "blockparti", A, section_sor((slice(0, 4), slice(0, 4)), (4, 4)),
+                "chaos", B, index_sor(np.arange(10)),
+            )
+
+        with pytest.raises(SPMDError, match="16 elements .* 10"):
+            run_spmd(2, spmd)
+
+
+class TestCostShape:
+    """The cost relationships the paper's tables rest on."""
+
+    def _timed_build(self, comm, method, n=64):
+        proc = comm.process
+        A = BlockPartiArray.zeros(comm, (n, n))
+        B = ChaosArray.zeros(comm, np.arange(n * n) % comm.size)
+        src = section_sor((slice(0, n), slice(0, n)), (n, n))
+        dst = index_sor(np.random.default_rng(1).permutation(n * n))
+        t0 = proc.clock
+        mc_compute_schedule(comm, "blockparti", A, src, "chaos", B, dst, method)
+        return proc.clock - t0
+
+    def test_duplication_costs_about_twice_cooperation(self):
+        """Paper §5.1: duplication calls the Chaos dereference twice."""
+
+        def spmd(comm):
+            coop = self._timed_build(comm, ScheduleMethod.COOPERATION)
+            dup = self._timed_build(comm, ScheduleMethod.DUPLICATION)
+            return dup / coop
+
+        res = run_spmd(4, spmd)
+        for ratio in res.values:
+            assert 1.4 < ratio < 3.0
+
+    def test_build_time_scales_down_with_processors(self):
+        def spmd(comm):
+            return self._timed_build(comm, ScheduleMethod.COOPERATION)
+
+        t2 = max(run_spmd(2, spmd).values)
+        t8 = max(run_spmd(8, spmd).values)
+        assert t8 < t2 / 2
+
+    def test_regular_regular_build_is_far_cheaper(self):
+        """Paper Table 5 vs Table 2: no translation-table lookups."""
+
+        def spmd_rr(comm):
+            proc = comm.process
+            A = BlockPartiArray.zeros(comm, (64, 64))
+            B = HPFArray.distribute(comm, (64, 64), ("block", "block"))
+            sor = section_sor((slice(0, 64), slice(0, 64)), (64, 64))
+            t0 = proc.clock
+            mc_compute_schedule(comm, "blockparti", A, sor, "hpf", B, sor)
+            return proc.clock - t0
+
+        def spmd_ri(comm):
+            return self._timed_build(comm, ScheduleMethod.COOPERATION)
+
+        t_rr = max(run_spmd(4, spmd_rr).values)
+        t_ri = max(run_spmd(4, spmd_ri).values)
+        assert t_ri > 20 * t_rr
+
+
+class TestGroupSizeValidation:
+    def test_mismatched_distribution_rejected(self):
+        """A structure distributed over fewer ranks than the group."""
+
+        def spmd(comm):
+            sub = comm.split(color=0 if comm.rank < 2 else 1)
+            if comm.rank < 2:
+                A = BlockPartiArray.zeros(sub, (8, 8))  # spans 2 procs
+                # ... but the schedule is (wrongly) built on the world comm
+                mc_compute_schedule(
+                    comm,
+                    "blockparti", A,
+                    section_sor((slice(0, 8), slice(0, 8)), (8, 8)),
+                    "blockparti", A,
+                    section_sor((slice(0, 8), slice(0, 8)), (8, 8)),
+                )
+            else:
+                # these ranks never get far enough to participate; the
+                # failure on ranks 0-1 aborts the machine
+                comm.recv(0, tag=12345)
+
+        with pytest.raises(SPMDError, match="distributed over 2 processors"):
+            run_spmd(4, spmd)

@@ -1,0 +1,103 @@
+"""SetOfRegions and linearization tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.linearization import Linearization, check_conformance
+from repro.core.region import IndexRegion, SectionRegion
+from repro.core.setofregions import SetOfRegions
+from repro.distrib.section import Section
+
+
+def sec(slices, shape):
+    return SectionRegion(Section.from_slices(slices, shape))
+
+
+class TestSetOfRegions:
+    def test_concatenated_linearization(self):
+        # the paper's Figure 5: LSA = LrA1 followed by LrA2
+        shape = (9, 9)
+        rA1 = sec((slice(1, 4), slice(4, 7)), shape)
+        rA2 = sec((slice(2, 6), slice(1, 3)), shape)
+        sa = SetOfRegions([rA1, rA2])
+        assert sa.size == rA1.size + rA2.size
+        gf = sa.global_flat(shape)
+        np.testing.assert_array_equal(gf[: rA1.size], rA1.global_flat(shape))
+        np.testing.assert_array_equal(gf[rA1.size :], rA2.global_flat(shape))
+
+    def test_add_returns_self(self):
+        s = SetOfRegions()
+        assert s.add(IndexRegion(np.arange(3))) is s
+        assert len(s) == 1
+
+    def test_add_rejects_non_region(self):
+        with pytest.raises(TypeError):
+            SetOfRegions().add("not a region")
+
+    def test_starts(self):
+        s = SetOfRegions([IndexRegion(np.arange(3)), IndexRegion(np.arange(5))])
+        np.testing.assert_array_equal(s.starts, [0, 3, 8])
+
+    def test_starts_refresh_after_add(self):
+        s = SetOfRegions([IndexRegion(np.arange(3))])
+        _ = s.starts
+        s.add(IndexRegion(np.arange(2)))
+        np.testing.assert_array_equal(s.starts, [0, 3, 5])
+
+    def test_lin_to_global_cross_region(self):
+        s = SetOfRegions(
+            [IndexRegion(np.array([10, 11])), IndexRegion(np.array([20, 21, 22]))]
+        )
+        got = s.lin_to_global(np.array([0, 2, 4, 1]), (30,))
+        np.testing.assert_array_equal(got, [10, 20, 22, 11])
+
+    def test_lin_to_global_out_of_range(self):
+        s = SetOfRegions([IndexRegion(np.arange(3))])
+        with pytest.raises(IndexError):
+            s.lin_to_global(np.array([3]), (10,))
+
+    def test_empty_set(self):
+        s = SetOfRegions()
+        assert s.size == 0
+        assert len(s.global_flat((5,))) == 0
+        assert len(s.lin_to_global(np.zeros(0, dtype=int), (5,))) == 0
+
+    def test_mixed_region_types(self):
+        shape = (4, 4)
+        s = SetOfRegions([sec((slice(0, 2), slice(0, 2)), shape),
+                          IndexRegion(np.array([15]))])
+        np.testing.assert_array_equal(s.global_flat(shape), [0, 1, 4, 5, 15])
+
+    def test_iteration(self):
+        regions = [IndexRegion(np.arange(2)), IndexRegion(np.arange(3))]
+        s = SetOfRegions(regions)
+        assert list(s) == regions
+
+
+class TestLinearization:
+    def test_range_to_global(self):
+        s = SetOfRegions([IndexRegion(np.array([4, 2, 7, 1]))])
+        lin = Linearization(s, (10,))
+        np.testing.assert_array_equal(lin.range_to_global(1, 3), [2, 7])
+
+    def test_bijection_check_passes(self):
+        lin = Linearization(SetOfRegions([IndexRegion(np.array([1, 2, 3]))]), (5,))
+        lin.check_bijection()
+
+    def test_bijection_check_fails_on_duplicates(self):
+        lin = Linearization(SetOfRegions([IndexRegion(np.array([1, 1]))]), (5,))
+        with pytest.raises(ValueError, match="more than once"):
+            lin.check_bijection()
+
+    def test_conformance_equal_sizes(self):
+        a = Linearization(SetOfRegions([IndexRegion(np.arange(4))]), (9,))
+        b = Linearization(
+            SetOfRegions([sec((slice(0, 2), slice(0, 2)), (3, 3))]), (3, 3)
+        )
+        assert check_conformance(a, b) == 4
+
+    def test_conformance_mismatch(self):
+        a = Linearization(SetOfRegions([IndexRegion(np.arange(4))]), (9,))
+        b = Linearization(SetOfRegions([IndexRegion(np.arange(5))]), (9,))
+        with pytest.raises(ValueError, match="equal counts"):
+            check_conformance(a, b)

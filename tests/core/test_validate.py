@@ -1,0 +1,158 @@
+"""Schedule validator and diagnostics tests."""
+
+import numpy as np
+import pytest
+
+import repro.blockparti  # noqa: F401
+import repro.chaos  # noqa: F401
+from repro.blockparti import BlockPartiArray
+from repro.chaos import ChaosArray
+from repro.core import (
+    IndexRegion,
+    ScheduleValidationError,
+    SectionRegion,
+    explain_schedule,
+    mc_compute_schedule,
+    mc_new_set_of_regions,
+    schedule_stats,
+    validate_schedule,
+)
+from repro.distrib.section import Section
+from repro.vmachine.machine import SPMDError
+
+from helpers import run_spmd
+
+N = 36
+PERM = np.random.default_rng(70).permutation(N)
+
+
+def _build(comm):
+    A = BlockPartiArray.zeros(comm, (6, 6))
+    B = ChaosArray.zeros(comm, PERM % comm.size)
+    sched = mc_compute_schedule(
+        comm,
+        "blockparti", A,
+        mc_new_set_of_regions(SectionRegion(Section.full((6, 6)))),
+        "chaos", B, mc_new_set_of_regions(IndexRegion(PERM)),
+    )
+    return A, B, sched
+
+
+class TestValidate:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4])
+    def test_valid_schedule_passes(self, nprocs):
+        def spmd(comm):
+            A, B, sched = _build(comm)
+            validate_schedule(comm, sched, A, B)
+            return True
+
+        assert all(run_spmd(nprocs, spmd).values)
+
+    def test_dropped_element_detected(self):
+        def spmd(comm):
+            A, B, sched = _build(comm)
+            if comm.rank == 0 and sched.sends:
+                d = next(iter(sched.sends))
+                sched.sends[d] = sched.sends[d][:-1]
+            validate_schedule(comm, sched, A, B)
+
+        with pytest.raises(SPMDError, match="expected|covers"):
+            run_spmd(2, spmd)
+
+    def test_out_of_range_offset_detected(self):
+        def spmd(comm):
+            A, B, sched = _build(comm)
+            if sched.recvs:
+                s = next(iter(sched.recvs))
+                bad = sched.recvs[s].copy()
+                if len(bad):
+                    bad[0] = 10_000
+                    sched.recvs[s] = bad
+            validate_schedule(comm, sched, A, B)
+
+        with pytest.raises(SPMDError, match="outside local storage"):
+            run_spmd(2, spmd)
+
+    def test_duplicate_destination_detected(self):
+        def spmd(comm):
+            A, B, sched = _build(comm)
+            if sched.recvs:
+                s = next(iter(sched.recvs))
+                bad = sched.recvs[s].copy()
+                if len(bad) >= 2:
+                    bad[1] = bad[0]
+                    sched.recvs[s] = bad
+            validate_schedule(comm, sched, A, B)
+
+        with pytest.raises(SPMDError, match="more than one"):
+            run_spmd(1, spmd)
+
+    def test_every_rank_raises(self):
+        """The verdict is collective: even clean ranks raise."""
+
+        def spmd(comm):
+            A, B, sched = _build(comm)
+            if comm.rank == 0 and sched.sends:
+                d = next(iter(sched.sends))
+                sched.sends[d] = sched.sends[d][:-1]
+            try:
+                validate_schedule(comm, sched, A, B)
+                return "no error"
+            except ScheduleValidationError:
+                return "raised"
+
+        res = run_spmd(3, spmd)
+        assert res.values == ["raised"] * 3
+
+
+class TestStats:
+    def test_counts_add_up(self):
+        def spmd(comm):
+            _, _, sched = _build(comm)
+            stats = schedule_stats(comm, sched)
+            return (stats.n_elements, stats.local_elements + stats.remote_elements)
+
+        for n, covered in run_spmd(4, spmd).values:
+            assert n == N and covered == N
+
+    def test_single_proc_all_local(self):
+        def spmd(comm):
+            _, _, sched = _build(comm)
+            stats = schedule_stats(comm, sched)
+            return (stats.locality, stats.message_pairs)
+
+        loc, pairs = run_spmd(1, spmd).values[0]
+        assert loc == 1.0 and pairs == 0
+
+    def test_message_pairs_bounded(self):
+        def spmd(comm):
+            _, _, sched = _build(comm)
+            return schedule_stats(comm, sched).message_pairs
+
+        pairs = run_spmd(4, spmd).values[0]
+        assert pairs <= 4 * 3
+
+
+class TestExplain:
+    def test_contains_both_halves(self):
+        def spmd(comm):
+            _, _, sched = _build(comm)
+            return explain_schedule(sched)
+
+        text = run_spmd(2, spmd).values[0]
+        assert "blockparti -> chaos" in text
+        assert "send" in text and "recv" in text
+
+    def test_empty_rank_message(self):
+        from repro.core.schedule import CommSchedule, ScheduleMethod
+
+        sched = CommSchedule("hpf", "hpf", 0, 2, 2, ScheduleMethod.COOPERATION)
+        assert "moves no elements" in explain_schedule(sched)
+
+    def test_truncation(self):
+        def spmd(comm):
+            _, _, sched = _build(comm)
+            return explain_schedule(sched, max_entries=1)
+
+        text = run_spmd(1, spmd).values[0]
+        assert "+35" in text  # 36 elements, one shown

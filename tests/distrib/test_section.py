@@ -1,0 +1,144 @@
+"""Regular array-section tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distrib.section import Section
+
+
+class TestConstruction:
+    def test_counts_and_size(self):
+        s = Section((2, 3), (18, 29), (3, 2))
+        assert s.counts == (6, 13)
+        assert s.size == 78
+
+    def test_empty_section(self):
+        s = Section((5,), (5,), (1,))
+        assert s.size == 0
+        assert len(s.global_flat((10,))) == 0
+
+    def test_from_slices(self):
+        s = Section.from_slices((slice(1, None, 2), slice(None)), (9, 4))
+        assert s.starts == (1, 0)
+        assert s.stops == (9, 4)
+        assert s.steps == (2, 1)
+
+    def test_full(self):
+        s = Section.full((4, 5))
+        assert s.size == 20
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            Section((0,), (5,), (-1,))
+        with pytest.raises(ValueError):
+            Section.from_slices((slice(None, None, -1),), (5,))
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Section((5,), (2,), (1,))
+        with pytest.raises(ValueError):
+            Section((-1,), (2,), (1,))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Section((0, 0), (2,), (1, 1))
+
+
+class TestLinearization:
+    def test_global_flat_row_major(self):
+        s = Section((0, 0), (2, 3), (1, 1))
+        np.testing.assert_array_equal(
+            s.global_flat((4, 4)), [0, 1, 2, 4, 5, 6]
+        )
+
+    def test_global_flat_matches_numpy_slicing(self):
+        shape = (7, 9)
+        g = np.arange(63).reshape(shape)
+        s = Section.from_slices((slice(1, 7, 2), slice(0, 9, 3)), shape)
+        np.testing.assert_array_equal(
+            g.reshape(-1)[s.global_flat(shape)], g[1:7:2, 0:9:3].ravel()
+        )
+
+    def test_lin_to_multi_roundtrip(self):
+        s = Section((2, 1), (10, 8), (2, 3))
+        lin = np.arange(s.size)
+        coords = s.lin_to_multi(lin)
+        flat = np.ravel_multi_index(coords, (12, 9))
+        np.testing.assert_array_equal(flat, s.global_flat((12, 9)))
+
+    def test_1d(self):
+        s = Section((3,), (12,), (4,))
+        np.testing.assert_array_equal(s.dim_indices(0), [3, 7, 11])
+
+
+class TestIntersectBlock:
+    def test_full_overlap(self):
+        s = Section((0,), (10,), (1,))
+        sub = s.intersect_block((0,), (10,))
+        assert sub == s
+
+    def test_no_overlap_returns_none(self):
+        s = Section((0,), (5,), (1,))
+        assert s.intersect_block((5,), (10,)) is None
+
+    def test_stride_alignment(self):
+        s = Section((1,), (20,), (3,))  # 1,4,7,10,13,16,19
+        sub = s.intersect_block((5,), (15,))
+        np.testing.assert_array_equal(sub.dim_indices(0), [7, 10, 13])
+
+    def test_2d(self):
+        s = Section((0, 0), (8, 8), (2, 2))
+        sub = s.intersect_block((3, 0), (8, 5))
+        np.testing.assert_array_equal(sub.dim_indices(0), [4, 6])
+        np.testing.assert_array_equal(sub.dim_indices(1), [0, 2, 4])
+
+    def test_lin_offset_of_positions(self):
+        shape = (10, 10)
+        s = Section((0, 0), (10, 10), (2, 3))
+        sub = s.intersect_block((4, 3), (10, 10))
+        pos = s.lin_offset_of(sub)
+        gf = s.global_flat(shape)
+        np.testing.assert_array_equal(gf[pos], sub.global_flat(shape))
+
+    def test_lin_offset_of_foreign_section(self):
+        s = Section((0,), (10,), (2,))
+        other = Section((1,), (5,), (2,))  # not on s's lattice
+        assert s.lin_offset_of(other) is None
+
+
+@given(
+    start=st.integers(0, 5),
+    count=st.integers(1, 10),
+    step=st.integers(1, 4),
+    blo=st.integers(0, 30),
+    bwidth=st.integers(1, 30),
+)
+def test_property_intersection_equals_set_intersection(start, count, step, blo, bwidth):
+    stop = start + count * step
+    s = Section((start,), (stop,), (step,))
+    sub = s.intersect_block((blo,), (blo + bwidth,))
+    expected = [i for i in range(start, stop, step) if blo <= i < blo + bwidth]
+    if sub is None:
+        assert expected == []
+    else:
+        np.testing.assert_array_equal(sub.dim_indices(0), expected)
+
+
+@given(
+    data=st.data(),
+    shape=st.tuples(st.integers(2, 12), st.integers(2, 12)),
+)
+def test_property_global_flat_equals_numpy(data, shape):
+    slices = []
+    for n in shape:
+        lo = data.draw(st.integers(0, n - 1))
+        hi = data.draw(st.integers(lo + 1, n))
+        step = data.draw(st.integers(1, 3))
+        slices.append(slice(lo, hi, step))
+    s = Section.from_slices(tuple(slices), shape)
+    g = np.arange(np.prod(shape)).reshape(shape)
+    np.testing.assert_array_equal(
+        g.reshape(-1)[s.global_flat(shape)], g[tuple(slices)].ravel()
+    )

@@ -1,0 +1,43 @@
+"""Wire-protocol record tests for the distributed-object layer."""
+
+import pytest
+
+from repro.dobj.protocol import BoundArray, Reply, Request
+
+
+class TestRequest:
+    def test_defaults(self):
+        r = Request(kind="shutdown")
+        assert r.obj == "" and r.method == "" and r.args == ()
+        assert r.binding == -1
+
+    def test_nbytes_small_and_scales_with_args(self):
+        base = Request(kind="call", obj="o", method="m")
+        with_args = Request(kind="call", obj="o", method="m", args=(1, 2, 3))
+        assert base.nbytes < 200
+        assert with_args.nbytes == base.nbytes + 16 * 3
+
+    def test_frozen(self):
+        r = Request(kind="call")
+        with pytest.raises(Exception):
+            r.kind = "bind"  # type: ignore[misc]
+
+
+class TestReply:
+    def test_defaults(self):
+        r = Reply(ok=True)
+        assert r.value is None and r.error == "" and r.binding == -1
+
+    def test_nbytes_constant(self):
+        assert Reply(ok=True).nbytes == Reply(ok=False, error="x" * 100).nbytes
+
+    def test_error_carrier(self):
+        r = Reply(ok=False, error="KeyError: nope")
+        assert not r.ok and "KeyError" in r.error
+
+
+class TestBoundArray:
+    def test_fields(self):
+        b = BoundArray(binding_id=3, obj="vec", attr="v", exchange=None)
+        assert b.binding_id == 3
+        assert b.local_array is None

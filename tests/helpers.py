@@ -1,0 +1,55 @@
+"""Shared test utilities: SPMD runners and sequential oracles."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core import (
+    IndexRegion,
+    ScheduleMethod,
+    SectionRegion,
+    SetOfRegions,
+    mc_compute_schedule,
+    mc_copy,
+)
+from repro.distrib.section import Section
+from repro.vmachine import IBM_SP2, VirtualMachine
+
+
+def run_spmd(nprocs: int, fn: Callable, *args: Any, profile=IBM_SP2, **kwargs: Any):
+    """Run ``fn(comm, *args, **kwargs)`` on a fresh machine; return result."""
+    return VirtualMachine(nprocs, profile).run(fn, *args, **kwargs)
+
+
+def values_of(result) -> list:
+    return result.values
+
+
+def oracle_copy(
+    src_global: np.ndarray,
+    src_sor: SetOfRegions,
+    dst_global: np.ndarray,
+    dst_sor: SetOfRegions,
+) -> np.ndarray:
+    """Sequential reference of a Meta-Chaos copy: element k of the source
+    linearization lands at element k of the destination linearization."""
+    out = dst_global.copy()
+    src_idx = src_sor.global_flat(src_global.shape)
+    dst_idx = dst_sor.global_flat(out.shape)
+    assert len(src_idx) == len(dst_idx)
+    out.reshape(-1)[dst_idx] = src_global.reshape(-1)[src_idx]
+    return out
+
+
+def section_sor(slices: tuple[slice, ...], shape: tuple[int, ...]) -> SetOfRegions:
+    return SetOfRegions([SectionRegion(Section.from_slices(slices, shape))])
+
+
+def index_sor(indices: np.ndarray) -> SetOfRegions:
+    return SetOfRegions([IndexRegion(np.asarray(indices, dtype=np.int64))])
+
+
+def both_methods():
+    return [ScheduleMethod.COOPERATION, ScheduleMethod.DUPLICATION]

@@ -1,0 +1,171 @@
+"""HPF TEMPLATE/ALIGN tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    IndexRegion,
+    SectionRegion,
+    mc_compute_schedule,
+    mc_copy,
+    mc_new_set_of_regions,
+)
+from repro.chaos import ChaosArray
+from repro.distrib.section import Section
+from repro.hpf import AlignedDist, HPFArray, Template, align_array, forall_indexed
+from repro.vmachine.machine import SPMDError
+
+from helpers import run_spmd
+
+
+class TestTemplate:
+    def test_block_template(self):
+        t = Template((24, 10), ("block", "*"), 4)
+        assert t.shape == (24, 10)
+        assert t.ndim == 2
+
+    def test_cyclic_template_rejected(self):
+        with pytest.raises(ValueError, match="BLOCK"):
+            Template((24,), ("cyclic",), 4)
+
+
+class TestAlignedDist:
+    def test_identity_alignment_matches_template_owners(self):
+        t = Template((20,), ("block",), 4)
+        d = AlignedDist(t.dist, (20,), (0,), (0,), (1,))
+        d.check_valid()
+        r1, _ = d.owner_of_flat(np.arange(20))
+        r2, _ = t.dist.owner_of_flat(np.arange(20))
+        np.testing.assert_array_equal(r1, r2)
+
+    @pytest.mark.parametrize("offset,stride", [(0, 1), (3, 1), (0, 2), (5, 3)])
+    def test_affine_alignment_is_partition(self, offset, stride):
+        t = Template((64,), ("block",), 4)
+        n = (64 - offset - 1) // stride + 1
+        d = AlignedDist(t.dist, (n,), (0,), (offset,), (stride,))
+        d.check_valid()
+
+    def test_colocation_with_template_cells(self):
+        t = Template((50, 8), ("block", "*"), 5)
+        d = AlignedDist(t.dist, (20, 8), (0, 1), (7, 0), (2, 1))
+        g = np.arange(20 * 8)
+        i, j = np.unravel_index(g, (20, 8))
+        r, _ = d.owner_of_flat(g)
+        tr, _ = t.dist.owner_of_flat(
+            np.ravel_multi_index((7 + 2 * i, j), (50, 8))
+        )
+        np.testing.assert_array_equal(r, tr)
+
+    def test_transposed_axes(self):
+        """A(i, j) aligned with T(j, i): axes swap."""
+        t = Template((12, 30), ("*", "block"), 3)
+        d = AlignedDist(t.dist, (30, 12), (1, 0), (0, 0), (1, 1))
+        d.check_valid()
+        # element (i, 0) lives where template column i lives
+        r, _ = d.owner_of_flat(np.arange(0, 30 * 12, 12))  # (i, 0) flat
+        tr, _ = t.dist.owner_of_flat(np.arange(30))  # T(0, i) flat
+        np.testing.assert_array_equal(r, tr)
+
+    def test_descriptor_roundtrip(self):
+        t = Template((40,), ("block",), 4)
+        d = AlignedDist(t.dist, (10,), (0,), (2,), (3,))
+        assert d.descriptor().materialize() == d
+
+    def test_out_of_bounds_rejected(self):
+        t = Template((10,), ("block",), 2)
+        with pytest.raises(ValueError, match="outside"):
+            AlignedDist(t.dist, (6,), (0,), (0,), (2,))  # last cell = 10
+
+    def test_duplicate_axis_rejected(self):
+        t = Template((10, 10), ("block", "*"), 2)
+        with pytest.raises(ValueError, match="same template axis"):
+            AlignedDist(t.dist, (5, 5), (0, 0), (0, 0), (1, 1))
+
+    def test_distributed_unused_axis_rejected(self):
+        t = Template((10, 10), ("block", "block"), 4)
+        with pytest.raises(ValueError, match="replication"):
+            AlignedDist(t.dist, (10,), (0,), (0,), (1,))
+
+    def test_zero_or_negative_stride_rejected(self):
+        t = Template((10,), ("block",), 2)
+        with pytest.raises(ValueError):
+            AlignedDist(t.dist, (5,), (0,), (0,), (0,))
+        with pytest.raises(ValueError):
+            AlignedDist(t.dist, (5,), (0,), (9,), (-1,))
+
+
+class TestAlignedArrays:
+    def test_owner_computes_and_gather(self):
+        def spmd(comm):
+            t = Template((32, 6), ("block", "*"), comm.size)
+            a = align_array(comm, (10, 6), t, offsets=(4, 0), strides=(2, 1))
+            forall_indexed(a, lambda c: 10.0 * c[0] + c[1])
+            return a.gather_global()
+
+        got = run_spmd(4, spmd).values[0]
+        ii, jj = np.meshgrid(np.arange(10), np.arange(6), indexing="ij")
+        np.testing.assert_allclose(got, 10.0 * ii + jj)
+
+    def test_two_aligned_arrays_same_template_are_colocated(self):
+        """The point of ALIGN: elements that interact share processors, so
+        a pointwise combination needs no communication."""
+
+        def spmd(comm):
+            t = Template((40,), ("block",), comm.size)
+            a = align_array(comm, (40,), t)
+            b = align_array(comm, (40,), t)
+            assert a.local.size == b.local.size  # same owned box
+            comm.barrier()
+            before = comm.process.stats["messages_sent"]
+            a.local[:] = 1.0
+            b.local[:] = a.local * 2.0  # purely local
+            after = comm.process.stats["messages_sent"]
+            # barrier messages only (none from the combination itself)
+            return after - before
+
+        assert all(v == 0 for v in run_spmd(4, spmd).values)
+
+    def test_metachaos_interop_from_aligned_array(self):
+        def spmd(comm):
+            t = Template((26,), ("block",), comm.size)
+            a = align_array(comm, (12,), t, offsets=(1,), strides=(2,))
+            forall_indexed(a, lambda c: 1.0 * c[0])
+            z = ChaosArray.zeros(comm, np.arange(12) % comm.size)
+            sched = mc_compute_schedule(
+                comm,
+                "hpf", a,
+                mc_new_set_of_regions(SectionRegion(Section.full((12,)))),
+                "chaos", z,
+                mc_new_set_of_regions(IndexRegion(np.arange(12)[::-1])),
+            )
+            mc_copy(comm, sched, a, z)
+            return z.gather_global()
+
+        got = run_spmd(3, spmd).values[0]
+        np.testing.assert_allclose(got, np.arange(12)[::-1])
+
+    def test_comm_size_mismatch(self):
+        def spmd(comm):
+            t = Template((10,), ("block",), comm.size + 1)
+            align_array(comm, (10,), t)
+
+        with pytest.raises(SPMDError, match="spans"):
+            run_spmd(2, spmd)
+
+
+@given(
+    tsize=st.integers(8, 60),
+    nprocs=st.integers(1, 6),
+    offset=st.integers(0, 6),
+    stride=st.integers(1, 4),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_aligned_dist_is_partition(tsize, nprocs, offset, stride):
+    n = (tsize - offset - 1) // stride + 1
+    if n < 1:
+        return
+    t = Template((tsize,), ("block",), nprocs)
+    d = AlignedDist(t.dist, (n,), (0,), (offset,), (stride,))
+    d.check_valid()

@@ -1,0 +1,110 @@
+"""HPFArray distribution tests."""
+
+import numpy as np
+import pytest
+
+from repro.hpf import HPFArray
+from repro.hpf.array import parse_dist_spec
+from repro.vmachine.machine import SPMDError
+
+from helpers import run_spmd
+
+G = np.random.default_rng(22).random((12, 9))
+
+
+class TestSpecParsing:
+    def test_block(self):
+        assert parse_dist_spec("block") == ("block", 0)
+
+    def test_cyclic(self):
+        assert parse_dist_spec("CYCLIC") == ("cyclic", 0)
+
+    def test_cyclic_k(self):
+        assert parse_dist_spec("cyclic(5)") == ("block_cyclic", 5)
+
+    def test_star(self):
+        assert parse_dist_spec("*") == ("collapsed", 0)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            parse_dist_spec("blocky")
+
+
+SPECS = [
+    ("block", "block"),
+    ("block", "*"),
+    ("*", "block"),
+    ("cyclic", "block"),
+    ("cyclic", "cyclic"),
+    ("cyclic(3)", "*"),
+    ("block", "cyclic(2)"),
+]
+
+
+@pytest.mark.parametrize("specs", SPECS, ids=lambda s: "/".join(s))
+class TestDistributions:
+    def test_gather_roundtrip(self, specs):
+        def spmd(comm):
+            a = HPFArray.from_global(comm, G, specs)
+            return a.gather_global()
+
+        for p in (1, 2, 4):
+            got = run_spmd(p, spmd).values[0]
+            np.testing.assert_allclose(got, G)
+
+    def test_local_sizes_partition(self, specs):
+        def spmd(comm):
+            a = HPFArray.from_global(comm, G, specs)
+            return a.local.size
+
+        assert sum(run_spmd(4, spmd).values) == G.size
+
+
+class TestConstruction:
+    def test_from_function(self):
+        def spmd(comm):
+            a = HPFArray.from_function(
+                comm, (6, 4), lambda i, j: 10.0 * i + j, ("cyclic", "block")
+            )
+            return a.gather_global()
+
+        got = run_spmd(4, spmd).values[0]
+        ii, jj = np.meshgrid(np.arange(6), np.arange(4), indexing="ij")
+        np.testing.assert_allclose(got, 10.0 * ii + jj)
+
+    def test_explicit_grid(self):
+        def spmd(comm):
+            a = HPFArray.distribute(comm, (8, 8), ("block", "block"), grid=(4, 1))
+            return a.local_shape
+
+        assert run_spmd(4, spmd).values == [(2, 8)] * 4
+
+    def test_collapsed_grid_extent_must_be_one(self):
+        def spmd(comm):
+            HPFArray.distribute(comm, (8, 8), ("*", "block"), grid=(2, 2))
+
+        with pytest.raises(SPMDError, match="grid extent 1"):
+            run_spmd(4, spmd)
+
+    def test_fully_collapsed_multiproc_rejected(self):
+        def spmd(comm):
+            HPFArray.distribute(comm, (8,), ("*",))
+
+        with pytest.raises(SPMDError, match="one processor"):
+            run_spmd(2, spmd)
+
+    def test_spec_count_mismatch(self):
+        def spmd(comm):
+            HPFArray.distribute(comm, (8, 8), ("block",))
+
+        with pytest.raises(SPMDError, match="per dimension"):
+            run_spmd(2, spmd)
+
+    def test_aligned_with(self):
+        def spmd(comm):
+            a = HPFArray.distribute(comm, (8, 8), ("block", "block"))
+            b = HPFArray.distribute(comm, (8, 8), ("block", "block"))
+            c = HPFArray.distribute(comm, (8, 8), ("cyclic", "block"))
+            return a.aligned_with(b) and not a.aligned_with(c)
+
+        assert all(run_spmd(4, spmd).values)

@@ -1,0 +1,74 @@
+"""forall executor tests."""
+
+import numpy as np
+import pytest
+
+from repro.hpf import HPFArray, forall, forall_indexed
+from repro.vmachine.machine import SPMDError
+
+from helpers import run_spmd
+
+G = np.random.default_rng(23).random(30)
+
+
+class TestForall:
+    def test_elementwise(self):
+        def spmd(comm):
+            x = HPFArray.from_global(comm, G, ("cyclic",))
+            out = HPFArray.distribute(comm, (30,), ("cyclic",))
+            forall(out, lambda a: 2.0 * a + 1.0, x)
+            return out.gather_global()
+
+        np.testing.assert_allclose(run_spmd(3, spmd).values[0], 2.0 * G + 1.0)
+
+    def test_multiple_operands(self):
+        def spmd(comm):
+            x = HPFArray.from_global(comm, G, ("block",))
+            y = HPFArray.from_global(comm, 2.0 * G, ("block",))
+            out = HPFArray.distribute(comm, (30,), ("block",))
+            forall(out, lambda a, b: a * b, x, y)
+            return out.gather_global()
+
+        np.testing.assert_allclose(run_spmd(4, spmd).values[0], 2.0 * G * G)
+
+    def test_unaligned_operands_rejected(self):
+        def spmd(comm):
+            x = HPFArray.from_global(comm, G, ("cyclic",))
+            out = HPFArray.distribute(comm, (30,), ("block",))
+            forall(out, lambda a: a, x)
+
+        with pytest.raises(SPMDError, match="aligned"):
+            run_spmd(2, spmd)
+
+    def test_charges_flops(self):
+        def spmd(comm):
+            x = HPFArray.from_global(comm, G, ("block",))
+            t0 = comm.process.clock
+            forall(x, lambda a: a + 1.0, x, flops_per_elem=3.0)
+            return comm.process.clock - t0
+
+        vals = run_spmd(2, spmd).values
+        assert all(v > 0 for v in vals)
+
+
+class TestForallIndexed:
+    def test_global_coordinates_available(self):
+        def spmd(comm):
+            out = HPFArray.distribute(comm, (5, 4), ("block", "cyclic"))
+            forall_indexed(out, lambda coords: 10.0 * coords[0] + coords[1])
+            return out.gather_global()
+
+        got = run_spmd(4, spmd).values[0]
+        ii, jj = np.meshgrid(np.arange(5), np.arange(4), indexing="ij")
+        np.testing.assert_allclose(got, 10.0 * ii + jj)
+
+    def test_with_operand(self):
+        def spmd(comm):
+            x = HPFArray.from_global(comm, G, ("cyclic",))
+            out = HPFArray.distribute(comm, (30,), ("cyclic",))
+            forall_indexed(out, lambda coords, a: a * coords[0], x)
+            return out.gather_global()
+
+        np.testing.assert_allclose(
+            run_spmd(3, spmd).values[0], G * np.arange(30)
+        )

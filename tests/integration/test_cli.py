@@ -1,0 +1,43 @@
+"""Command-line interface tests (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "blockparti" in out and "chaos" in out
+        assert "IBM-SP2" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--procs", "2", "--size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "verified element-exact" in out
+        assert "modelled elapsed" in out
+
+    def test_matvec(self, capsys):
+        assert main([
+            "matvec", "--client", "1", "--server", "2",
+            "--vectors", "1", "--size", "32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "send matrix" in out
+        assert "speedup" in out
+
+    def test_coupled(self, capsys):
+        assert main([
+            "coupled", "--procs", "2", "--size", "12", "--steps", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "inspector" in out and "remap schedule" in out
+
+    def test_coupled_rejects_bad_backend(self):
+        with pytest.raises(SystemExit):
+            main(["coupled", "--remap", "mpi"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

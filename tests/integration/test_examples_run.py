@@ -1,0 +1,43 @@
+"""Every example script must run clean end-to-end (anti-rot smoke tests).
+
+Each example self-verifies its numerics (asserting against oracles), so a
+zero exit status is a meaningful check, not just "didn't crash".
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", "quickstart OK"),
+    ("coupled_mesh.py", "coupled mesh example OK"),
+    ("two_program_coupling.py", "two-program coupling OK"),
+    ("client_server_matvec.py", "client/server matvec example OK"),
+    ("pcxx_exchange.py", "pcxx exchange example OK"),
+    ("image_server.py", "image server example OK"),
+    ("shipboard_fire.py", "shipboard fire example OK"),
+    ("adaptive_remesh.py", "adaptive remesh example OK"),
+    ("multiblock_cfd.py", "multiblock CFD example OK"),
+]
+
+
+@pytest.mark.parametrize("script,marker", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_and_verifies(script, marker):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{result.stdout[-2000:]}\n"
+        f"--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert marker in result.stdout, (
+        f"{script} did not print its success marker {marker!r}; got:\n"
+        f"{result.stdout[-1000:]}"
+    )

@@ -1,0 +1,24 @@
+"""The README's quickstart code block must actually run (anti-rot)."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def test_readme_python_snippet_executes():
+    text = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert blocks, "README lost its python example"
+    # Execute the quickstart block in a fresh namespace.
+    namespace = {}
+    exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+
+
+def test_readme_references_existing_files():
+    text = README.read_text()
+    root = README.parent
+    for rel in re.findall(r"\]\((\S+?\.md)\)", text):
+        assert (root / rel).exists(), f"README links to missing {rel}"
+    for rel in re.findall(r"examples/\w+\.py", text):
+        assert (root / rel).exists(), f"README names missing {rel}"

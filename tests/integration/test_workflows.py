@@ -1,0 +1,156 @@
+"""End-to-end workflow stress tests combining many features at once."""
+
+import numpy as np
+import pytest
+
+from repro.blockparti import BlockPartiArray
+from repro.chaos import ChaosArray, remap, rcb_owners
+from repro.core import (
+    IndexRegion,
+    MaskRegion,
+    ScheduleCache,
+    SectionRegion,
+    mc_copy,
+    mc_new_set_of_regions,
+    schedule_stats,
+    validate_schedule,
+)
+from repro.distrib.section import Section
+from repro.hpf import HPFArray, cshift, hpf_sum
+from repro.pcxx import DistributedCollection
+from repro.util import gather_canonical
+from repro.vmachine import VirtualMachine
+
+from helpers import run_spmd
+
+N = 64
+
+
+def test_four_library_pipeline_with_cache_and_validation():
+    """Data flows parti -> hpf -> chaos -> pcxx and back to a canonical
+    buffer; every schedule validated; all via one cache."""
+    values = np.random.default_rng(100).random((8, 8))
+    perm = np.random.default_rng(101).permutation(N)
+
+    def spmd(comm):
+        cache = ScheduleCache(comm)
+        parti = BlockPartiArray.from_global(comm, values)
+        hpf = HPFArray.distribute(comm, (8, 8), ("cyclic", "block"))
+        chaos = ChaosArray.zeros(comm, perm % comm.size)
+        coll = DistributedCollection.create(comm, N)
+
+        full2d = mc_new_set_of_regions(SectionRegion(Section.full((8, 8))))
+        ident = mc_new_set_of_regions(IndexRegion(np.arange(N)))
+        permuted = mc_new_set_of_regions(IndexRegion(perm))
+
+        s1 = cache.get_or_build("blockparti", parti, full2d, "hpf", hpf, full2d)
+        validate_schedule(comm, s1, parti, hpf)
+        mc_copy(comm, s1, parti, hpf)
+
+        s2 = cache.get_or_build("hpf", hpf, full2d, "chaos", chaos, permuted)
+        validate_schedule(comm, s2, hpf, chaos)
+        mc_copy(comm, s2, hpf, chaos)
+
+        s3 = cache.get_or_build("chaos", chaos, permuted, "pcxx", coll, ident)
+        validate_schedule(comm, s3, chaos, coll)
+        mc_copy(comm, s3, chaos, coll)
+
+        # Round 2 through the same pipeline must be all cache hits.
+        for a, sa, b, sb, la, lb in (
+            (parti, full2d, hpf, full2d, "blockparti", "hpf"),
+            (hpf, full2d, chaos, permuted, "hpf", "chaos"),
+            (chaos, permuted, coll, ident, "chaos", "pcxx"),
+        ):
+            sched = cache.get_or_build(la, a, sa, lb, b, sb)
+            mc_copy(comm, sched, a, b)
+        assert cache.hits == 3 and cache.misses == 3
+
+        buf = gather_canonical(comm, "pcxx", coll, ident)
+        stats = schedule_stats(comm, s2)
+        assert stats.n_elements == N
+        return buf
+
+    got = run_spmd(4, spmd).values[0]
+    np.testing.assert_allclose(got, values.ravel())
+
+
+def test_mixed_region_types_one_schedule():
+    """A SetOfRegions mixing sections, masks and index lists on the source
+    against an index destination — linearization concatenation across
+    heterogeneous region types."""
+    values = np.random.default_rng(102).random((8, 8))
+    mask = values > 0.7
+
+    def spmd(comm):
+        from repro.core import SetOfRegions
+
+        A = BlockPartiArray.from_global(comm, values)
+        src = SetOfRegions(
+            [
+                SectionRegion(Section((0, 0), (2, 8), (1, 1))),  # 16 elems
+                MaskRegion(mask),
+                IndexRegion(np.array([63, 62, 61])),
+            ]
+        )
+        n = src.size
+        B = ChaosArray.zeros(comm, np.arange(n) % comm.size)
+        from repro.core import mc_compute_schedule
+
+        sched = mc_compute_schedule(
+            comm, "blockparti", A, src,
+            "chaos", B, mc_new_set_of_regions(IndexRegion(np.arange(n))),
+        )
+        validate_schedule(comm, sched, A, B)
+        mc_copy(comm, sched, A, B)
+        return B.gather_global()
+
+    got = run_spmd(3, spmd).values[0]
+    expected = np.concatenate(
+        [values[0:2].ravel(), values[mask], values.ravel()[[63, 62, 61]]]
+    )
+    np.testing.assert_allclose(got, expected)
+
+
+def test_adaptive_pipeline_remap_then_interop():
+    """Redistribute an irregular array, then copy out of the *new*
+    distribution — schedules must track the remapped translation table."""
+    coords = np.random.default_rng(103).random((N, 2))
+    values = np.random.default_rng(104).random(N)
+
+    def spmd(comm):
+        a = ChaosArray.from_global(comm, values, np.arange(N) % comm.size)
+        a2 = remap(a, rcb_owners(coords, comm.size))
+        out = BlockPartiArray.zeros(comm, (8, 8))
+        from repro.core import mc_compute_schedule
+
+        sched = mc_compute_schedule(
+            comm,
+            "chaos", a2, mc_new_set_of_regions(IndexRegion(np.arange(N))),
+            "blockparti", out,
+            mc_new_set_of_regions(SectionRegion(Section.full((8, 8)))),
+        )
+        mc_copy(comm, sched, a2, out)
+        return out.gather_global()
+
+    got = run_spmd(4, spmd).values[0]
+    np.testing.assert_allclose(got, values.reshape(8, 8))
+
+
+def test_hpf_compute_then_export():
+    """HPF-native computation (cshift + reduction) interleaved with
+    Meta-Chaos export of the intermediate state."""
+    values = np.random.default_rng(105).random(N)
+
+    def spmd(comm):
+        x = HPFArray.from_global(comm, values, ("block",))
+        shifted = cshift(x, 3)
+        total = hpf_sum(shifted)
+        buf = gather_canonical(
+            comm, "hpf", shifted,
+            mc_new_set_of_regions(SectionRegion(Section.full((N,)))),
+        )
+        return total, buf
+
+    total, buf = run_spmd(4, spmd).values[0]
+    assert np.isclose(total, values.sum())
+    np.testing.assert_allclose(buf, np.roll(values, -3))

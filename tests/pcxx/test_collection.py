@@ -1,0 +1,94 @@
+"""pC++ distributed-collection tests."""
+
+import numpy as np
+import pytest
+
+from repro.pcxx import DistributedCollection
+from repro.vmachine.machine import SPMDError
+
+from helpers import run_spmd
+
+N = 40
+G = np.random.default_rng(26).random(N)
+
+
+class TestLayouts:
+    @pytest.mark.parametrize("layout", ["cyclic", "block"])
+    def test_gather_roundtrip(self, layout):
+        def spmd(comm):
+            c = DistributedCollection.from_global(comm, G, layout)
+            return c.gather_global()
+
+        for p in (1, 2, 4):
+            np.testing.assert_allclose(run_spmd(p, spmd).values[0], G)
+
+    def test_explicit_layout(self):
+        owners = np.random.default_rng(27).integers(0, 4, N)
+
+        def spmd(comm):
+            c = DistributedCollection.from_global(
+                comm, G, "explicit", owners=owners % comm.size
+            )
+            return c.gather_global()
+
+        np.testing.assert_allclose(run_spmd(4, spmd).values[0], G)
+
+    def test_explicit_needs_owners(self):
+        def spmd(comm):
+            DistributedCollection.create(comm, N, "explicit")
+
+        with pytest.raises(SPMDError, match="owners"):
+            run_spmd(2, spmd)
+
+    def test_unknown_layout(self):
+        def spmd(comm):
+            DistributedCollection.create(comm, N, "diagonal")
+
+        with pytest.raises(SPMDError, match="unknown layout"):
+            run_spmd(2, spmd)
+
+    def test_cyclic_balance(self):
+        def spmd(comm):
+            c = DistributedCollection.create(comm, N)
+            return c.local.size
+
+        sizes = run_spmd(3, spmd).values
+        assert sum(sizes) == N
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestElementParallel:
+    def test_apply_uses_global_indices(self):
+        def spmd(comm):
+            c = DistributedCollection.create(comm, N)
+            c.apply(lambda g, e: g * 2.0)
+            return c.gather_global()
+
+        np.testing.assert_allclose(
+            run_spmd(4, spmd).values[0], 2.0 * np.arange(N)
+        )
+
+    def test_apply_composes(self):
+        def spmd(comm):
+            c = DistributedCollection.from_global(comm, G)
+            c.apply(lambda g, e: e + 1.0)
+            c.apply(lambda g, e: e * 3.0)
+            return c.gather_global()
+
+        np.testing.assert_allclose(run_spmd(2, spmd).values[0], 3.0 * (G + 1.0))
+
+    def test_reduce(self):
+        def spmd(comm):
+            c = DistributedCollection.from_global(comm, G)
+            return c.reduce(lambda a, b: a + b)
+
+        vals = run_spmd(4, spmd).values
+        for v in vals:
+            assert v == pytest.approx(G.sum())
+
+    def test_reduce_max(self):
+        def spmd(comm):
+            c = DistributedCollection.from_global(comm, G)
+            return c.reduce(max, initial=-np.inf)
+
+        assert run_spmd(3, spmd).values[0] == pytest.approx(G.max())

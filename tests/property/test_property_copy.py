@@ -1,0 +1,145 @@
+"""Property-based tests of the end-to-end copy engine.
+
+Hypothesis drives random distributions, random region sets and random
+processor counts through the full schedule-build + data-move pipeline and
+checks the result against the sequential oracle.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.blockparti  # noqa: F401
+import repro.chaos  # noqa: F401
+import repro.hpf  # noqa: F401
+from repro.blockparti import BlockPartiArray
+from repro.chaos import ChaosArray
+from repro.core import (
+    IndexRegion,
+    ScheduleMethod,
+    SectionRegion,
+    SetOfRegions,
+    mc_compute_schedule,
+    mc_copy,
+)
+from repro.distrib.section import Section
+from repro.hpf import HPFArray
+
+from helpers import oracle_copy, run_spmd
+
+
+@st.composite
+def copy_case(draw):
+    """A random conformant (source section set, dest index set) pair."""
+    n0 = draw(st.integers(4, 10))
+    n1 = draw(st.integers(4, 10))
+    shape = (n0, n1)
+    nregions = draw(st.integers(1, 3))
+    regions = []
+    total = 0
+    for _ in range(nregions):
+        lo0 = draw(st.integers(0, n0 - 1))
+        hi0 = draw(st.integers(lo0 + 1, n0))
+        lo1 = draw(st.integers(0, n1 - 1))
+        hi1 = draw(st.integers(lo1 + 1, n1))
+        s0 = draw(st.integers(1, 2))
+        s1 = draw(st.integers(1, 2))
+        sec = Section((lo0, lo1), (hi0, hi1), (s0, s1))
+        regions.append(SectionRegion(sec))
+        total += sec.size
+    dst_size = draw(st.integers(total, total + 20))
+    dst_idx = draw(
+        st.permutations(list(range(dst_size))).map(lambda p: np.array(p[:total]))
+    )
+    owners_seed = draw(st.integers(0, 100))
+    nprocs = draw(st.sampled_from([1, 2, 3, 4]))
+    method = draw(st.sampled_from(list(ScheduleMethod)))
+    return shape, regions, dst_size, dst_idx, owners_seed, nprocs, method
+
+
+@given(case=copy_case())
+@settings(max_examples=20, deadline=None)
+def test_parti_to_chaos_random_cases(case):
+    shape, regions, dst_size, dst_idx, owners_seed, nprocs, method = case
+    values = np.random.default_rng(owners_seed).random(shape)
+    owners = np.random.default_rng(owners_seed + 1).integers(0, nprocs, dst_size)
+    src_sor = SetOfRegions(regions)
+    dst_sor = SetOfRegions([IndexRegion(dst_idx)])
+
+    def spmd(comm):
+        A = BlockPartiArray.from_global(comm, values)
+        B = ChaosArray.zeros(comm, owners)
+        sched = mc_compute_schedule(
+            comm, "blockparti", A, src_sor, "chaos", B, dst_sor, method
+        )
+        mc_copy(comm, sched, A, B)
+        return B.gather_global()
+
+    got = run_spmd(nprocs, spmd).values[0]
+    expected = oracle_copy(values, src_sor, np.zeros(dst_size), dst_sor)
+    np.testing.assert_allclose(got, expected)
+
+
+@st.composite
+def hpf_case(draw):
+    n = draw(st.integers(6, 40))
+    spec = draw(st.sampled_from(["block", "cyclic", "cyclic(3)"]))
+    nprocs = draw(st.sampled_from([1, 2, 3]))
+    lo = draw(st.integers(0, n - 2))
+    hi = draw(st.integers(lo + 1, n))
+    step = draw(st.integers(1, 3))
+    return n, spec, nprocs, lo, hi, step
+
+
+@given(case=hpf_case())
+@settings(max_examples=20, deadline=None)
+def test_hpf_section_to_chaos_random_distributions(case):
+    n, spec, nprocs, lo, hi, step = case
+    sec = Section((lo,), (hi,), (step,))
+    m = sec.size
+    values = np.random.default_rng(n).random(n)
+    src_sor = SetOfRegions([SectionRegion(sec)])
+    dst_sor = SetOfRegions([IndexRegion(np.arange(m)[::-1])])
+
+    def spmd(comm):
+        A = HPFArray.from_global(comm, values, (spec,))
+        B = ChaosArray.zeros(comm, np.arange(m) % comm.size)
+        sched = mc_compute_schedule(
+            comm, "hpf", A, src_sor, "chaos", B, dst_sor
+        )
+        mc_copy(comm, sched, A, B)
+        return B.gather_global()
+
+    got = run_spmd(nprocs, spmd).values[0]
+    np.testing.assert_allclose(got, values[lo:hi:step][::-1])
+
+
+@given(
+    n=st.integers(4, 60),
+    nprocs=st.sampled_from([1, 2, 4]),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=20, deadline=None)
+def test_permutation_roundtrip_is_identity(n, nprocs, seed):
+    """copy(A->B, perm) then copy(B->A, reverse) restores A exactly."""
+    rng = np.random.default_rng(seed)
+    values = rng.random(n)
+    perm = rng.permutation(n)
+    owners_a = rng.integers(0, nprocs, n)
+    owners_b = rng.integers(0, nprocs, n)
+
+    def spmd(comm):
+        A = ChaosArray.from_global(comm, values, owners_a % comm.size)
+        B = ChaosArray.zeros(comm, owners_b % comm.size)
+        sched = mc_compute_schedule(
+            comm,
+            "chaos", A, SetOfRegions([IndexRegion(np.arange(n))]),
+            "chaos", B, SetOfRegions([IndexRegion(perm)]),
+        )
+        mc_copy(comm, sched, A, B)
+        A.local[:] = 0.0
+        mc_copy(comm, sched.reverse(), B, A)
+        return A.gather_global()
+
+    got = run_spmd(nprocs, spmd).values[0]
+    np.testing.assert_allclose(got, values)

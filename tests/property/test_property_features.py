@@ -1,0 +1,136 @@
+"""Property-based tests for the extension features (multiblock, remap,
+cshift, Fortran-order and mask regions, canonical gather)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockparti import BlockPartiArray, MultiblockArray, fill_block
+from repro.chaos import ChaosArray, remap
+from repro.core import (
+    MaskRegion,
+    SectionRegion,
+    mc_new_set_of_regions,
+)
+from repro.distrib.section import Section
+from repro.hpf import HPFArray, cshift
+from repro.util import gather_canonical
+
+from helpers import run_spmd
+
+
+@given(
+    n=st.integers(4, 40),
+    shift=st.integers(-50, 50),
+    nprocs=st.sampled_from([1, 2, 3]),
+    spec=st.sampled_from(["block", "cyclic"]),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_cshift_equals_numpy_roll(n, shift, nprocs, spec):
+    values = np.random.default_rng(n).random(n)
+
+    def spmd(comm):
+        x = HPFArray.from_global(comm, values, (spec,))
+        return cshift(x, shift).gather_global()
+
+    got = run_spmd(nprocs, spmd).values[0]
+    np.testing.assert_allclose(got, np.roll(values, -shift))
+
+
+@given(
+    n=st.integers(2, 50),
+    seed=st.integers(0, 40),
+    nprocs=st.sampled_from([1, 2, 4]),
+    repeats=st.integers(1, 3),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_remap_chain_preserves_values(n, seed, nprocs, repeats):
+    """Any chain of redistributions leaves the global values unchanged."""
+    rng = np.random.default_rng(seed)
+    values = rng.random(n)
+    owner_maps = [rng.integers(0, nprocs, n) for _ in range(repeats + 1)]
+
+    def spmd(comm):
+        a = ChaosArray.from_global(comm, values, owner_maps[0] % comm.size)
+        for owners in owner_maps[1:]:
+            a = remap(a, owners % comm.size)
+        return a.gather_global()
+
+    got = run_spmd(nprocs, spmd).values[0]
+    np.testing.assert_allclose(got, values)
+
+
+@given(
+    rows=st.integers(2, 8),
+    cols=st.integers(2, 8),
+    nprocs=st.sampled_from([1, 2, 4]),
+    data=st.data(),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_multiblock_interface_equals_numpy(rows, cols, nprocs, data):
+    """A random same-shape interface copy matches the NumPy assignment."""
+    r0 = data.draw(st.integers(0, rows - 1))
+    r1 = data.draw(st.integers(r0 + 1, rows))
+    c0 = data.draw(st.integers(0, cols - 1))
+    c1 = data.draw(st.integers(c0 + 1, cols))
+    src_sl = (slice(r0, r1), slice(c0, c1))
+    # destination block gets the same-size window anchored at the origin
+    dst_sl = (slice(0, r1 - r0), slice(0, c1 - c0))
+    values = np.random.default_rng(rows * 10 + cols).random((rows, cols))
+
+    def spmd(comm):
+        mb = MultiblockArray.zeros(comm, [(rows, cols), (rows, cols)])
+        fill_block(mb.block(0), lambda i, j: values[i, j])
+        mb.connect(0, src_sl, 1, dst_sl)
+        mb.update_interfaces()
+        return mb.gather_global()
+
+    blocks = run_spmd(nprocs, spmd).values[0]
+    expected = np.zeros((rows, cols))
+    expected[dst_sl] = values[src_sl]
+    np.testing.assert_allclose(blocks[1], expected)
+
+
+@given(
+    n0=st.integers(2, 8),
+    n1=st.integers(2, 8),
+    seed=st.integers(0, 30),
+    order=st.sampled_from(["C", "F"]),
+    nprocs=st.sampled_from([1, 2, 3]),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_canonical_gather_respects_order(n0, n1, seed, order, nprocs):
+    values = np.random.default_rng(seed).random((n0, n1))
+
+    def spmd(comm):
+        A = BlockPartiArray.from_global(comm, values)
+        sor = mc_new_set_of_regions(
+            SectionRegion(Section.full((n0, n1)), order=order)
+        )
+        return gather_canonical(comm, "blockparti", A, sor)
+
+    got = run_spmd(nprocs, spmd).values[0]
+    np.testing.assert_allclose(got, values.ravel(order=order))
+
+
+@given(
+    n0=st.integers(2, 10),
+    n1=st.integers(2, 10),
+    seed=st.integers(0, 30),
+    threshold=st.floats(0.0, 1.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_mask_region_selects_numpy_subset(n0, n1, seed, threshold):
+    values = np.random.default_rng(seed).random((n0, n1))
+    mask = values > threshold
+
+    def spmd(comm):
+        A = BlockPartiArray.from_global(comm, values)
+        sor = mc_new_set_of_regions(MaskRegion(mask))
+        return gather_canonical(comm, "blockparti", A, sor)
+
+    got = run_spmd(2, spmd).values[0]
+    if int(mask.sum()) == 0:
+        assert got is None or len(got) == 0
+    else:
+        np.testing.assert_allclose(got, values[mask])

@@ -1,0 +1,116 @@
+"""Property-based tests of schedule-level invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.blockparti  # noqa: F401
+import repro.chaos  # noqa: F401
+from repro.blockparti import BlockPartiArray
+from repro.chaos import ChaosArray
+from repro.core import (
+    IndexRegion,
+    ScheduleMethod,
+    SectionRegion,
+    SetOfRegions,
+    mc_compute_schedule,
+)
+from repro.distrib.section import Section
+
+from helpers import run_spmd
+
+
+@st.composite
+def schedule_case(draw):
+    n0 = draw(st.integers(4, 9))
+    n1 = draw(st.integers(4, 9))
+    n = n0 * n1
+    perm_seed = draw(st.integers(0, 99))
+    nprocs = draw(st.sampled_from([1, 2, 3, 4]))
+    return (n0, n1), n, perm_seed, nprocs
+
+
+@given(case=schedule_case())
+@settings(max_examples=15, deadline=None)
+def test_invariants_hold_for_random_cases(case):
+    shape, n, perm_seed, nprocs = case
+    perm = np.random.default_rng(perm_seed).permutation(n)
+    owners = np.random.default_rng(perm_seed + 1).integers(0, nprocs, n)
+
+    def spmd(comm):
+        A = BlockPartiArray.zeros(comm, shape)
+        B = ChaosArray.zeros(comm, owners)
+        schedules = {
+            m: mc_compute_schedule(
+                comm,
+                "blockparti", A, SetOfRegions([SectionRegion(Section.full(shape))]),
+                "chaos", B, SetOfRegions([IndexRegion(perm)]),
+                m,
+            )
+            for m in ScheduleMethod
+        }
+        coop = schedules[ScheduleMethod.COOPERATION]
+        dup = schedules[ScheduleMethod.DUPLICATION]
+
+        # Invariant 1: both methods produce the identical schedule.
+        assert set(coop.sends) == set(dup.sends)
+        for d in coop.sends:
+            np.testing.assert_array_equal(coop.sends[d], dup.sends[d])
+        for s in coop.recvs:
+            np.testing.assert_array_equal(coop.recvs[s], dup.recvs[s])
+
+        # Invariant 2: send offsets are valid local addresses.
+        for offs in coop.sends.values():
+            assert len(offs) == 0 or (
+                offs.min() >= 0 and offs.max() < A.local.size
+            )
+        for offs in coop.recvs.values():
+            assert len(offs) == 0 or (
+                offs.min() >= 0 and offs.max() < B.local.size
+            )
+
+        # Invariant 3: every local destination offset receives exactly once.
+        all_recv = (
+            np.concatenate(list(coop.recvs.values()))
+            if coop.recvs
+            else np.zeros(0, dtype=np.int64)
+        )
+        assert len(np.unique(all_recv)) == len(all_recv)
+
+        # Invariant 4: message partner count bounded by universe size.
+        assert len(coop.sends) <= coop.dst_size
+        assert len(coop.recvs) <= coop.src_size
+
+        return (coop.send_count, coop.recv_count)
+
+    res = run_spmd(nprocs, spmd)
+    # Invariant 5: counts partition the element set across ranks.
+    assert sum(v[0] for v in res.values) == n
+    assert sum(v[1] for v in res.values) == n
+
+
+@given(
+    n=st.integers(2, 50),
+    nprocs=st.sampled_from([1, 2, 4]),
+    seed=st.integers(0, 30),
+)
+@settings(max_examples=15, deadline=None)
+def test_reverse_is_involution(n, nprocs, seed):
+    perm = np.random.default_rng(seed).permutation(n)
+
+    def spmd(comm):
+        A = ChaosArray.zeros(comm, np.arange(n) % comm.size)
+        B = ChaosArray.zeros(comm, perm % comm.size)
+        sched = mc_compute_schedule(
+            comm,
+            "chaos", A, SetOfRegions([IndexRegion(np.arange(n))]),
+            "chaos", B, SetOfRegions([IndexRegion(perm)]),
+        )
+        double = sched.reverse().reverse()
+        assert double.src_lib == sched.src_lib
+        assert set(double.sends) == set(sched.sends)
+        for d in sched.sends:
+            np.testing.assert_array_equal(double.sends[d], sched.sends[d])
+        return True
+
+    assert all(run_spmd(nprocs, spmd).values)

@@ -1,0 +1,139 @@
+"""Canonical-form gather/scatter tests."""
+
+import numpy as np
+import pytest
+
+from repro.blockparti import BlockPartiArray
+from repro.chaos import ChaosArray
+from repro.core import (
+    IndexRegion,
+    MaskRegion,
+    SectionRegion,
+    mc_new_set_of_regions,
+)
+from repro.distrib.section import Section
+from repro.hpf import HPFArray
+from repro.pcxx import DistributedCollection
+from repro.util import gather_canonical, scatter_canonical
+from repro.vmachine.machine import SPMDError
+
+from helpers import run_spmd
+
+G2 = np.random.default_rng(80).random((6, 8))
+G1 = np.random.default_rng(81).random(40)
+
+
+class TestGather:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4])
+    def test_full_section_gather(self, nprocs):
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, G2)
+            sor = mc_new_set_of_regions(SectionRegion(Section.full((6, 8))))
+            return gather_canonical(comm, "blockparti", A, sor)
+
+        res = run_spmd(nprocs, spmd)
+        np.testing.assert_allclose(res.values[0], G2.ravel())
+        assert all(v is None for v in res.values[1:])
+
+    def test_strided_section(self):
+        def spmd(comm):
+            A = HPFArray.from_global(comm, G2, ("block", "cyclic"))
+            sor = mc_new_set_of_regions(
+                SectionRegion(Section((0, 1), (6, 8), (2, 3)))
+            )
+            return gather_canonical(comm, "hpf", A, sor)
+
+        got = run_spmd(3, spmd).values[0]
+        np.testing.assert_allclose(got, G2[0:6:2, 1:8:3].ravel())
+
+    def test_fortran_order_canonical(self):
+        def spmd(comm):
+            A = HPFArray.from_global(comm, G2, ("block", "block"))
+            sor = mc_new_set_of_regions(
+                SectionRegion(Section.full((6, 8)), order="F")
+            )
+            return gather_canonical(comm, "hpf", A, sor)
+
+        got = run_spmd(2, spmd).values[0]
+        np.testing.assert_allclose(got, G2.ravel(order="F"))
+
+    def test_mask_region(self):
+        mask = G2 > 0.5
+
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, G2)
+            sor = mc_new_set_of_regions(MaskRegion(mask))
+            return gather_canonical(comm, "blockparti", A, sor)
+
+        got = run_spmd(4, spmd).values[0]
+        np.testing.assert_allclose(got, G2[mask])
+
+    def test_nonzero_root(self):
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, G1)
+            sor = mc_new_set_of_regions(SectionRegion(Section.full((40,))))
+            return gather_canonical(comm, "blockparti", A, sor, root=1)
+
+        res = run_spmd(3, spmd)
+        assert res.values[0] is None
+        np.testing.assert_allclose(res.values[1], G1)
+
+    def test_from_irregular_source(self):
+        owners = np.random.default_rng(82).integers(0, 4, 40)
+
+        def spmd(comm):
+            A = ChaosArray.from_global(comm, G1, owners % comm.size)
+            sor = mc_new_set_of_regions(IndexRegion(np.arange(40)[::-1]))
+            return gather_canonical(comm, "chaos", A, sor)
+
+        got = run_spmd(4, spmd).values[0]
+        np.testing.assert_allclose(got, G1[::-1])
+
+
+class TestScatter:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4])
+    def test_roundtrip(self, nprocs):
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, G2)
+            sor = mc_new_set_of_regions(SectionRegion(Section.full((6, 8))))
+            buf = gather_canonical(comm, "blockparti", A, sor)
+            B = BlockPartiArray.zeros(comm, (6, 8))
+            scatter_canonical(comm, buf, "blockparti", B, sor)
+            return B.gather_global()
+
+        got = run_spmd(nprocs, spmd).values[0]
+        np.testing.assert_allclose(got, G2)
+
+    def test_scatter_to_collection(self):
+        def spmd(comm):
+            c = DistributedCollection.create(comm, 40)
+            sor = mc_new_set_of_regions(IndexRegion(np.arange(40)))
+            vals = G1 if comm.rank == 0 else None
+            scatter_canonical(comm, vals, "pcxx", c, sor)
+            return c.gather_global()
+
+        got = run_spmd(4, spmd).values[0]
+        np.testing.assert_allclose(got, G1)
+
+    def test_wrong_buffer_shape(self):
+        def spmd(comm):
+            A = BlockPartiArray.zeros(comm, (6, 8))
+            sor = mc_new_set_of_regions(SectionRegion(Section.full((6, 8))))
+            vals = np.zeros(5) if comm.rank == 0 else None
+            scatter_canonical(comm, vals, "blockparti", A, sor)
+
+        with pytest.raises(SPMDError, match="canonical buffer"):
+            run_spmd(2, spmd)
+
+    def test_integer_dtype_preserved(self):
+        ints = np.arange(40)
+
+        def spmd(comm):
+            A = BlockPartiArray.zeros(comm, (40,), dtype=np.int64)
+            sor = mc_new_set_of_regions(SectionRegion(Section.full((40,))))
+            vals = ints if comm.rank == 0 else None
+            scatter_canonical(comm, vals, "blockparti", A, sor)
+            return A.gather_global()
+
+        got = run_spmd(2, spmd).values[0]
+        np.testing.assert_array_equal(got, ints)

@@ -1,0 +1,91 @@
+"""Property-based collective-operation tests (random sizes, roots, data)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import run_spmd
+
+
+@given(size=st.integers(1, 9), root=st.data(), seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_property_bcast_any_root(size, root, seed):
+    r = root.draw(st.integers(0, size - 1))
+    payload = np.random.default_rng(seed).random(5)
+
+    def spmd(comm):
+        got = comm.bcast(payload if comm.rank == r else None, root=r)
+        return got.tolist()
+
+    for vals in run_spmd(size, spmd).values:
+        assert vals == payload.tolist()
+
+
+@given(size=st.integers(1, 8), root=st.data())
+@settings(max_examples=20, deadline=None)
+def test_property_gather_scatter_inverse(size, root):
+    r = root.draw(st.integers(0, size - 1))
+
+    def spmd(comm):
+        gathered = comm.gather(comm.rank * 3, root=r)
+        back = comm.scatter(gathered, root=r)
+        return back
+
+    assert run_spmd(size, spmd).values == [3 * i for i in range(size)]
+
+
+@given(size=st.integers(1, 8), seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_property_allreduce_matches_numpy(size, seed):
+    data = np.random.default_rng(seed).random(size)
+
+    def spmd(comm):
+        return comm.allreduce(float(data[comm.rank]), lambda a, b: a + b)
+
+    for v in run_spmd(size, spmd).values:
+        assert np.isclose(v, data.sum())
+
+
+@given(size=st.integers(1, 8), seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_property_alltoall_is_transpose(size, seed):
+    matrix = np.random.default_rng(seed).integers(0, 1000, (size, size))
+
+    def spmd(comm):
+        return comm.alltoall(list(matrix[comm.rank]))
+
+    res = run_spmd(size, spmd).values
+    for r, row in enumerate(res):
+        assert row == list(matrix[:, r])
+
+
+@given(size=st.integers(1, 8), seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_property_scan_prefixes(size, seed):
+    data = np.random.default_rng(seed).integers(0, 100, size)
+
+    def spmd(comm):
+        return comm.scan(int(data[comm.rank]), lambda a, b: a + b)
+
+    assert run_spmd(size, spmd).values == list(np.cumsum(data))
+
+
+@given(
+    size=st.integers(2, 8),
+    ncolors=st.integers(1, 3),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_split_partitions(size, ncolors, seed):
+    colors = np.random.default_rng(seed).integers(0, ncolors, size)
+
+    def spmd(comm):
+        sub = comm.split(int(colors[comm.rank]))
+        members = sub.allgather(comm.rank)
+        return (sub.size, members)
+
+    res = run_spmd(size, spmd).values
+    for r, (sub_size, members) in enumerate(res):
+        same_color = [i for i in range(size) if colors[i] == colors[r]]
+        assert sub_size == len(same_color)
+        assert members == same_color

@@ -1,0 +1,262 @@
+"""Communicator tests: point-to-point, collectives, and inter-communicators."""
+
+import numpy as np
+import pytest
+
+from repro.vmachine import ProgramSpec, VirtualMachine, run_programs
+
+from helpers import run_spmd
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                comm.send(1, {"k": np.arange(5)}, tag=9)
+                return None
+            if comm.rank == 1:
+                got = comm.recv(0, tag=9)
+                return got["k"].sum()
+            return None
+
+        res = run_spmd(3, spmd)
+        assert res.values[1] == 10
+
+    def test_tag_discrimination(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                comm.send(1, "a", tag=1)
+                comm.send(1, "b", tag=2)
+            elif comm.rank == 1:
+                # receive out of send order, by tag
+                b = comm.recv(0, tag=2)
+                a = comm.recv(0, tag=1)
+                return a + b
+            return None
+
+        assert run_spmd(2, spmd).values[1] == "ab"
+
+    def test_pairwise_fifo(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(1, i, tag=4)
+            elif comm.rank == 1:
+                return [comm.recv(0, tag=4) for _ in range(10)]
+            return None
+
+        assert run_spmd(2, spmd).values[1] == list(range(10))
+
+    def test_sendrecv_exchange(self):
+        def spmd(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(right, comm.rank, left)
+
+        res = run_spmd(5, spmd)
+        assert res.values == [4, 0, 1, 2, 3]
+
+    def test_rank_out_of_range(self):
+        from repro.vmachine.machine import SPMDError
+
+        def spmd(comm):
+            comm.send(comm.size, None)
+
+        with pytest.raises(SPMDError, match="out of range"):
+            run_spmd(2, spmd)
+
+    def test_receive_advances_clock_past_arrival(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                comm.process.charge(1.0)  # sender is 1s ahead
+                comm.send(1, np.zeros(1000))
+            elif comm.rank == 1:
+                comm.recv(0)
+                return comm.process.clock
+            return None
+
+        res = run_spmd(2, spmd)
+        assert res.values[1] > 1.0  # receiver waited for the late send
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8])
+class TestCollectives:
+    def test_barrier_completes(self, size):
+        def spmd(comm):
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(size, spmd).values)
+
+    def test_bcast_all_roots(self, size):
+        def spmd(comm):
+            out = []
+            for root in range(comm.size):
+                out.append(comm.bcast(comm.rank * 100, root=root))
+            return out
+
+        res = run_spmd(size, spmd)
+        for vals in res.values:
+            assert vals == [r * 100 for r in range(size)]
+
+    def test_gather(self, size):
+        def spmd(comm):
+            return comm.gather(comm.rank ** 2, root=size - 1)
+
+        res = run_spmd(size, spmd)
+        assert res.values[size - 1] == [r ** 2 for r in range(size)]
+        for v in res.values[: size - 1]:
+            assert v is None
+
+    def test_allgather(self, size):
+        def spmd(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+
+        expected = [chr(ord("a") + r) for r in range(size)]
+        for v in run_spmd(size, spmd).values:
+            assert v == expected
+
+    def test_scatter(self, size):
+        def spmd(comm):
+            data = [i * 10 for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        assert run_spmd(size, spmd).values == [r * 10 for r in range(size)]
+
+    def test_alltoall(self, size):
+        def spmd(comm):
+            return comm.alltoall([comm.rank * 100 + d for d in range(comm.size)])
+
+        res = run_spmd(size, spmd)
+        for r, got in enumerate(res.values):
+            assert got == [s * 100 + r for s in range(size)]
+
+    def test_reduce_and_allreduce(self, size):
+        def spmd(comm):
+            s = comm.reduce(comm.rank + 1, lambda a, b: a + b, root=0)
+            a = comm.allreduce(comm.rank + 1, lambda a, b: a + b)
+            return (s, a)
+
+        res = run_spmd(size, spmd)
+        total = size * (size + 1) // 2
+        assert res.values[0][0] == total
+        assert all(v[1] == total for v in res.values)
+
+
+class TestSparseAlltoall:
+    def test_ring_pattern(self):
+        def spmd(comm):
+            dest = (comm.rank + 1) % comm.size
+            got = comm.alltoall_sparse({dest: f"from{comm.rank}"})
+            return got
+
+        res = run_spmd(4, spmd)
+        for r, got in enumerate(res.values):
+            src = (r - 1) % 4
+            assert got == {src: f"from{src}"}
+
+    def test_empty_participation(self):
+        def spmd(comm):
+            # only rank 0 sends anything
+            payloads = {1: "x"} if comm.rank == 0 else {}
+            return comm.alltoall_sparse(payloads)
+
+        res = run_spmd(3, spmd)
+        assert res.values[1] == {0: "x"}
+        assert res.values[0] == {} and res.values[2] == {}
+
+    def test_self_delivery_free(self):
+        def spmd(comm):
+            before = comm.process.stats["messages_sent"]
+            got = comm.alltoall_sparse({comm.rank: "self"})
+            # the allgather costs messages but the self payload must not
+            return got[comm.rank]
+
+        res = run_spmd(2, spmd)
+        assert res.values == ["self", "self"]
+
+    def test_message_count_matches_pattern(self):
+        def spmd(comm):
+            comm.barrier()
+            base = comm.process.stats["messages_sent"]
+            if comm.rank == 0:
+                comm.alltoall_sparse({1: np.zeros(10), 2: np.zeros(10)})
+            else:
+                comm.alltoall_sparse({})
+            # subtract the allgather's internal messages by measuring them
+            return comm.process.stats["messages_sent"] - base
+
+        res = run_spmd(3, spmd)
+        # rank 0 sent 2 data messages beyond what others sent for the
+        # metadata allgather (which costs the same on every rank +- tree
+        # position); just verify rank 0 sent at least 2 more than rank 2.
+        assert res.values[0] >= res.values[2] + 2
+
+
+class TestInterComm:
+    def test_cross_program_send_recv(self):
+        def prog_a(ctx):
+            ic = ctx.peer("b")
+            ic.send(ctx.rank % ic.remote_size, f"a{ctx.rank}")
+            return True
+
+        def prog_b(ctx):
+            ic = ctx.peer("a")
+            got = sorted(
+                ic.recv(s) for s in range(ic.remote_size)
+                if s % ic.remote_size == 0 or True
+            ) if False else None
+            # each b-rank receives from the a-ranks that mapped onto it
+            senders = [s for s in range(ic.remote_size) if s % ctx.size == ctx.rank]
+            got = sorted(ic.recv(s) for s in senders)
+            return got
+
+        from repro.vmachine import ProgramSpec, run_programs
+
+        res = run_programs(
+            [ProgramSpec("a", 4, prog_a), ProgramSpec("b", 2, prog_b)]
+        )
+        assert res["b"].values[0] == ["a0", "a2"]
+        assert res["b"].values[1] == ["a1", "a3"]
+
+    def test_intercomm_remote_rank_bounds(self):
+        from repro.vmachine.machine import SPMDError
+
+        def prog_a(ctx):
+            ctx.peer("b").send(5, None)
+
+        def prog_b(ctx):
+            pass
+
+        with pytest.raises(SPMDError, match="out of range"):
+            run_programs(
+                [ProgramSpec("a", 1, prog_a), ProgramSpec("b", 2, prog_b)]
+            )
+
+
+class TestAccounting:
+    def test_bytes_sent_equals_bytes_received(self):
+        def spmd(comm):
+            comm.alltoall([np.zeros(comm.rank + 1) for _ in range(comm.size)])
+            comm.barrier()
+            return (
+                comm.process.stats["bytes_sent"],
+                comm.process.stats["bytes_received"],
+            )
+
+        res = run_spmd(4, spmd)
+        total_sent = sum(v[0] for v in res.values)
+        total_recv = sum(v[1] for v in res.values)
+        assert total_sent == total_recv > 0
+
+    def test_elapsed_reflects_communication(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                comm.send(1, np.zeros(1_000_000))
+            elif comm.rank == 1:
+                comm.recv(0)
+            return None
+
+        res = run_spmd(2, spmd)
+        # 8 MB at 35 MB/s is ~0.23 s
+        assert res.elapsed_ms > 200

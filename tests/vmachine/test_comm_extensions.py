@@ -1,0 +1,87 @@
+"""Tests for communicator extensions: scan and split."""
+
+import numpy as np
+import pytest
+
+from helpers import run_spmd
+
+
+class TestScan:
+    @pytest.mark.parametrize("size", [1, 2, 4, 7])
+    def test_inclusive_prefix_sum(self, size):
+        def spmd(comm):
+            return comm.scan(comm.rank + 1, lambda a, b: a + b)
+
+        res = run_spmd(size, spmd)
+        expected = list(np.cumsum(np.arange(1, size + 1)))
+        assert res.values == expected
+
+    def test_noncommutative_op(self):
+        def spmd(comm):
+            return comm.scan(str(comm.rank), lambda a, b: a + b)
+
+        res = run_spmd(4, spmd)
+        assert res.values == ["0", "01", "012", "0123"]
+
+    def test_scan_offsets_use_case(self):
+        """The classic use: exclusive offsets for variable-size pieces."""
+
+        def spmd(comm):
+            mysize = (comm.rank + 1) * 3
+            inclusive = comm.scan(mysize, lambda a, b: a + b)
+            return inclusive - mysize  # exclusive prefix = my offset
+
+        res = run_spmd(4, spmd)
+        assert res.values == [0, 3, 9, 18]
+
+
+class TestSplit:
+    def test_partition_by_parity(self):
+        def spmd(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return (sub.rank, sub.size, sub.allgather(comm.rank))
+
+        res = run_spmd(6, spmd)
+        evens = res.values[0][2]
+        odds = res.values[1][2]
+        assert evens == [0, 2, 4]
+        assert odds == [1, 3, 5]
+        for r, (sub_rank, sub_size, members) in enumerate(res.values):
+            assert sub_size == 3
+            assert members[sub_rank] == r
+
+    def test_key_reorders(self):
+        def spmd(comm):
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        res = run_spmd(4, spmd)
+        assert res.values == [3, 2, 1, 0]
+
+    def test_split_isolated_from_parent(self):
+        def spmd(comm):
+            sub = comm.split(color=comm.rank % 2)
+            # Collective on sub while parent also used afterwards.
+            s = sub.allreduce(1, lambda a, b: a + b)
+            total = comm.allreduce(s, lambda a, b: a + b)
+            return total
+
+        res = run_spmd(4, spmd)
+        assert all(v == 8 for v in res.values)
+
+    def test_nested_split(self):
+        def spmd(comm):
+            half = comm.split(color=comm.rank // 2)
+            quarter = half.split(color=half.rank)
+            return quarter.size
+
+        res = run_spmd(4, spmd)
+        assert res.values == [1, 1, 1, 1]
+
+    def test_singleton_group(self):
+        def spmd(comm):
+            sub = comm.split(color=comm.rank)  # every rank alone
+            sub.barrier()
+            return sub.size
+
+        assert run_spmd(3, spmd).values == [1, 1, 1]

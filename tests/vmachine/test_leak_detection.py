@@ -1,0 +1,55 @@
+"""Message-leak detection tests."""
+
+import numpy as np
+import pytest
+
+from repro.vmachine import VirtualMachine
+from repro.vmachine.machine import SPMDError
+
+
+class TestLeakDetection:
+    def test_unreceived_message_fails_the_run(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                comm.send(1, "orphan")  # never received
+            return True
+
+        with pytest.raises(SPMDError, match="never received"):
+            VirtualMachine(2).run(spmd)
+
+    def test_can_be_disabled(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                comm.send(1, "orphan")
+            return True
+
+        res = VirtualMachine(2, check_leaks=False).run(spmd)
+        assert res.values == [True, True]
+
+    def test_unwaited_irecv_is_a_leak(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                comm.send(1, "x")
+            elif comm.rank == 1:
+                comm.irecv(0)  # posted, never waited
+            return True
+
+        with pytest.raises(SPMDError, match="never received"):
+            VirtualMachine(2).run(spmd)
+
+    def test_clean_program_passes(self):
+        def spmd(comm):
+            comm.alltoall([np.zeros(3) for _ in range(comm.size)])
+            comm.barrier()
+            return True
+
+        assert all(VirtualMachine(4).run(spmd).values)
+
+    def test_leak_report_names_the_rank(self):
+        def spmd(comm):
+            if comm.rank == 2:
+                comm.send(0, None)
+            return True
+
+        with pytest.raises(SPMDError, match="rank 0"):
+            VirtualMachine(3).run(spmd)

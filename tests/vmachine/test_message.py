@@ -1,0 +1,115 @@
+"""Unit tests for messages and mailboxes."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.vmachine.message import ANY_SOURCE, ANY_TAG, Mailbox, Message, payload_nbytes
+
+
+def msg(source=0, tag=0, payload=None, arrival=0.0):
+    return Message(source=source, dest=1, tag=tag, payload=payload, arrival=arrival)
+
+
+class TestPayloadNbytes:
+    def test_numpy_array(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_scalars(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(2.5) == 8
+        assert payload_nbytes(None) == 8
+
+    def test_tuple_recursive(self):
+        n = payload_nbytes((np.zeros(4), np.zeros(2)))
+        assert n == 8 + 32 + 16
+
+    def test_dict_recursive(self):
+        n = payload_nbytes({1: np.zeros(2)})
+        assert n == 8 + 8 + 16
+
+    def test_object_with_nbytes_attribute(self):
+        class Fake:
+            nbytes = 123
+
+        assert payload_nbytes(Fake()) == 123
+
+    def test_opaque_object_small_envelope(self):
+        assert payload_nbytes(object()) == 64
+
+
+class TestMatching:
+    def test_exact_match(self):
+        m = msg(source=3, tag=7)
+        assert m.matches(3, 7)
+        assert not m.matches(3, 8)
+        assert not m.matches(2, 7)
+
+    def test_wildcards(self):
+        m = msg(source=3, tag=7)
+        assert m.matches(ANY_SOURCE, 7)
+        assert m.matches(3, ANY_TAG)
+        assert m.matches(ANY_SOURCE, ANY_TAG)
+
+
+class TestMailbox:
+    def test_deliver_then_receive(self):
+        mb = Mailbox(0)
+        mb.deliver(msg(source=2, tag=5, payload="hi"))
+        got = mb.receive(2, 5, timeout=1.0)
+        assert got.payload == "hi"
+
+    def test_receive_skips_nonmatching(self):
+        mb = Mailbox(0)
+        mb.deliver(msg(source=1, tag=1, payload="a"))
+        mb.deliver(msg(source=2, tag=2, payload="b"))
+        assert mb.receive(2, 2, timeout=1.0).payload == "b"
+        assert mb.pending() == 1
+
+    def test_fifo_per_source_tag(self):
+        mb = Mailbox(0)
+        for i in range(5):
+            mb.deliver(msg(source=1, tag=1, payload=i))
+        got = [mb.receive(1, 1, timeout=1.0).payload for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_timeout_raises(self):
+        mb = Mailbox(0)
+        with pytest.raises(TimeoutError, match="timed out"):
+            mb.receive(0, 0, timeout=0.05)
+
+    def test_blocking_receive_wakes_on_delivery(self):
+        mb = Mailbox(0)
+        result = []
+
+        def receiver():
+            result.append(mb.receive(1, 1, timeout=5.0).payload)
+
+        t = threading.Thread(target=receiver)
+        t.start()
+        mb.deliver(msg(source=1, tag=1, payload="late"))
+        t.join(timeout=5.0)
+        assert result == ["late"]
+
+    def test_closed_mailbox_rejects_delivery(self):
+        mb = Mailbox(0)
+        mb.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            mb.deliver(msg())
+
+    def test_closed_mailbox_unblocks_receive(self):
+        mb = Mailbox(0)
+        mb.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            mb.receive(0, 0, timeout=5.0)
+
+    def test_probe(self):
+        mb = Mailbox(0)
+        assert not mb.probe(1, 1)
+        mb.deliver(msg(source=1, tag=1))
+        assert mb.probe(1, 1)
+        assert not mb.probe(1, 2)

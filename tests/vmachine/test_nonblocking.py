@@ -1,0 +1,113 @@
+"""Nonblocking send/receive (Request) tests."""
+
+import numpy as np
+import pytest
+
+from repro.vmachine import VirtualMachine
+
+from helpers import run_spmd
+
+
+class TestRequests:
+    def test_isend_completes_immediately(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                req = comm.isend(1, "x")
+                assert req.test()
+                assert req.wait() is None  # sends carry no payload back
+            elif comm.rank == 1:
+                return comm.recv(0)
+            return None
+
+        assert run_spmd(2, spmd).values[1] == "x"
+
+    def test_irecv_wait_returns_payload(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                comm.send(1, np.arange(4), tag=7)
+            elif comm.rank == 1:
+                req = comm.irecv(0, tag=7)
+                return req.wait().sum()
+            return None
+
+        assert run_spmd(2, spmd).values[1] == 6
+
+    def test_wait_idempotent(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                comm.send(1, 42)
+            elif comm.rank == 1:
+                req = comm.irecv(0)
+                assert req.wait() == 42
+                assert req.wait() == 42  # second wait returns the cached payload
+                assert req.test()
+            return True
+
+        assert all(run_spmd(2, spmd).values)
+
+    def test_test_is_nonblocking_and_free(self):
+        def spmd(comm):
+            if comm.rank == 1:
+                req = comm.irecv(0)
+                t0 = comm.process.clock
+                ready_before = req.test()
+                assert comm.process.clock == t0  # probing charges nothing
+                comm.barrier()  # rank 0 sends before the barrier completes
+                got = req.wait()
+                return (ready_before, got)
+            comm.send(1, "late")
+            comm.barrier()
+            return None
+
+        ready_before, got = run_spmd(2, spmd).values[1]
+        assert got == "late"
+
+    def test_overlap_hides_flight_time(self):
+        """Posting irecv and computing during the flight costs max(compute,
+        flight), not their sum."""
+        payload = np.zeros(3_500_000 // 8)  # ~100 ms on the SP2 wire
+        compute_s = 0.08
+
+        def overlapped(comm):
+            if comm.rank == 0:
+                comm.send(1, payload)
+            elif comm.rank == 1:
+                req = comm.irecv(0)
+                comm.process.charge(compute_s)  # useful work during flight
+                req.wait()
+                return comm.process.clock
+            return None
+
+        def sequential(comm):
+            if comm.rank == 0:
+                comm.send(1, payload)
+            elif comm.rank == 1:
+                comm.recv(0)
+                comm.process.charge(compute_s)  # same work, after the wait
+                return comm.process.clock
+            return None
+
+        t_overlap = run_spmd(2, overlapped).values[1]
+        t_seq = run_spmd(2, sequential).values[1]
+        assert t_overlap < t_seq - compute_s * 0.9
+
+    def test_multiple_outstanding_receives(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                for tag in (1, 2, 3):
+                    comm.send(1, tag * 10, tag=tag)
+            elif comm.rank == 1:
+                reqs = [comm.irecv(0, tag=t) for t in (3, 1, 2)]
+                return [r.wait() for r in reqs]
+            return None
+
+        assert run_spmd(2, spmd).values[1] == [30, 10, 20]
+
+    def test_irecv_rank_checked(self):
+        from repro.vmachine.machine import SPMDError
+
+        def spmd(comm):
+            comm.irecv(5)
+
+        with pytest.raises(SPMDError, match="out of range"):
+            run_spmd(2, spmd)

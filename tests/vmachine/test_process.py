@@ -1,0 +1,98 @@
+"""Unit tests for the virtual processor context."""
+
+import pytest
+
+from repro.vmachine.cost_model import IBM_SP2, CostModel
+from repro.vmachine.process import Process, current_process
+
+
+@pytest.fixture
+def proc():
+    return Process(rank=0, nprocs=4, cost_model=CostModel(IBM_SP2))
+
+
+class TestClock:
+    def test_starts_at_zero(self, proc):
+        assert proc.clock == 0.0
+
+    def test_charge_advances(self, proc):
+        proc.charge(1e-3)
+        proc.charge(2e-3)
+        assert proc.clock == pytest.approx(3e-3)
+
+    def test_negative_charge_rejected(self, proc):
+        with pytest.raises(ValueError):
+            proc.charge(-1.0)
+
+    def test_advance_to_future(self, proc):
+        proc.advance_to(5e-3)
+        assert proc.clock == 5e-3
+
+    def test_advance_to_past_is_noop(self, proc):
+        proc.charge(1e-2)
+        proc.advance_to(5e-3)
+        assert proc.clock == pytest.approx(1e-2)
+
+    def test_charge_helpers_use_cost_model(self, proc):
+        proc.charge_flops(1000)
+        assert proc.clock == pytest.approx(1000 * IBM_SP2.gamma_flop)
+        proc.charge_deref_irregular(10)
+        proc.charge_deref_regular(10)
+        proc.charge_mem(100)
+        proc.charge_pack(10)
+        proc.charge_hash(10)
+        proc.charge_locate(2, 50)
+        proc.charge_startup()
+        expected = (
+            1000 * IBM_SP2.gamma_flop
+            + 10 * IBM_SP2.deref
+            + 10 * IBM_SP2.deref_regular
+            + 100 * IBM_SP2.gamma_byte
+            + 10 * IBM_SP2.pack_per_elem
+            + 10 * IBM_SP2.hash_ref
+            + 2 * IBM_SP2.locate_run + 50 * IBM_SP2.locate_elem
+            + IBM_SP2.startup
+        )
+        assert proc.clock == pytest.approx(expected)
+
+
+class TestTimer:
+    def test_phase_accumulates_logical_time(self, proc):
+        with proc.timer.phase("work"):
+            proc.charge(2e-3)
+        with proc.timer.phase("work"):
+            proc.charge(3e-3)
+        assert proc.timer.report.get_ms("work") == pytest.approx(5.0)
+
+    def test_untimed_phase_reads_zero(self, proc):
+        assert proc.timer.report.get_ms("nothing") == 0.0
+
+    def test_nested_phases(self, proc):
+        with proc.timer.phase("outer"):
+            proc.charge(1e-3)
+            with proc.timer.phase("inner"):
+                proc.charge(2e-3)
+        assert proc.timer.report.get_ms("inner") == pytest.approx(2.0)
+        # outer includes inner's time (it wraps it on the same clock)
+        assert proc.timer.report.get_ms("outer") == pytest.approx(3.0)
+
+
+class TestBinding:
+    def test_current_process_outside_run_raises(self):
+        with pytest.raises(RuntimeError, match="no virtual process"):
+            current_process()
+
+    def test_bind_unbind(self, proc):
+        proc.bind()
+        try:
+            assert current_process() is proc
+        finally:
+            proc.unbind()
+        with pytest.raises(RuntimeError):
+            current_process()
+
+
+class TestStats:
+    def test_initial_counters(self, proc):
+        assert proc.stats["messages_sent"] == 0
+        assert proc.stats["bytes_received"] == 0

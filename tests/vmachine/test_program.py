@@ -1,0 +1,99 @@
+"""Multi-program (coupled) execution tests."""
+
+import pytest
+
+from repro.vmachine import ProgramSpec, run_programs
+from repro.vmachine.machine import SPMDError
+
+
+class TestProgramLayout:
+    def test_each_program_sees_its_own_local_ranks(self):
+        def prog(ctx):
+            return (ctx.program, ctx.rank, ctx.size)
+
+        res = run_programs(
+            [ProgramSpec("x", 2, prog), ProgramSpec("y", 3, prog)]
+        )
+        assert res["x"].values == [("x", 0, 2), ("x", 1, 2)]
+        assert res["y"].values == [("y", 0, 3), ("y", 1, 3), ("y", 2, 3)]
+
+    def test_intra_comm_isolated_between_programs(self):
+        # Each program runs its own allgather; no cross-talk.
+        def prog(ctx):
+            return ctx.comm.allgather(f"{ctx.program}{ctx.rank}")
+
+        res = run_programs(
+            [ProgramSpec("x", 2, prog), ProgramSpec("y", 2, prog)]
+        )
+        assert res["x"].values[0] == ["x0", "x1"]
+        assert res["y"].values[1] == ["y0", "y1"]
+
+    def test_three_programs_pairwise_intercomms(self):
+        def prog(ctx):
+            peers = sorted(ctx.intercomms)
+            for p in peers:
+                ctx.peer(p).send(0, f"{ctx.program}->{p}") if ctx.rank == 0 else None
+            got = {}
+            if ctx.rank == 0:
+                for p in peers:
+                    got[p] = ctx.peer(p).recv(0)
+            return got
+
+        res = run_programs(
+            [ProgramSpec(n, 1, prog) for n in ("a", "b", "c")]
+        )
+        assert res["a"].values[0] == {"b": "b->a", "c": "c->a"}
+        assert res["b"].values[0] == {"a": "a->b", "c": "c->b"}
+
+    def test_unknown_peer_raises(self):
+        def prog(ctx):
+            ctx.peer("nope")
+
+        with pytest.raises(SPMDError, match="no peer"):
+            run_programs([ProgramSpec("a", 1, prog), ProgramSpec("b", 1, lambda c: None)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_programs(
+                [ProgramSpec("a", 1, lambda c: None), ProgramSpec("a", 1, lambda c: None)]
+            )
+
+    def test_empty_spec_list_rejected(self):
+        with pytest.raises(ValueError):
+            run_programs([])
+
+    def test_args_forwarded(self):
+        def prog(ctx, base, mul=1):
+            return base * mul + ctx.rank
+
+        res = run_programs(
+            [ProgramSpec("a", 2, prog, args=(10,), kwargs={"mul": 2})]
+        )
+        assert res["a"].values == [20, 21]
+
+
+class TestCoupledResult:
+    def test_elapsed_is_max_over_programs(self):
+        def slow(ctx):
+            ctx.comm.process.charge(0.010)
+
+        def fast(ctx):
+            ctx.comm.process.charge(0.001)
+
+        res = run_programs(
+            [ProgramSpec("s", 1, slow), ProgramSpec("f", 1, fast)]
+        )
+        assert res.elapsed_ms == pytest.approx(10.0)
+        assert res["f"].elapsed_ms == pytest.approx(1.0)
+
+    def test_error_in_one_program_fails_run(self):
+        def bad(ctx):
+            raise ValueError("server crashed")
+
+        def good(ctx):
+            ctx.peer("bad").recv(0)  # would block forever
+
+        with pytest.raises(SPMDError, match="server crashed"):
+            run_programs(
+                [ProgramSpec("bad", 1, bad), ProgramSpec("good", 1, good)]
+            )

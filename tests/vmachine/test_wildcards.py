@@ -1,0 +1,75 @@
+"""ANY_SOURCE receives and probes through the Communicator."""
+
+import numpy as np
+import pytest
+
+from helpers import run_spmd
+
+
+class TestRecvAny:
+    def test_collects_from_all_senders(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                got = {}
+                for _ in range(comm.size - 1):
+                    src, val = comm.recv_any(tag=4)
+                    got[src] = val
+                return got
+            comm.send(0, comm.rank * 11, tag=4)
+            return None
+
+        got = run_spmd(4, spmd).values[0]
+        assert got == {1: 11, 2: 22, 3: 33}
+
+    def test_tag_namespace_respected(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                comm.send(1, "a", tag=1)
+                comm.send(1, "b", tag=2)
+            elif comm.rank == 1:
+                src, val = comm.recv_any(tag=2)
+                assert (src, val) == (0, "b")
+                src, val = comm.recv_any(tag=1)
+                assert (src, val) == (0, "a")
+            return True
+
+        assert all(run_spmd(2, spmd).values)
+
+    def test_charges_like_recv(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                comm.send(1, np.zeros(1000))
+            elif comm.rank == 1:
+                t0 = comm.process.clock
+                comm.recv_any()
+                return comm.process.clock - t0
+            return None
+
+        assert run_spmd(2, spmd).values[1] > 0
+
+
+class TestProbe:
+    def test_probe_sees_pending(self):
+        def spmd(comm):
+            if comm.rank == 0:
+                comm.send(1, "x", tag=9)
+                comm.barrier()
+            elif comm.rank == 1:
+                comm.barrier()  # guarantees the message was sent
+                assert comm.probe(0, tag=9)
+                assert not comm.probe(0, tag=8)
+                comm.recv(0, tag=9)
+                assert not comm.probe(0, tag=9)
+            else:
+                comm.barrier()
+            return True
+
+        assert all(run_spmd(3, spmd).values)
+
+    def test_probe_charges_nothing(self):
+        def spmd(comm):
+            t0 = comm.process.clock
+            comm.probe((comm.rank + 1) % comm.size, tag=5)
+            return comm.process.clock - t0
+
+        assert all(v == 0.0 for v in run_spmd(2, spmd).values)

@@ -22,9 +22,12 @@ The pieces map one-to-one onto the paper's section 4:
 from repro.core.region import Region, SectionRegion, IndexRegion, MaskRegion
 from repro.core.setofregions import SetOfRegions
 from repro.core.linearization import Linearization
+from repro.core.runs import RunList, copy_runs, group_by_runs
+from repro.core.wire import RunEncoded, count_runs
 from repro.core.registry import (
     LibraryAdapter,
     RemoteHandle,
+    ensure_safe_cast,
     get_adapter,
     register_adapter,
     registered_libraries,
@@ -50,6 +53,12 @@ from repro.core.api import (
 )
 
 __all__ = [
+    "RunList",
+    "RunEncoded",
+    "copy_runs",
+    "count_runs",
+    "group_by_runs",
+    "ensure_safe_cast",
     "Region",
     "SectionRegion",
     "IndexRegion",

@@ -17,6 +17,7 @@ the object after the first use — the arrays are immutable by convention).
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Any
 
 import numpy as np
@@ -82,13 +83,26 @@ class ScheduleCache:
     ``get_or_build`` is collective exactly when it misses — which, because
     keys are pure functions of the request content, happens on every rank
     or on none.
+
+    Entries hold :class:`~repro.core.schedule.CommSchedule` objects whose
+    halves are run-compressed, so cached regular schedules cost KBs (a
+    few runs per peer), not MBs of dense offsets.
+
+    ``maxsize`` bounds the entry count with LRU eviction (both hits and
+    rebuilds refresh recency); the default ``None`` is unbounded.
+    Eviction is as deterministic as the keys, so a bounded cache stays
+    collective-safe: every rank evicts the same entry at the same call.
     """
 
-    def __init__(self, where):
+    def __init__(self, where, maxsize: int | None = None):
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be a positive integer (or None)")
         self._where = where
-        self._store: dict[tuple, CommSchedule] = {}
+        self._store: OrderedDict[tuple, CommSchedule] = OrderedDict()
+        self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -120,6 +134,7 @@ class ScheduleCache:
         hit = self._store.get(key)
         if hit is not None:
             self.hits += 1
+            self._store.move_to_end(key)
             return hit
         self.misses += 1
         sched = mc_compute_schedule(
@@ -127,4 +142,8 @@ class ScheduleCache:
             dst_lib, dst_array, dst_sor, method,
         )
         self._store[key] = sched
+        if self.maxsize is not None:
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+                self.evictions += 1
         return sched

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
-
 from repro.core.registry import get_adapter
 from repro.core.schedule import CommSchedule
 from repro.core.universe import TAG_DATA, Universe
@@ -65,7 +63,14 @@ def data_move_recv(
 def _local_copies(
     schedule: CommSchedule, src_array: Any, dst_array: Any, universe: Universe
 ) -> None:
-    """Direct intra-processor copies (no intermediate buffer, §5.3)."""
+    """Direct intra-processor copies (no intermediate buffer, §5.3).
+
+    Delegates to :meth:`LibraryAdapter.copy_local`, which shares its
+    lossy-cast refusal (:func:`~repro.core.registry.ensure_safe_cast`)
+    with the remote unpack path — local and remote moves reject or allow
+    exactly the same dtype pairs — and executes run-compressed halves as
+    aligned slice-to-slice copies.
+    """
     me_d = universe.my_dst_rank
     me_s = universe.my_src_rank
     if me_s is None or me_d is None:
@@ -76,19 +81,12 @@ def _local_copies(
         return
     if dst_offsets is None or len(dst_offsets) != len(src_offsets):
         raise RuntimeError("inconsistent local halves of the schedule")
-    adapter = get_adapter(schedule.dst_lib)
-    src_adapter = get_adapter(schedule.src_lib)
     # Both offset lists are linearization-ordered over the same element
     # subset, so a direct aligned copy is correct.
-    src_data = src_adapter.local_data(src_array)
-    dst_data = adapter.local_data(dst_array)
-    if not np.can_cast(src_data.dtype, dst_data.dtype, "same_kind"):
-        raise TypeError(
-            f"refusing lossy element conversion {src_data.dtype} -> "
-            f"{dst_data.dtype} during a data move; convert explicitly first"
-        )
-    dst_data[dst_offsets] = src_data[src_offsets]
-    universe.process.charge_pack(len(src_offsets))
+    get_adapter(schedule.dst_lib).copy_local(
+        src_array, src_offsets, dst_array, dst_offsets,
+        src_adapter=get_adapter(schedule.src_lib),
+    )
 
 
 def data_move(

@@ -33,6 +33,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.runs import RunList, as_offsets, copy_runs
 from repro.core.setofregions import SetOfRegions
 from repro.core.region import SectionRegion
 from repro.distrib.base import DistDescriptor, Distribution
@@ -45,7 +46,25 @@ __all__ = [
     "register_adapter",
     "get_adapter",
     "registered_libraries",
+    "ensure_safe_cast",
 ]
+
+
+def ensure_safe_cast(src_dtype, dst_dtype) -> None:
+    """Reject lossy element-type conversions during a data move.
+
+    The single authority for which dtype pairs a move may convert: local
+    direct copies, remote unpack and adapter-level copies all call this,
+    so the two paths can never drift apart.  The libraries of the era
+    transferred raw typed buffers, and a silent truncation would corrupt
+    data undetectably.  Widening/same-kind conversions (float32 ->
+    float64, int -> float) are allowed.
+    """
+    if not np.can_cast(src_dtype, dst_dtype, "same_kind"):
+        raise TypeError(
+            f"refusing lossy element conversion {src_dtype} -> "
+            f"{dst_dtype} during a data move; convert explicitly first"
+        )
 
 
 @dataclass(frozen=True)
@@ -160,42 +179,64 @@ class LibraryAdapter(abc.ABC):
 
     # -- data movement ----------------------------------------------------------
 
-    def pack(self, array: Any, offsets: np.ndarray) -> np.ndarray:
-        """Gather local elements at ``offsets`` into a contiguous buffer."""
-        data = self.local_data(array)
-        current_process().charge_pack(len(offsets))
-        return data[offsets]
+    def pack(self, array: Any, offsets: np.ndarray | RunList) -> np.ndarray:
+        """Gather local elements at ``offsets`` into a contiguous buffer.
 
-    def unpack(self, array: Any, offsets: np.ndarray, values: np.ndarray) -> None:
-        """Scatter buffer ``values`` into local elements at ``offsets``.
-
-        Rejects lossy element-type conversions (e.g. float buffers into an
-        integer array): the libraries of the era transferred raw typed
-        buffers, and a silent truncation would corrupt data undetectably.
-        Widening/same-kind conversions (float32 -> float64, int -> float)
-        are allowed.
+        Run-compressed offsets execute as slice copies (contiguous runs
+        at memcpy speed, strided runs as strided slices); only genuinely
+        irregular offsets pay a NumPy fancy gather.  The logical-clock
+        charge depends solely on the element count, so both paths cost
+        the same simulated time.
         """
         data = self.local_data(array)
-        values = np.asarray(values)
-        if len(offsets) and not np.can_cast(values.dtype, data.dtype, "same_kind"):
-            raise TypeError(
-                f"refusing lossy element conversion {values.dtype} -> "
-                f"{data.dtype} during a data move; convert explicitly first"
-            )
+        offsets = as_offsets(offsets)
         current_process().charge_pack(len(offsets))
-        data[offsets] = values
+        if isinstance(offsets, RunList):
+            return offsets.gather(data)
+        return data[offsets]
+
+    def unpack(self, array: Any, offsets: np.ndarray | RunList, values: np.ndarray) -> None:
+        """Scatter buffer ``values`` into local elements at ``offsets``.
+
+        Rejects lossy element-type conversions via :func:`ensure_safe_cast`
+        (shared with the direct local-copy path).  Run-compressed offsets
+        scatter as slice stores.
+        """
+        data = self.local_data(array)
+        offsets = as_offsets(offsets)
+        values = np.asarray(values)
+        if len(offsets):
+            ensure_safe_cast(values.dtype, data.dtype)
+        current_process().charge_pack(len(offsets))
+        if isinstance(offsets, RunList):
+            offsets.scatter(data, values)
+        else:
+            data[offsets] = values
 
     def copy_local(
-        self, src_array: Any, src_offsets: np.ndarray, dst_array: Any, dst_offsets: np.ndarray
+        self,
+        src_array: Any,
+        src_offsets: np.ndarray | RunList,
+        dst_array: Any,
+        dst_offsets: np.ndarray | RunList,
+        src_adapter: "LibraryAdapter | None" = None,
     ) -> None:
         """Direct local-to-local copy (no intermediate buffer).
 
         The paper highlights this as a Meta-Chaos advantage over Multiblock
         Parti's internal buffering for intra-processor moves (§5.3), so
-        only one pack-side charge applies.
+        only one pack-side charge applies.  ``self`` is the *destination*
+        library's adapter; pass ``src_adapter`` when the source array
+        belongs to a different library.  Run-compressed halves copy as
+        aligned slice pairs with no per-element indexing.
         """
+        src_data = (src_adapter or self).local_data(src_array)
+        dst_data = self.local_data(dst_array)
+        src_offsets = as_offsets(src_offsets)
+        if len(src_offsets):
+            ensure_safe_cast(src_data.dtype, dst_data.dtype)
         current_process().charge_pack(len(src_offsets))
-        self.local_data(dst_array)[dst_offsets] = self.local_data(src_array)[src_offsets]
+        copy_runs(src_data, src_offsets, dst_data, dst_offsets)
 
     # -- duplication-method support ----------------------------------------------
 

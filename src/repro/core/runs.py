@@ -1,0 +1,521 @@
+"""Run-compressed offset sequences — the schedule's native representation.
+
+Multiblock Parti describes a regular transfer as a handful of strided
+blocks, and that is the whole reason regular schedules are cheap to
+build, store and replay (paper §4.1.4, Table 5).  The original port only
+*accounted* for that compression (``RunEncoded`` charged the wire an RLE
+size) while every schedule still materialized dense O(elements) int64
+offset arrays and executed every pack/unpack as a NumPy gather/scatter.
+
+:class:`RunList` makes the run form the actual representation: an
+immutable sequence of maximal arithmetic-progression runs
+``(start, step, count)`` with vectorized compress/expand, concat,
+group-by-key, reverse and length operations, plus the executor fast
+paths (:meth:`RunList.gather`, :meth:`RunList.scatter`,
+:func:`copy_runs`) that turn regular section moves into contiguous or
+strided slice copies at memcpy speed.
+
+Hybrid storage: genuinely irregular sequences (Chaos-style permutations)
+would *grow* if stored as runs — three int64 per near-singleton run
+versus one per element — so :meth:`RunList.from_dense` keeps such
+sequences dense internally and the executor falls back to NumPy fancy
+indexing.  Either way the object reports the greedy run count of its
+expansion, which is exactly what :func:`repro.core.wire.count_runs`
+computes, so wire-size accounting (and therefore every logical clock in
+the benchmarks) is byte-for-byte unchanged.
+
+The greedy split (a new run wherever the step between consecutive
+elements changes) can overcount the optimal run partition by at most 2x:
+each maximal run of an optimal partition contributes at most one extra
+singleton at its left boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["RunList", "run_starts", "group_by_runs", "copy_runs", "as_offsets"]
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+_EMPTY_RUNS = np.zeros((0, 3), dtype=np.int64)
+
+#: per-run wire cost in bytes: (start, step, count) as three int64
+RUN_WIRE_BYTES = 24
+#: fixed wire envelope of a run-encoded sequence
+RUN_WIRE_HEADER = 16
+
+
+def run_starts(arr: np.ndarray) -> np.ndarray:
+    """Indices where a new greedy arithmetic-progression run begins.
+
+    Matches :func:`repro.core.wire.count_runs` exactly: for ``n <= 2``
+    the whole array is one run; otherwise a new run starts at element
+    ``i`` (``i >= 2``) whenever ``arr[i] - arr[i-1]`` differs from
+    ``arr[i-1] - arr[i-2]``.
+    """
+    arr = np.asarray(arr)
+    n = len(arr)
+    if n == 0:
+        return _EMPTY_I64
+    if n <= 2:
+        return np.zeros(1, dtype=np.int64)
+    d = np.diff(arr)
+    starts = np.flatnonzero(d[1:] != d[:-1]).astype(np.int64) + 2
+    return np.concatenate([np.zeros(1, dtype=np.int64), starts])
+
+
+def _run_slice(start: int, step: int, count: int) -> slice:
+    """The slice addressing an arithmetic run in flat storage (step != 0)."""
+    stop = start + step * count
+    if step < 0 and stop < 0:
+        stop = None  # slicing past the left edge needs an open stop
+    return slice(start, stop, step)
+
+
+class RunList:
+    """An immutable int64 offset sequence stored as arithmetic runs.
+
+    Array-like: supports ``len``, ``np.asarray`` (via ``__array__``),
+    indexing/slicing (returns plain ndarrays), ``min``/``max`` and
+    ``copy`` so existing code treating schedule halves as dense arrays
+    keeps working.  Mutation attempts raise (no ``__setitem__``; the
+    expansions returned by :meth:`dense` are read-only views).
+    """
+
+    __slots__ = ("_runs", "_dense", "_n", "_nruns", "_canon")
+
+    def __init__(self, runs, dense, n: int, nruns: int):
+        # Private: use from_dense / from_runs / empty.
+        self._runs = runs
+        self._dense = dense
+        self._n = int(n)
+        self._nruns = int(nruns)
+        self._canon = None  # lazy executor-side canonical run table
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "RunList":
+        return cls(_EMPTY_RUNS, None, 0, 0)
+
+    @classmethod
+    def from_dense(cls, arr: np.ndarray) -> "RunList":
+        """Greedily compress a dense offset array.
+
+        Keeps the dense form internally (copied, read-only) when the run
+        form would not be smaller — three int64 per run versus one per
+        element — so irregular Chaos-style offsets never pay a 3x memory
+        penalty.  The input is never aliased.
+        """
+        if isinstance(arr, RunList):
+            return arr
+        arr = np.asarray(arr, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("offset sequences must be one-dimensional")
+        n = len(arr)
+        if n == 0:
+            return cls.empty()
+        starts_idx = run_starts(arr)
+        k = len(starts_idx)
+        if k > 1 and 3 * k >= n:
+            dense = np.array(arr, dtype=np.int64, copy=True)
+            dense.setflags(write=False)
+            return cls(None, dense, n, k)
+        counts = np.diff(np.append(starts_idx, n))
+        starts = arr[starts_idx]
+        second = arr[np.minimum(starts_idx + 1, n - 1)]
+        steps = np.where(counts > 1, second - starts, 0)
+        runs = np.column_stack([starts, steps, counts]).astype(np.int64)
+        runs.setflags(write=False)
+        return cls(runs, None, n, k)
+
+    @classmethod
+    def from_runs(cls, runs: Iterable) -> "RunList":
+        """Build from explicit ``(start, step, count)`` triples.
+
+        The triples are taken as-is (``nruns`` is their number); counts
+        must be positive.  Note the greedy run count of the expansion may
+        be smaller if adjacent triples are mergeable — schedules built
+        from dense offsets always go through :meth:`from_dense`, which is
+        canonical.
+        """
+        runs = np.array(list(runs) if not isinstance(runs, np.ndarray) else runs,
+                        dtype=np.int64).reshape(-1, 3)
+        if len(runs) and (runs[:, 2] <= 0).any():
+            raise ValueError("run counts must be positive")
+        n = int(runs[:, 2].sum()) if len(runs) else 0
+        out = np.array(runs, copy=True)
+        out.setflags(write=False)
+        return cls(out, None, n, len(runs))
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def nruns(self) -> int:
+        """Greedy run count of the expansion (wire-accounting quantity)."""
+        return self._nruns
+
+    @property
+    def is_compressed(self) -> bool:
+        """True when stored in run form (False: hybrid dense storage)."""
+        return self._runs is not None
+
+    @property
+    def runs(self) -> np.ndarray:
+        """The ``(R, 3)`` array of ``(start, step, count)`` triples.
+
+        Computed on demand (O(n)) for hybrid-dense sequences.
+        """
+        if self._runs is not None:
+            return self._runs
+        arr = self._dense
+        starts_idx = run_starts(arr)
+        counts = np.diff(np.append(starts_idx, len(arr)))
+        starts = arr[starts_idx]
+        second = arr[np.minimum(starts_idx + 1, len(arr) - 1)]
+        steps = np.where(counts > 1, second - starts, 0)
+        runs = np.column_stack([starts, steps, counts]).astype(np.int64)
+        runs.setflags(write=False)
+        return runs
+
+    @property
+    def nbytes_wire(self) -> int:
+        """Run-encoded transport size (matches ``RunEncoded.nbytes``)."""
+        return RUN_WIRE_HEADER + RUN_WIRE_BYTES * self._nruns
+
+    @property
+    def nbytes_memory(self) -> int:
+        """In-memory footprint of the canonical stored representation."""
+        if self._runs is not None:
+            return RUN_WIRE_HEADER + self._runs.nbytes
+        return RUN_WIRE_HEADER + self._dense.nbytes
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        form = "runs" if self.is_compressed else "dense"
+        return f"RunList(n={self._n}, nruns={self._nruns}, storage={form})"
+
+    # -- expansion and array protocol --------------------------------------
+
+    def dense(self) -> np.ndarray:
+        """The expanded offset array (read-only; fresh for run storage)."""
+        if self._dense is not None:
+            return self._dense
+        out = self.expand()
+        out.setflags(write=False)
+        return out
+
+    def expand(self) -> np.ndarray:
+        """A freshly materialized (writable) dense expansion."""
+        if self._dense is not None:
+            return np.array(self._dense, copy=True)
+        runs = self._runs
+        if len(runs) == 0:
+            return np.zeros(0, dtype=np.int64)
+        starts, steps, counts = runs[:, 0], runs[:, 1], runs[:, 2]
+        offsets = np.arange(self._n, dtype=np.int64)
+        bases = np.repeat(np.cumsum(counts) - counts, counts)
+        return np.repeat(starts, counts) + np.repeat(steps, counts) * (offsets - bases)
+
+    def __array__(self, dtype=None, copy=None):
+        out = self.dense()
+        if dtype is not None and out.dtype != dtype:
+            return out.astype(dtype)
+        if copy:
+            return np.array(out, copy=True)
+        return out
+
+    def __getitem__(self, key):
+        return self.dense()[key]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.dense())
+
+    def copy(self) -> np.ndarray:
+        """A writable dense copy (mirrors ``ndarray.copy``)."""
+        return self.expand()
+
+    def min(self):
+        if self._n == 0:
+            raise ValueError("zero-size RunList has no minimum")
+        if self._runs is None:
+            return self._dense.min()
+        ends = self._runs[:, 0] + self._runs[:, 1] * (self._runs[:, 2] - 1)
+        return min(int(self._runs[:, 0].min()), int(ends.min()))
+
+    def max(self):
+        if self._n == 0:
+            raise ValueError("zero-size RunList has no maximum")
+        if self._runs is None:
+            return self._dense.max()
+        ends = self._runs[:, 0] + self._runs[:, 1] * (self._runs[:, 2] - 1)
+        return max(int(self._runs[:, 0].max()), int(ends.max()))
+
+    # -- structural ops -----------------------------------------------------
+
+    def reverse(self) -> "RunList":
+        """The same offsets in reverse order (still run-compressed)."""
+        if self._runs is None:
+            return RunList.from_dense(self._dense[::-1])
+        if len(self._runs) == 0:
+            return RunList.empty()
+        starts, steps, counts = (
+            self._runs[::-1, 0], self._runs[::-1, 1], self._runs[::-1, 2]
+        )
+        rev = np.column_stack([starts + steps * (counts - 1), -steps, counts])
+        rev = rev.astype(np.int64)
+        rev.setflags(write=False)
+        return RunList(rev, None, self._n, self._nruns)
+
+    @classmethod
+    def concat(cls, pieces: Iterable["RunList | np.ndarray"]) -> "RunList":
+        """Concatenate offset sequences.
+
+        All-compressed inputs are concatenated in run space (O(total
+        runs), boundary runs kept distinct); any dense piece forces a
+        canonical greedy recompression of the dense concatenation.
+        """
+        pieces = [p if isinstance(p, RunList) else cls.from_dense(p) for p in pieces]
+        pieces = [p for p in pieces if len(p)]
+        if not pieces:
+            return cls.empty()
+        if len(pieces) == 1:
+            return pieces[0]
+        if all(p.is_compressed for p in pieces):
+            runs = np.vstack([p._runs for p in pieces]).astype(np.int64)
+            runs.setflags(write=False)
+            return cls(runs, None, sum(p._n for p in pieces), len(runs))
+        return cls.from_dense(np.concatenate([p.dense() for p in pieces]))
+
+    # -- executor fast paths -------------------------------------------------
+
+    def _exec_runs(self) -> np.ndarray:
+        """Canonical run table used by the executors (cached).
+
+        The greedy splitter is within 2x of optimal but brackets every
+        row jump of a 2-D section with a singleton run; merging adjacent
+        runs that continue the same arithmetic progression recovers the
+        optimal partition (fewer loop iterations, and regular section
+        moves become a uniform grid).  Wire/clock accounting never sees
+        this table — ``nruns``/``nbytes`` keep the greedy counts.
+        """
+        if self._canon is None:
+            runs = self._runs
+            if runs is None or len(runs) < 2:
+                self._canon = runs
+            else:
+                out: list[list[int]] = []
+                for s, st, c in runs.tolist():
+                    if out:
+                        ps, pst, pc = out[-1]
+                        if pc == 1:
+                            d = s - ps
+                            if c == 1:
+                                out[-1] = [ps, d, 2]
+                                continue
+                            if d == st:
+                                out[-1] = [ps, st, c + 1]
+                                continue
+                        else:
+                            if s - (ps + pst * (pc - 1)) == pst and (
+                                c == 1 or st == pst
+                            ):
+                                out[-1] = [ps, pst, pc + c]
+                                continue
+                    out.append([s, st, c])
+                self._canon = np.asarray(out, dtype=np.int64).reshape(-1, 3)
+        return self._canon
+
+    def _uniform_grid(self):
+        """``(start0, rowstep, step, nrows, count)`` when the canonical run
+        table is a uniform 2-D grid: every run has the same positive step
+        and count and the starts form a positive arithmetic progression.
+        This is exactly a strided section of a row-major array (Multiblock
+        Parti's strided-block descriptor) and executes as one strided-view
+        copy.  Returns ``None`` for anything else.
+        """
+        runs = self._exec_runs()
+        if runs is None or len(runs) < 2:
+            return None
+        step = int(runs[0, 1])
+        count = int(runs[0, 2])
+        if step <= 0 or not (runs[:, 1] == step).all() or not (runs[:, 2] == count).all():
+            return None
+        starts = runs[:, 0]
+        rowstep = int(starts[1] - starts[0])
+        if rowstep <= 0 or not (np.diff(starts) == rowstep).all():
+            return None
+        return int(starts[0]), rowstep, step, len(runs), count
+
+    def _grid_view(self, data: np.ndarray, grid) -> "np.ndarray | None":
+        """Strided (nrows, count) view of ``data`` covering the grid."""
+        start0, rowstep, step, nrows, count = grid
+        last = start0 + (nrows - 1) * rowstep + (count - 1) * step
+        if data.ndim != 1 or last >= len(data):
+            return None
+        st = data.strides[0]
+        return np.lib.stride_tricks.as_strided(
+            data[start0:], shape=(nrows, count), strides=(rowstep * st, step * st)
+        )
+
+    def gather(self, data: np.ndarray) -> np.ndarray:
+        """``data[self]`` — slice copies per run, fancy indexing fallback.
+
+        A uniform run grid (the regular 2-D section move) is gathered in
+        one vectorized strided-view copy instead of a per-run loop.
+        """
+        if self._runs is None:
+            return data[self._dense]
+        grid = self._uniform_grid()
+        if grid is not None:
+            view = self._grid_view(data, grid)
+            if view is not None:
+                out = np.empty(grid[3] * grid[4], dtype=data.dtype)
+                out.reshape(grid[3], grid[4])[...] = view
+                return out
+        out = np.empty(self._n, dtype=data.dtype)
+        pos = 0
+        for start, step, count in self._exec_runs().tolist():
+            if step == 0:
+                out[pos : pos + count] = data[start]
+            elif step == 1:
+                out[pos : pos + count] = data[start : start + count]
+            else:
+                out[pos : pos + count] = data[_run_slice(start, step, count)]
+            pos += count
+        return out
+
+    def scatter(self, data: np.ndarray, values: np.ndarray) -> None:
+        """``data[self] = values`` — slice stores per run.
+
+        Matches NumPy scatter semantics for repeated offsets (the last
+        occurrence wins), though valid schedules never repeat a
+        destination slot.
+        """
+        if self._runs is None:
+            data[self._dense] = values
+            return
+        values = np.asarray(values)
+        scalar = values.ndim == 0
+        grid = self._uniform_grid()
+        # Writable strided-view store; rows must not interleave so every
+        # target element is written exactly once (gather has no such need).
+        if grid is not None and grid[1] >= grid[4] * grid[2]:
+            view = self._grid_view(data, grid)
+            if view is not None:
+                view[...] = values if scalar else values.reshape(grid[3], grid[4])
+                return
+        pos = 0
+        for start, step, count in self._exec_runs().tolist():
+            chunk = values if scalar else values[pos : pos + count]
+            if step == 0:
+                data[start] = chunk if scalar else chunk[-1]
+            elif step == 1:
+                data[start : start + count] = chunk
+            else:
+                data[_run_slice(start, step, count)] = chunk
+            pos += count
+
+
+def as_offsets(offsets) -> "RunList | np.ndarray":
+    """Normalize an offsets argument for the executors.
+
+    RunLists pass through; anything else becomes an int64 ndarray (the
+    legacy dense path).
+    """
+    if isinstance(offsets, RunList):
+        return offsets
+    return np.asarray(offsets, dtype=np.int64)
+
+
+def group_by_runs(keys: np.ndarray, values: np.ndarray) -> dict[int, "RunList"]:
+    """Partition ``values`` by ``keys`` (stable) into compressed RunLists.
+
+    The run-aware successor of the schedule builder's ``_group_by``:
+    same grouping, but each group is stored in run form when regular.
+    """
+    if len(keys) == 0:
+        return {}
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_values = np.asarray(values)[order]
+    uniq, starts = np.unique(sorted_keys, return_index=True)
+    bounds = np.append(starts, len(sorted_keys))
+    return {
+        int(k): RunList.from_dense(sorted_values[bounds[i] : bounds[i + 1]])
+        for i, k in enumerate(uniq)
+    }
+
+
+def _aligned_segments(a: RunList, b: RunList):
+    """Yield ``(a_start, a_step, b_start, b_step, count)`` over the common
+    refinement of two equal-length compressed run partitions."""
+    a_runs = a.runs.tolist()
+    b_runs = b.runs.tolist()
+    ia = ib = 0
+    oa = ob = 0  # progress within the current run on each side
+    while ia < len(a_runs) and ib < len(b_runs):
+        a_start, a_step, a_count = a_runs[ia]
+        b_start, b_step, b_count = b_runs[ib]
+        take = min(a_count - oa, b_count - ob)
+        yield (a_start + a_step * oa, a_step, b_start + b_step * ob, b_step, take)
+        oa += take
+        ob += take
+        if oa == a_count:
+            ia += 1
+            oa = 0
+        if ob == b_count:
+            ib += 1
+            ob = 0
+
+
+def copy_runs(
+    src_data: np.ndarray,
+    src_offsets,
+    dst_data: np.ndarray,
+    dst_offsets,
+) -> None:
+    """``dst_data[dst_offsets] = src_data[src_offsets]`` with run fast paths.
+
+    When both sides are compressed RunLists the copy runs as aligned
+    slice-to-slice stores over the common run refinement — no
+    intermediate buffer, memcpy speed for stride-1 runs.  Any dense side
+    falls back to NumPy fancy indexing (the Chaos-style irregular path).
+    """
+    src_offsets = as_offsets(src_offsets)
+    dst_offsets = as_offsets(dst_offsets)
+    if len(src_offsets) != len(dst_offsets):
+        raise ValueError(
+            f"copy sides differ in length: {len(src_offsets)} vs {len(dst_offsets)}"
+        )
+    if (
+        isinstance(src_offsets, RunList)
+        and isinstance(dst_offsets, RunList)
+        and src_offsets.is_compressed
+        and dst_offsets.is_compressed
+    ):
+        for s0, sstep, d0, dstep, count in _aligned_segments(src_offsets, dst_offsets):
+            if sstep == 0:
+                chunk = src_data[s0]
+                if dstep == 0:
+                    dst_data[d0] = chunk
+                elif count == 1:
+                    dst_data[d0] = chunk
+                else:
+                    dst_data[_run_slice(d0, dstep, count) if dstep != 1
+                             else slice(d0, d0 + count)] = chunk
+                continue
+            src_sl = slice(s0, s0 + count) if sstep == 1 else _run_slice(s0, sstep, count)
+            if dstep == 0:
+                # All writes land on one slot: the last source element wins.
+                dst_data[d0] = src_data[s0 + sstep * (count - 1)]
+            elif dstep == 1:
+                dst_data[d0 : d0 + count] = src_data[src_sl]
+            else:
+                dst_data[_run_slice(d0, dstep, count)] = src_data[src_sl]
+        return
+    dst_data[np.asarray(dst_offsets)] = src_data[np.asarray(src_offsets)]

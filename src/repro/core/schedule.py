@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.linearization import Linearization, check_conformance
 from repro.core.registry import LibraryAdapter, get_adapter
+from repro.core.runs import RunList, group_by_runs
 from repro.core.setofregions import SetOfRegions
 from repro.core.universe import (
     TAG_DESCRIPTOR,
@@ -71,6 +72,15 @@ class CommSchedule:
     the elements sent by source-group rank ``s``, in the same order.
     Present only on destination-group members.
 
+    Halves are stored as immutable, run-compressed
+    :class:`~repro.core.runs.RunList` sequences — O(runs) memory for
+    regular section moves instead of O(elements) — and are auto-compressed
+    when dense arrays are supplied.  RunLists are array-like (``len``,
+    ``np.asarray``, indexing), and :meth:`dense` recovers a schedule with
+    plain ndarray halves for code that needs them.  Because the halves
+    are immutable, :meth:`reverse` can share them safely: mutating one
+    direction's schedule cannot corrupt the other (attempts raise).
+
     The schedule is symmetric (§4.3): :meth:`reverse` yields the schedule
     for copying the destination data back onto the source elements.
     """
@@ -81,11 +91,27 @@ class CommSchedule:
     src_size: int
     dst_size: int
     method: ScheduleMethod
-    sends: dict[int, np.ndarray] = field(default_factory=dict)
-    recvs: dict[int, np.ndarray] = field(default_factory=dict)
+    sends: dict[int, RunList] = field(default_factory=dict)
+    recvs: dict[int, RunList] = field(default_factory=dict)
+
+    def __post_init__(self):
+        # Backward compatibility: dense offset arrays are accepted and
+        # auto-compressed into the run representation.
+        self.sends = {
+            int(k): v if isinstance(v, RunList) else RunList.from_dense(v)
+            for k, v in self.sends.items()
+        }
+        self.recvs = {
+            int(k): v if isinstance(v, RunList) else RunList.from_dense(v)
+            for k, v in self.recvs.items()
+        }
 
     def reverse(self) -> "CommSchedule":
-        """The same mapping with the copy direction flipped."""
+        """The same mapping with the copy direction flipped.
+
+        The immutable halves are shared, not copied — safe, because
+        neither schedule can mutate them.
+        """
         return CommSchedule(
             src_lib=self.dst_lib,
             dst_lib=self.src_lib,
@@ -97,6 +123,25 @@ class CommSchedule:
             recvs={d: offs for d, offs in self.sends.items()},
         )
 
+    def dense(self) -> "CommSchedule":
+        """A copy of this schedule with plain (read-only) ndarray halves.
+
+        For tests, benchmarks and external tooling that want raw offset
+        arrays; ``__post_init__`` recompresses, so build the dicts by
+        hand to keep them dense.
+        """
+        out = CommSchedule(
+            src_lib=self.src_lib,
+            dst_lib=self.dst_lib,
+            n_elements=self.n_elements,
+            src_size=self.src_size,
+            dst_size=self.dst_size,
+            method=self.method,
+        )
+        out.sends = {d: _readonly(v) for d, v in self.sends.items()}
+        out.recvs = {s: _readonly(v) for s, v in self.recvs.items()}
+        return out
+
     # -- introspection used by tests and benchmarks -------------------------
 
     @property
@@ -107,12 +152,37 @@ class CommSchedule:
     def recv_count(self) -> int:
         return int(sum(len(v) for v in self.recvs.values()))
 
+    @property
+    def nbytes_memory(self) -> int:
+        """This rank's in-memory schedule footprint (both halves)."""
+        return int(
+            sum(_half_nbytes(v) for v in self.sends.values())
+            + sum(_half_nbytes(v) for v in self.recvs.values())
+        )
+
+    @property
+    def nbytes_dense(self) -> int:
+        """What the same halves would occupy as dense int64 offset arrays."""
+        return int(8 * (self.send_count + self.recv_count))
+
     def message_partners(self) -> tuple[list[int], list[int]]:
         """(destinations we send to, sources we receive from), nonempty only."""
         return (
             sorted(d for d, v in self.sends.items() if len(v)),
             sorted(s for s, v in self.recvs.items() if len(v)),
         )
+
+
+def _readonly(offsets) -> np.ndarray:
+    arr = offsets.expand() if isinstance(offsets, RunList) else np.array(offsets)
+    arr.setflags(write=False)
+    return arr
+
+
+def _half_nbytes(offsets) -> int:
+    if isinstance(offsets, RunList):
+        return offsets.nbytes_memory
+    return int(np.asarray(offsets).nbytes)
 
 
 def chunk_ranges(n: int, parts: int) -> list[tuple[int, int]]:
@@ -129,19 +199,14 @@ def chunk_ranges(n: int, parts: int) -> list[tuple[int, int]]:
     return ranges
 
 
-def _group_by(keys: np.ndarray, values: np.ndarray) -> dict[int, np.ndarray]:
-    """Partition ``values`` by ``keys`` preserving order within each group."""
-    if len(keys) == 0:
-        return {}
-    order = np.argsort(keys, kind="stable")
-    sorted_keys = keys[order]
-    sorted_values = values[order]
-    uniq, starts = np.unique(sorted_keys, return_index=True)
-    bounds = np.append(starts, len(sorted_keys))
-    return {
-        int(k): sorted_values[bounds[i] : bounds[i + 1]]
-        for i, k in enumerate(uniq)
-    }
+def _group_by(keys: np.ndarray, values: np.ndarray) -> dict[int, RunList]:
+    """Partition ``values`` by ``keys`` preserving order within each group.
+
+    Groups come back run-compressed: regular sections produce a handful
+    of ``(start, step, count)`` runs per peer, so the stored schedule is
+    layout-sized, not data-sized.
+    """
+    return group_by_runs(keys, values)
 
 
 def build_schedule(

@@ -6,17 +6,20 @@ handful of strided blocks, and that is why exchanging schedule pieces for
 regular meshes is cheap (paper Table 5) while Chaos-style pointwise lists
 are as large as the data (paper section 5.1, translation tables).
 
-:class:`RunEncoded` captures that: it wraps an integer offset array and
-reports, as its transport size, the size of the array's run-length
-encoding (maximal arithmetic-progression runs, 24 bytes per run).  The
-receiver gets the expanded array directly — the compression only
-determines what the cost model charges the wire, which is the quantity
-the benchmarks measure.
+:class:`RunEncoded` captures that: it wraps an offset sequence as a
+:class:`~repro.core.runs.RunList` and reports, as its transport size, the
+size of the run-length encoding (maximal arithmetic-progression runs, 24
+bytes per run).  The compressed form is what actually travels: the
+receiver expands lazily, on first access to :attr:`RunEncoded.array` —
+regular schedule pieces stay layout-sized end to end, and the cost model
+charges the wire exactly what it always did.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.core.runs import RUN_WIRE_BYTES, RUN_WIRE_HEADER, RunList, run_starts
 
 __all__ = ["RunEncoded", "count_runs"]
 
@@ -29,33 +32,48 @@ def count_runs(arr: np.ndarray) -> int:
     partition by at most 2x (a singleton after each break), which is an
     acceptable bound for wire-size accounting.
     """
-    arr = np.asarray(arr)
-    n = len(arr)
-    if n <= 2:
-        return min(n, 1)
-    d = np.diff(arr)
-    breaks = np.count_nonzero(d[1:] != d[:-1])
-    return 1 + int(breaks)
+    if isinstance(arr, RunList):
+        return arr.nruns
+    return len(run_starts(arr))
 
 
 class RunEncoded:
-    """An int64 array whose transport size is its run-length encoding."""
+    """An int64 offset sequence that travels in run-compressed form.
 
-    __slots__ = ("array", "nruns")
+    ``nbytes`` (what the virtual transport charges) is the run encoding's
+    size: ``(start, step, count)`` per run plus a fixed header —
+    unchanged from when instances carried dense arrays.  ``array``
+    expands on first access and caches the dense (writable) form, so
+    receiver-side code that merges pieces keeps working verbatim while
+    senders of regular pieces never materialize O(elements) storage.
+    """
 
-    def __init__(self, array: np.ndarray):
-        # Always copy: instances travel through the zero-copy transport and
-        # must not alias the (possibly mutated) builder-side arrays.
-        self.array = np.array(array, dtype=np.int64, copy=True)
-        self.nruns = count_runs(self.array)
+    __slots__ = ("runlist", "_array")
+
+    def __init__(self, array: np.ndarray | RunList):
+        # from_dense never aliases its input: instances travel through the
+        # zero-copy transport and must not see builder-side mutations.
+        self.runlist = RunList.from_dense(array)
+        self._array: np.ndarray | None = None
+
+    @property
+    def array(self) -> np.ndarray:
+        """The dense expansion (lazy; cached after the first access)."""
+        if self._array is None:
+            self._array = self.runlist.expand()
+        return self._array
+
+    @property
+    def nruns(self) -> int:
+        return self.runlist.nruns
 
     @property
     def nbytes(self) -> int:
         """Run-encoded wire size: (start, step, count) per run."""
-        return 16 + 24 * self.nruns
+        return RUN_WIRE_HEADER + RUN_WIRE_BYTES * self.runlist.nruns
 
     def __len__(self) -> int:
-        return len(self.array)
+        return len(self.runlist)
 
     def __repr__(self) -> str:
-        return f"RunEncoded(n={len(self.array)}, runs={self.nruns})"
+        return f"RunEncoded(n={len(self.runlist)}, runs={self.runlist.nruns})"

@@ -123,3 +123,88 @@ class TestCache:
             return cache.misses
 
         assert run_spmd(2, spmd).values[0] == 2
+
+
+class TestBoundedLRU:
+    def _nth_dst(self, n):
+        return mc_new_set_of_regions(IndexRegion(np.roll(np.arange(N), n)))
+
+    def test_eviction_accounting(self):
+        def spmd(comm):
+            A = BlockPartiArray.zeros(comm, (6, 6))
+            B = ChaosArray.zeros(comm, PERM % comm.size)
+            src, _ = _sors()
+            cache = ScheduleCache(comm, maxsize=2)
+            for n in range(4):  # 4 distinct requests through a 2-entry cache
+                cache.get_or_build("blockparti", A, src, "chaos", B, self._nth_dst(n))
+            return cache.hits, cache.misses, cache.evictions, len(cache)
+
+        hits, misses, evictions, size = run_spmd(2, spmd).values[0]
+        assert (hits, misses, evictions, size) == (0, 4, 2, 2)
+
+    def test_lru_order_hits_refresh_recency(self):
+        def spmd(comm):
+            A = BlockPartiArray.zeros(comm, (6, 6))
+            B = ChaosArray.zeros(comm, PERM % comm.size)
+            src, _ = _sors()
+            cache = ScheduleCache(comm, maxsize=2)
+            build = lambda n: cache.get_or_build(
+                "blockparti", A, src, "chaos", B, self._nth_dst(n)
+            )
+            s0 = build(0)
+            build(1)
+            assert build(0) is s0      # hit refreshes 0's recency
+            build(2)                   # evicts 1 (LRU), not 0
+            assert build(0) is s0      # still cached: hit again
+            return cache.hits, cache.misses, cache.evictions
+
+        hits, misses, evictions = run_spmd(2, spmd).values[0]
+        assert (hits, misses, evictions) == (2, 3, 1)
+
+    def test_unbounded_by_default(self):
+        def spmd(comm):
+            A = BlockPartiArray.zeros(comm, (6, 6))
+            B = ChaosArray.zeros(comm, PERM % comm.size)
+            src, _ = _sors()
+            cache = ScheduleCache(comm)
+            for n in range(5):
+                cache.get_or_build("blockparti", A, src, "chaos", B, self._nth_dst(n))
+            return cache.evictions, len(cache)
+
+        assert run_spmd(2, spmd).values[0] == (0, 5)
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            ScheduleCache(None, maxsize=0)
+
+    def test_cached_schedules_are_compact(self):
+        """The cache stores run-compressed schedules: a cached regular
+        section move costs KBs per rank, not MBs."""
+        def spmd(comm):
+            A = BlockPartiArray.zeros(comm, (64, 64))
+            B = BlockPartiArray.zeros(comm, (64, 64))
+            src = mc_new_set_of_regions(
+                SectionRegion(Section((0, 0), (31, 63), (1, 1)))
+            )
+            dst = mc_new_set_of_regions(
+                SectionRegion(Section((32, 0), (63, 63), (1, 1)))
+            )
+            cache = ScheduleCache(comm)
+            sched = cache.get_or_build("blockparti", A, src, "blockparti", B, dst)
+            return sched.nbytes_memory, sched.nbytes_dense
+
+        for mem, dense in run_spmd(4, spmd).values:
+            assert dense == 0 or mem < dense / 5
+
+    def test_eviction_is_rank_deterministic(self):
+        def spmd(comm):
+            A = BlockPartiArray.zeros(comm, (6, 6))
+            B = ChaosArray.zeros(comm, PERM % comm.size)
+            src, _ = _sors()
+            cache = ScheduleCache(comm, maxsize=3)
+            for n in [0, 1, 2, 0, 3, 1, 4]:
+                cache.get_or_build("blockparti", A, src, "chaos", B, self._nth_dst(n))
+            return cache.hits, cache.misses, cache.evictions
+
+        res = run_spmd(4, spmd)
+        assert len(set(res.values)) == 1  # every rank agrees

@@ -213,3 +213,61 @@ class TestErrorPaths:
             [ProgramSpec("a", 1, prog_a), ProgramSpec("b", 1, lambda c: None)]
         )
         assert res["a"].values == [True]
+
+
+class TestLossyCastUnified:
+    """Satellite regression: local direct copies and remote unpack share
+    one cast authority (``ensure_safe_cast``), so the same dtype pair is
+    rejected (or allowed) no matter which path the elements take."""
+
+    def _run(self, nprocs, dst_dtype):
+        """float64 source -> ``dst_dtype`` destination over a schedule
+        whose traffic covers the requested paths; returns per-rank
+        (local_elements, remote_elements, error-or-None)."""
+
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, GA)  # float64
+            B = ChaosArray.zeros(comm, (PERM * 7) % comm.size, dtype=dst_dtype)
+            src = section_sor((slice(2, 10), slice(0, 10)), SHAPE_A)
+            dst = index_sor(PERM)
+            sched = mc_compute_schedule(comm, "blockparti", A, src, "chaos", B, dst)
+            me = comm.rank
+            local = len(sched.sends.get(me, ())) if comm.size else 0
+            remote = sum(len(v) for d, v in sched.recvs.items() if d != me)
+            try:
+                mc_copy(comm, sched, A, B)
+            except TypeError as e:
+                return local, remote, str(e)
+            return local, remote, None
+
+        return run_spmd(nprocs, spmd).values
+
+    def test_float64_to_int32_rejected_on_local_path(self):
+        # P=1: every element moves through the direct local copy.
+        (local, remote, err), = self._run(1, np.int32)
+        assert local > 0 and remote == 0
+        assert err is not None and "lossy element conversion" in err
+
+    def test_float64_to_int32_rejected_on_remote_path(self):
+        # P=4: some rank receives remote elements; all raising ranks must
+        # report the identical refusal, wherever their elements came from.
+        results = self._run(4, np.int32)
+        assert any(r[1] > 0 for r in results)  # remote traffic exists
+        messages = {r[2] for r in results if r[2] is not None}
+        assert messages, "no rank refused the lossy conversion"
+        assert all("lossy element conversion" in m for m in messages)
+
+    @pytest.mark.parametrize("nprocs", [1, 4])
+    def test_widening_allowed_on_both_paths(self, nprocs):
+        # float64 -> float64 and int-free widening stays permitted.
+        results = self._run(nprocs, np.float64)
+        assert all(r[2] is None for r in results)
+
+    def test_adapter_copy_local_checks_cast(self):
+        """copy_local itself (used by the local path) now refuses, too."""
+        from repro.core.registry import ensure_safe_cast
+
+        with pytest.raises(TypeError, match="lossy element conversion"):
+            ensure_safe_cast(np.float64, np.int32)
+        ensure_safe_cast(np.float32, np.float64)  # widening: no raise
+        ensure_safe_cast(np.int64, np.float64)    # int -> float: allowed

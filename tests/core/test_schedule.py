@@ -218,3 +218,121 @@ class TestGroupSizeValidation:
 
         with pytest.raises(SPMDError, match="distributed over 2 processors"):
             run_spmd(4, spmd)
+
+
+class TestRunCompressedSchedules:
+    """The tentpole: halves are immutable, run-compressed RunLists."""
+
+    def _regular(self, comm):
+        A = BlockPartiArray.zeros(comm, (64, 64))
+        B = BlockPartiArray.zeros(comm, (64, 64))
+        src = section_sor((slice(0, 32), slice(0, 64)), (64, 64))
+        dst = section_sor((slice(32, 64), slice(0, 64)), (64, 64))
+        return mc_compute_schedule(comm, "blockparti", A, src, "blockparti", B, dst)
+
+    def test_halves_are_runlists(self):
+        from repro.core import RunList
+
+        def spmd(comm):
+            sched = self._regular(comm)
+            return all(
+                isinstance(v, RunList)
+                for v in list(sched.sends.values()) + list(sched.recvs.values())
+            )
+
+        assert all(run_spmd(4, spmd).values)
+
+    def test_regular_schedule_is_layout_sized(self):
+        def spmd(comm):
+            sched = self._regular(comm)
+            return (sched.nbytes_memory, sched.nbytes_dense)
+
+        for mem, dense in run_spmd(4, spmd).values:
+            assert dense == 0 or mem < dense / 5  # >= 5x reduction per rank
+
+    def test_dense_accessor_matches(self):
+        def spmd(comm):
+            sched = self._regular(comm)
+            d = sched.dense()
+            ok = set(d.sends) == set(sched.sends) and set(d.recvs) == set(sched.recvs)
+            for k in sched.sends:
+                ok &= isinstance(d.sends[k], np.ndarray)
+                ok &= bool(np.array_equal(d.sends[k], np.asarray(sched.sends[k])))
+            for k in sched.recvs:
+                ok &= bool(np.array_equal(d.recvs[k], np.asarray(sched.recvs[k])))
+            return ok
+
+        assert all(run_spmd(4, spmd).values)
+
+    def test_halves_immutable_and_reverse_shares_safely(self):
+        """Satellite regression: reverse() used to alias writable arrays —
+        mutating one schedule silently corrupted the other.  Halves are
+        now immutable; mutation attempts raise on either view."""
+
+        def spmd(comm):
+            sched = self._regular(comm)
+            rev = sched.reverse()
+            raised = 0
+            for half in (sched.sends, sched.recvs, rev.sends, rev.recvs):
+                for offs in half.values():
+                    if not len(offs):
+                        continue
+                    try:
+                        offs[0] = 12345
+                    except (TypeError, ValueError):
+                        raised += 1
+                    try:
+                        offs.dense()[0] = 12345
+                    except ValueError:
+                        raised += 1
+            # And the reverse still mirrors the forward structure.
+            ok = rev.sends.keys() == sched.recvs.keys()
+            for k in rev.sends:
+                ok &= bool(np.array_equal(np.asarray(rev.sends[k]),
+                                          np.asarray(sched.recvs[k])))
+            return ok and raised > 0
+
+        assert all(run_spmd(4, spmd).values)
+
+    def test_dense_input_auto_compressed(self):
+        from repro.core import CommSchedule, RunList
+
+        sched = CommSchedule(
+            "hpf", "hpf", 10, 2, 2, ScheduleMethod.COOPERATION,
+            sends={1: np.arange(10)}, recvs={0: np.arange(0, 30, 3)},
+        )
+        assert isinstance(sched.sends[1], RunList)
+        assert sched.sends[1].nruns == 1
+        assert isinstance(sched.recvs[0], RunList)
+
+    def test_run_and_dense_paths_same_clock_and_result(self):
+        """The fast path is wall-clock only: executing a schedule through
+        RunList halves and through dense halves must charge identical
+        logical time and produce identical data.  Two deterministic VM
+        runs, same workload, differing only in the halves' representation."""
+        from repro.core import mc_copy
+
+        GA = np.random.default_rng(21).random((64, 64))
+
+        def make_spmd(dense):
+            def spmd(comm):
+                A = BlockPartiArray.from_global(comm, GA)
+                B = BlockPartiArray.zeros(comm, (64, 64))
+                src = section_sor((slice(0, 32), slice(0, 64)), (64, 64))
+                dst = section_sor((slice(32, 64), slice(0, 64)), (64, 64))
+                sched = mc_compute_schedule(
+                    comm, "blockparti", A, src, "blockparti", B, dst
+                )
+                if dense:
+                    sched = sched.dense()
+                for _ in range(3):
+                    mc_copy(comm, sched, A, B)
+                return comm.process.clock, B.gather_global()
+
+            return spmd
+
+        run_res = run_spmd(4, make_spmd(dense=False)).values
+        dense_res = run_spmd(4, make_spmd(dense=True)).values
+        for (run_t, got_run), (dense_t, got_dense) in zip(run_res, dense_res):
+            assert run_t == dense_t  # identical simulated physics, per rank
+            np.testing.assert_array_equal(got_run, got_dense)

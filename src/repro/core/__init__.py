@@ -33,6 +33,7 @@ from repro.core.registry import (
     registered_libraries,
 )
 from repro.core.universe import Universe, SingleProgramUniverse, TwoProgramUniverse
+from repro.core.policy import ExecutorPolicy, rotated_order
 from repro.core.schedule import CommSchedule, ScheduleMethod, build_schedule
 from repro.core.datamove import data_move, data_move_send, data_move_recv
 from repro.core.cache import ScheduleCache, dist_key, region_key, sor_key
@@ -75,6 +76,8 @@ __all__ = [
     "TwoProgramUniverse",
     "CommSchedule",
     "ScheduleMethod",
+    "ExecutorPolicy",
+    "rotated_order",
     "build_schedule",
     "data_move",
     "data_move_send",

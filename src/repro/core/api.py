@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.datamove import data_move, data_move_recv, data_move_send
+from repro.core.policy import ExecutorPolicy
 from repro.core.region import Region
 from repro.core.schedule import CommSchedule, ScheduleMethod, build_schedule
 from repro.core.setofregions import SetOfRegions
@@ -34,6 +35,7 @@ __all__ = [
     "mc_copy",
     "mc_data_move_send",
     "mc_data_move_recv",
+    "ExecutorPolicy",
 ]
 
 
@@ -65,6 +67,7 @@ def mc_compute_schedule(
     dst_array: Any,
     dst_sor: SetOfRegions | None,
     method: ScheduleMethod = ScheduleMethod.COOPERATION,
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
 ) -> CommSchedule:
     """Collectively compute a communication schedule (``MC_ComputeSched``).
 
@@ -74,12 +77,17 @@ def mc_compute_schedule(
     inter-communicator.  The schedule can be reused for any number of data
     moves, and is symmetric (use :meth:`CommSchedule.reverse` to copy the
     other way).
+
+    ``policy`` orders the schedule-build exchanges
+    (:class:`~repro.core.policy.ExecutorPolicy`); the resulting schedule is
+    identical under either policy.
     """
     return build_schedule(
         _as_universe(where),
         src_lib, src_array, src_sor,
         dst_lib, dst_array, dst_sor,
         method=method,
+        policy=policy,
     )
 
 
@@ -88,26 +96,38 @@ def mc_copy(
     schedule: CommSchedule,
     src_array: Any,
     dst_array: Any,
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
 ) -> None:
-    """One-shot data move within a single program (``MC_Copy``)."""
+    """One-shot data move within a single program (``MC_Copy``).
+
+    ``policy=ExecutorPolicy.OVERLAP`` selects the latency-hiding executor
+    (rotated injection + arrival-order completion); the destination array
+    is identical either way.
+    """
     universe = _as_universe(where)
     if not universe.single_program:
         raise ValueError(
             "mc_copy is the single-program move; coupled programs call "
             "mc_data_move_send / mc_data_move_recv on their own side"
         )
-    data_move(schedule, src_array, dst_array, universe)
+    data_move(schedule, src_array, dst_array, universe, policy=policy)
 
 
 def mc_data_move_send(
-    where: Universe | Communicator, schedule: CommSchedule, src_array: Any
+    where: Universe | Communicator,
+    schedule: CommSchedule,
+    src_array: Any,
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
 ) -> None:
     """Send half of a data move (``MC_DataMoveSend``)."""
-    data_move_send(schedule, src_array, _as_universe(where))
+    data_move_send(schedule, src_array, _as_universe(where), policy=policy)
 
 
 def mc_data_move_recv(
-    where: Universe | Communicator, schedule: CommSchedule, dst_array: Any
+    where: Universe | Communicator,
+    schedule: CommSchedule,
+    dst_array: Any,
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
 ) -> None:
     """Receive half of a data move (``MC_DataMoveRecv``)."""
-    data_move_recv(schedule, dst_array, _as_universe(where))
+    data_move_recv(schedule, dst_array, _as_universe(where), policy=policy)

@@ -23,6 +23,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.api import mc_compute_schedule
+from repro.core.policy import ExecutorPolicy
 from repro.core.region import IndexRegion, MaskRegion, Region, SectionRegion
 from repro.core.registry import get_adapter
 from repro.core.schedule import CommSchedule, ScheduleMethod
@@ -116,11 +117,19 @@ class ScheduleCache:
         dst_array,
         dst_sor: SetOfRegions,
         method: ScheduleMethod = ScheduleMethod.COOPERATION,
+        policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
     ) -> CommSchedule:
         """Return a cached schedule for this request, building on miss.
 
         Single-program only (both arrays local): the key includes both
         distributions, which must be inspectable here.
+
+        ``policy`` is honored on the *build* (it orders the schedule-build
+        exchanges) but deliberately excluded from the cache key: the
+        schedule content is policy-invariant, so ORDERED and OVERLAP
+        requests share entries.  Because a hit skips communication, the
+        policy only matters on the collective miss — which the
+        deterministic keys guarantee happens on every rank together.
         """
         key = (
             src_lib,
@@ -139,7 +148,7 @@ class ScheduleCache:
         self.misses += 1
         sched = mc_compute_schedule(
             self._where, src_lib, src_array, src_sor,
-            dst_lib, dst_array, dst_sor, method,
+            dst_lib, dst_array, dst_sor, method, policy=policy,
         )
         self._store[key] = sched
         if self.maxsize is not None:

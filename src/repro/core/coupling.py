@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.datamove import data_move_recv, data_move_send
+from repro.core.policy import ExecutorPolicy
 from repro.core.schedule import CommSchedule
 from repro.core.universe import TwoProgramUniverse
 from repro.vmachine.program import ProgramContext
@@ -40,9 +41,16 @@ class CoupledExchange:
     own local array and the object works out whether to send or receive.
     """
 
-    def __init__(self, universe: TwoProgramUniverse, schedule: CommSchedule):
+    def __init__(
+        self,
+        universe: TwoProgramUniverse,
+        schedule: CommSchedule,
+        policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    ):
         self.universe = universe
         self.schedule = schedule
+        #: executor policy applied to every push/pull on this exchange
+        self.policy = ExecutorPolicy.coerce(policy)
 
     @property
     def _is_src(self) -> bool:
@@ -51,9 +59,11 @@ class CoupledExchange:
     def push(self, local_array: Any) -> None:
         """Forward copy: source program sends, destination receives."""
         if self._is_src:
-            data_move_send(self.schedule, local_array, self.universe)
+            data_move_send(self.schedule, local_array, self.universe,
+                           policy=self.policy)
         else:
-            data_move_recv(self.schedule, local_array, self.universe)
+            data_move_recv(self.schedule, local_array, self.universe,
+                           policy=self.policy)
 
     def pull(self, local_array: Any) -> None:
         """Reverse copy along the same (symmetric) schedule."""
@@ -61,6 +71,6 @@ class CoupledExchange:
         runiverse = self.universe.reversed()
         if self._is_src:
             # Forward-source becomes reverse-destination.
-            data_move_recv(rev, local_array, runiverse)
+            data_move_recv(rev, local_array, runiverse, policy=self.policy)
         else:
-            data_move_send(rev, local_array, runiverse)
+            data_move_send(rev, local_array, runiverse, policy=self.policy)

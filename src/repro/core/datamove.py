@@ -6,21 +6,42 @@ most one message is sent between each source and each destination
 processor" — and intra-processor transfers (single-program case) are
 copied directly between the two arrays' storage with no intermediate
 buffer.
+
+Two executor policies order the message traffic
+(:class:`~repro.core.policy.ExecutorPolicy`):
+
+``ORDERED`` (default)
+    Sends and blocking receives are issued in ascending group-rank order —
+    the historical, paper-faithful executor.  Logical clocks are
+    byte-for-byte reproducible against all published tables.
+
+``OVERLAP``
+    Latency-hiding: senders inject in rotated order starting at
+    ``(my_rank + 1) % P`` so low ranks are not hot-spotted, and receivers
+    post all receives up front, completing them in *arrival* order with
+    :func:`~repro.vmachine.comm.waitany` — each buffer is unpacked while
+    later messages are still in flight.  The destination array is
+    identical either way; only the clock trajectory differs.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.core.policy import ExecutorPolicy, ordered_or_rotated
 from repro.core.registry import get_adapter
 from repro.core.schedule import CommSchedule
 from repro.core.universe import TAG_DATA, Universe
+from repro.vmachine.comm import waitany
 
-__all__ = ["data_move", "data_move_send", "data_move_recv"]
+__all__ = ["data_move", "data_move_send", "data_move_recv", "ExecutorPolicy"]
 
 
 def data_move_send(
-    schedule: CommSchedule, src_array: Any, universe: Universe
+    schedule: CommSchedule,
+    src_array: Any,
+    universe: Universe,
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
 ) -> None:
     """Execute the send half of a schedule (the paper's ``MC_DataMoveSend``).
 
@@ -28,11 +49,19 @@ def data_move_send(
     processors concurrently call :func:`data_move_recv`.  Intra-processor
     transfers are skipped here and handled by the receive half as direct
     copies when both arrays are local.
+
+    Under ``ExecutorPolicy.OVERLAP`` the destinations are visited in
+    rotated order starting at ``(my_src_rank + 1) % dst_size`` instead of
+    ascending rank, staggering injection across the destination group.
     """
     if universe.my_src_rank is None:
         raise RuntimeError("data_move_send called on a non-source processor")
+    policy = ExecutorPolicy.coerce(policy)
     adapter = get_adapter(schedule.src_lib)
-    for d in sorted(schedule.sends):
+    order = ordered_or_rotated(
+        list(schedule.sends), universe.my_src_rank, universe.dst_size, policy
+    )
+    for d in order:
         offsets = schedule.sends[d]
         if len(offsets) == 0 or universe.same_proc_dst(d):
             continue
@@ -41,23 +70,52 @@ def data_move_send(
 
 
 def data_move_recv(
-    schedule: CommSchedule, dst_array: Any, universe: Universe
+    schedule: CommSchedule,
+    dst_array: Any,
+    universe: Universe,
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
 ) -> None:
-    """Execute the receive half of a schedule (``MC_DataMoveRecv``)."""
+    """Execute the receive half of a schedule (``MC_DataMoveRecv``).
+
+    Under ``ExecutorPolicy.OVERLAP`` all receives are posted nonblocking
+    up front and completed in logical-arrival order via ``waitany``; each
+    message's elements are unpacked into ``dst_array`` while later
+    messages are still in flight.  Placement depends only on the schedule
+    offsets, so completion order never changes the destination data.
+    """
     if universe.my_dst_rank is None:
         raise RuntimeError("data_move_recv called on a non-destination processor")
+    policy = ExecutorPolicy.coerce(policy)
     adapter = get_adapter(schedule.dst_lib)
-    for s in sorted(schedule.recvs):
+    active = [
+        s
+        for s in sorted(schedule.recvs)
+        if len(schedule.recvs[s]) != 0 and not universe.same_proc_src(s)
+    ]
+    if policy is ExecutorPolicy.OVERLAP and len(active) > 1:
+        requests = [universe.irecv_from_src(s, TAG_DATA) for s in active]
+        remaining = len(requests)
+        while remaining:
+            idx, buffer = waitany(requests)
+            remaining -= 1
+            s = active[idx]
+            offsets = schedule.recvs[s]
+            _check_piece(buffer, offsets, s)
+            adapter.unpack(dst_array, offsets, buffer)
+        return
+    for s in active:
         offsets = schedule.recvs[s]
-        if len(offsets) == 0 or universe.same_proc_src(s):
-            continue
         buffer = universe.recv_from_src(s, TAG_DATA)
-        if len(buffer) != len(offsets):
-            raise RuntimeError(
-                f"schedule mismatch: received {len(buffer)} elements from "
-                f"source rank {s} but expected {len(offsets)}"
-            )
+        _check_piece(buffer, offsets, s)
         adapter.unpack(dst_array, offsets, buffer)
+
+
+def _check_piece(buffer: Any, offsets: Any, s: int) -> None:
+    if len(buffer) != len(offsets):
+        raise RuntimeError(
+            f"schedule mismatch: received {len(buffer)} elements from "
+            f"source rank {s} but expected {len(offsets)}"
+        )
 
 
 def _local_copies(
@@ -90,7 +148,11 @@ def _local_copies(
 
 
 def data_move(
-    schedule: CommSchedule, src_array: Any, dst_array: Any, universe: Universe
+    schedule: CommSchedule,
+    src_array: Any,
+    dst_array: Any,
+    universe: Universe,
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
 ) -> None:
     """Full copy for processors holding both roles (single program), or a
     convenience wrapper dispatching to the proper half otherwise.
@@ -99,12 +161,13 @@ def data_move(
     the aggregated inter-processor messages flow (sends first — the
     virtual transport is buffered, so this cannot deadlock).
     """
+    policy = ExecutorPolicy.coerce(policy)
     if universe.single_program:
         _local_copies(schedule, src_array, dst_array, universe)
-        data_move_send(schedule, src_array, universe)
-        data_move_recv(schedule, dst_array, universe)
+        data_move_send(schedule, src_array, universe, policy=policy)
+        data_move_recv(schedule, dst_array, universe, policy=policy)
         return
     if universe.my_src_rank is not None:
-        data_move_send(schedule, src_array, universe)
+        data_move_send(schedule, src_array, universe, policy=policy)
     if universe.my_dst_rank is not None:
-        data_move_recv(schedule, dst_array, universe)
+        data_move_recv(schedule, dst_array, universe, policy=policy)

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.linearization import Linearization, check_conformance
+from repro.core.policy import ExecutorPolicy, ordered_or_rotated
 from repro.core.registry import LibraryAdapter, get_adapter
 from repro.core.runs import RunList, group_by_runs
 from repro.core.setofregions import SetOfRegions
@@ -49,6 +50,7 @@ from repro.core.universe import (
     Universe,
 )
 from repro.core.wire import RunEncoded
+from repro.vmachine.comm import waitany
 
 __all__ = ["ScheduleMethod", "CommSchedule", "build_schedule", "chunk_ranges"]
 
@@ -218,6 +220,7 @@ def build_schedule(
     dst_handle,
     dst_sor: SetOfRegions | None,
     method: ScheduleMethod = ScheduleMethod.COOPERATION,
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
 ) -> CommSchedule:
     """Collectively compute a communication schedule.
 
@@ -230,7 +233,15 @@ def build_schedule(
     - across two programs, the opposite side's handle/sor may be ``None``
       (cooperation) — duplication needs both SetOfRegions on both sides,
       since the mapping is recomputed locally everywhere.
+
+    ``policy`` orders the schedule-build exchanges themselves:
+    ``ExecutorPolicy.OVERLAP`` staggers the phase-1/phase-3 injections and
+    completes receives in arrival order (the resulting *schedule* is
+    identical either way — only the build's logical clock changes).
+    Duplication builds no exchanges beyond a rank-0 descriptor swap, so
+    ``policy`` is a no-op there.
     """
+    policy = ExecutorPolicy.coerce(policy)
     proc = universe.process
     proc.charge_startup()
     src_adapter = get_adapter(src_lib)
@@ -260,7 +271,7 @@ def build_schedule(
     if method is ScheduleMethod.COOPERATION:
         sends, recvs = _build_cooperation(
             universe, src_adapter, src_handle, src_sor,
-            dst_adapter, dst_handle, dst_sor, n,
+            dst_adapter, dst_handle, dst_sor, n, policy,
         )
     elif method is ScheduleMethod.DUPLICATION:
         sends, recvs = _build_duplication(
@@ -317,13 +328,29 @@ def _conformance_size(
 
 
 def _overlaps(lo: int, hi: int, chunks: list[tuple[int, int]]) -> list[int]:
-    """Indices of chunks intersecting [lo, hi)."""
-    return [i for i, (clo, chi) in enumerate(chunks) if max(lo, clo) < min(hi, chi)]
+    """Indices of chunks intersecting [lo, hi) — binary search, O(log P + k).
+
+    ``chunk_ranges`` yields sorted, contiguous chunks, so both the start
+    and end boundaries are non-decreasing:  chunk ``i`` intersects iff
+    ``ends[i] > lo`` (first such index by ``searchsorted(..., 'right')``)
+    and ``starts[i] < hi`` (one past the last by ``searchsorted(...,
+    'left')``).  Zero-width chunks inside the window are filtered out,
+    matching the old linear scan's ``max(lo, clo) < min(hi, chi)`` test.
+    Output stays in ascending chunk order.
+    """
+    if hi <= lo or not chunks:
+        return []
+    starts = np.fromiter((c[0] for c in chunks), dtype=np.int64, count=len(chunks))
+    ends = np.fromiter((c[1] for c in chunks), dtype=np.int64, count=len(chunks))
+    first = int(np.searchsorted(ends, lo, side="right"))
+    last = int(np.searchsorted(starts, hi, side="left"))
+    return [i for i in range(first, last) if chunks[i][0] < chunks[i][1]]
 
 
 def _build_cooperation(
     universe, src_adapter, src_handle, src_sor,
     dst_adapter, dst_handle, dst_sor, n,
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
 ):
     src_chunks = chunk_ranges(n, universe.src_size)
     dst_chunks = chunk_ranges(n, universe.dst_size)
@@ -331,10 +358,17 @@ def _build_cooperation(
 
     # Phase 1: source side dereferences its linearization chunk and ships
     # the (owner, local offset) info to the destination chunk owners.
+    # Under OVERLAP the targets are visited in rotated order (staggered
+    # injection); the pieces carry their linearization offset ``olo``, so
+    # send order never affects the schedule content.
     if universe.my_src_rank is not None:
         lo, hi = src_chunks[universe.my_src_rank]
         sranks, soffs = src_adapter.deref_range(src_handle, src_sor, lo, hi)
-        for d in _overlaps(lo, hi, dst_chunks):
+        targets = ordered_or_rotated(
+            _overlaps(lo, hi, dst_chunks),
+            universe.my_src_rank, universe.dst_size, policy,
+        )
+        for d in targets:
             dlo, dhi = dst_chunks[d]
             olo, ohi = max(lo, dlo), min(hi, dhi)
             piece = (
@@ -349,6 +383,9 @@ def _build_cooperation(
 
     # Phase 2: destination side dereferences its chunk, merges in the
     # source info, and forms complete schedule entries for its chunk.
+    # Placement is by each piece's ``olo``, so completion order is free:
+    # under OVERLAP the remote pieces are received in *arrival* order via
+    # wait-any, local stash first.
     src_pieces: list | None = None
     dst_pieces: list | None = None
     if universe.my_dst_rank is not None:
@@ -356,13 +393,30 @@ def _build_cooperation(
         m = dhi - dlo
         sranks = np.empty(m, dtype=np.int64)
         soffs = np.empty(m, dtype=np.int64)
-        for s in _overlaps(dlo, dhi, src_chunks):
-            if universe.same_proc_src(s):
-                olo, r, o = stash.pop(s)
-            else:
-                olo, r, o = universe.recv_from_src(s, TAG_SCHED_SRCINFO)
+
+        def _place(piece):
+            olo, r, o = piece
             sranks[olo - dlo : olo - dlo + len(r)] = r.array
             soffs[olo - dlo : olo - dlo + len(o)] = o.array
+
+        sources = _overlaps(dlo, dhi, src_chunks)
+        remote = [s for s in sources if not universe.same_proc_src(s)]
+        if policy is ExecutorPolicy.OVERLAP and len(remote) > 1:
+            for s in sources:
+                if universe.same_proc_src(s):
+                    _place(stash.pop(s))
+            requests = [
+                universe.irecv_from_src(s, TAG_SCHED_SRCINFO) for s in remote
+            ]
+            for _ in range(len(requests)):
+                _, piece = waitany(requests)
+                _place(piece)
+        else:
+            for s in sources:
+                if universe.same_proc_src(s):
+                    _place(stash.pop(s))
+                else:
+                    _place(universe.recv_from_src(s, TAG_SCHED_SRCINFO))
         dranks, doffs = dst_adapter.deref_range(dst_handle, dst_sor, dlo, dhi)
 
         # Halves for every source-group processor: (dranks, soffs) of the
@@ -388,7 +442,9 @@ def _build_cooperation(
         ]
 
     # Phase 3: dense distribution of the halves, then local assembly.
-    my_src_half, my_dst_half = _distribute_pieces(universe, src_pieces, dst_pieces)
+    my_src_half, my_dst_half = _distribute_pieces(
+        universe, src_pieces, dst_pieces, policy
+    )
 
     sends: dict[int, np.ndarray] = {}
     recvs: dict[int, np.ndarray] = {}
@@ -407,54 +463,89 @@ def _build_cooperation(
 _EMPTY = np.zeros(0, dtype=np.int64)
 
 
-def _distribute_pieces(universe, src_pieces, dst_pieces):
+def _distribute_pieces(
+    universe, src_pieces, dst_pieces,
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+):
     """Dense all-to-all of schedule halves from destination-chunk owners.
 
     Every destination-group processor addresses one message to every
     source-group processor and one to every destination-group processor
-    (merged when the two coincide).  Receivers collect one piece from
-    every destination-chunk owner, in rank order.
+    (merged when the two coincide).  Under ``ORDERED`` receivers collect
+    one piece from every destination-chunk owner in rank order; under
+    ``OVERLAP`` the sends are rotated and the pieces are completed in
+    arrival order via wait-any, slotted into their sender's index — the
+    assembled halves are identical either way.
     """
+    overlap = policy is ExecutorPolicy.OVERLAP
     if universe.single_program:
         comm_size = universe.dst_size
         me = universe.my_dst_rank
         merged = [
             (src_pieces[p], dst_pieces[p]) for p in range(comm_size)
         ]
-        mine = None
-        for p in range(comm_size):
-            if p == me:
-                mine = merged[p]
-            else:
-                universe.send_to_dst(p, merged[p], TAG_SCHED_PIECES)
-        my_src_half, my_dst_half = [], []
-        for q in range(comm_size):
-            if q == me:
-                s_piece, d_piece = mine
-            else:
-                s_piece, d_piece = universe.recv_from_dst(q, TAG_SCHED_PIECES)
-            my_src_half.append(s_piece)
-            my_dst_half.append(d_piece)
+        mine = merged[me]
+        for p in ordered_or_rotated(
+            [p for p in range(comm_size) if p != me], me, comm_size, policy
+        ):
+            universe.send_to_dst(p, merged[p], TAG_SCHED_PIECES)
+        others = [q for q in range(comm_size) if q != me]
+        pieces: list = [None] * comm_size
+        pieces[me] = mine
+        if overlap and len(others) > 1:
+            requests = [
+                universe.irecv_from_dst(q, TAG_SCHED_PIECES) for q in others
+            ]
+            for _ in range(len(requests)):
+                idx, piece = waitany(requests)
+                pieces[others[idx]] = piece
+        else:
+            for q in others:
+                pieces[q] = universe.recv_from_dst(q, TAG_SCHED_PIECES)
+        my_src_half = [p[0] for p in pieces]
+        my_dst_half = [p[1] for p in pieces]
         return my_src_half, my_dst_half
 
     # Two programs: only destination-group members hold pieces.
     if universe.my_dst_rank is not None:
-        for s in range(universe.src_size):
-            universe.send_to_src(s, src_pieces[s], TAG_SCHED_PIECES)
         me = universe.my_dst_rank
-        for d in range(universe.dst_size):
-            if d != me:
-                universe.send_to_dst(d, dst_pieces[d], TAG_SCHED_PIECES)
-        my_dst_half = []
-        for q in range(universe.dst_size):
-            my_dst_half.append(
-                dst_pieces[me] if q == me else universe.recv_from_dst(q, TAG_SCHED_PIECES)
-            )
+        for s in ordered_or_rotated(
+            list(range(universe.src_size)), me, universe.src_size, policy
+        ):
+            universe.send_to_src(s, src_pieces[s], TAG_SCHED_PIECES)
+        for d in ordered_or_rotated(
+            [d for d in range(universe.dst_size) if d != me],
+            me, universe.dst_size, policy,
+        ):
+            universe.send_to_dst(d, dst_pieces[d], TAG_SCHED_PIECES)
+        others = [q for q in range(universe.dst_size) if q != me]
+        my_dst_half = [None] * universe.dst_size
+        my_dst_half[me] = dst_pieces[me]
+        if overlap and len(others) > 1:
+            requests = [
+                universe.irecv_from_dst(q, TAG_SCHED_PIECES) for q in others
+            ]
+            for _ in range(len(requests)):
+                idx, piece = waitany(requests)
+                my_dst_half[others[idx]] = piece
+        else:
+            for q in others:
+                my_dst_half[q] = universe.recv_from_dst(q, TAG_SCHED_PIECES)
         return None, my_dst_half
     # Pure source-group member.
+    owners = list(range(universe.dst_size))
+    if overlap and len(owners) > 1:
+        my_src_half = [None] * universe.dst_size
+        requests = [
+            universe.irecv_from_dst(q, TAG_SCHED_PIECES) for q in owners
+        ]
+        for _ in range(len(requests)):
+            idx, piece = waitany(requests)
+            my_src_half[owners[idx]] = piece
+        return my_src_half, None
     my_src_half = [
         universe.recv_from_dst(q, TAG_SCHED_PIECES)
-        for q in range(universe.dst_size)
+        for q in owners
     ]
     return my_src_half, None
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import abc
 from typing import Any
 
-from repro.vmachine.comm import Communicator, InterComm
+from repro.vmachine.comm import Communicator, InterComm, Request
 from repro.vmachine.process import Process
 
 __all__ = ["Universe", "SingleProgramUniverse", "TwoProgramUniverse"]
@@ -59,6 +59,27 @@ class Universe(abc.ABC):
     @abc.abstractmethod
     def recv_from_dst(self, d: int, tag: int) -> Any: ...
 
+    # -- nonblocking / wildcard receives (latency-hiding executor) ------------
+    #
+    # ``irecv_from_*`` posts a nonblocking receive and returns a
+    # :class:`~repro.vmachine.comm.Request`; combined with
+    # :func:`~repro.vmachine.comm.waitany` this lets the OVERLAP executor
+    # complete messages in *arrival* order instead of group-rank order.
+    # ``recv_from_*_any`` is the blocking wildcard variant returning
+    # ``(group_rank, payload)``.
+
+    @abc.abstractmethod
+    def irecv_from_src(self, s: int, tag: int) -> Request: ...
+
+    @abc.abstractmethod
+    def irecv_from_dst(self, d: int, tag: int) -> Request: ...
+
+    @abc.abstractmethod
+    def recv_from_src_any(self, tag: int) -> tuple[int, Any]: ...
+
+    @abc.abstractmethod
+    def recv_from_dst_any(self, tag: int) -> tuple[int, Any]: ...
+
     # -- same-physical-processor tests -----------------------------------------
 
     def same_proc_dst(self, d: int) -> bool:
@@ -97,6 +118,18 @@ class SingleProgramUniverse(Universe):
 
     def recv_from_dst(self, d: int, tag: int) -> Any:
         return self.comm.recv(d, tag)
+
+    def irecv_from_src(self, s: int, tag: int) -> Request:
+        return self.comm.irecv(s, tag)
+
+    def irecv_from_dst(self, d: int, tag: int) -> Request:
+        return self.comm.irecv(d, tag)
+
+    def recv_from_src_any(self, tag: int) -> tuple[int, Any]:
+        return self.comm.recv_any(tag)
+
+    def recv_from_dst_any(self, tag: int) -> tuple[int, Any]:
+        return self.comm.recv_any(tag)
 
     def reversed(self) -> "SingleProgramUniverse":
         return self
@@ -150,6 +183,26 @@ class TwoProgramUniverse(Universe):
         if self.role == "dst":
             return self.comm.recv(d, tag)
         return self.intercomm.recv(d, tag)
+
+    def irecv_from_src(self, s: int, tag: int) -> Request:
+        if self.role == "src":
+            return self.comm.irecv(s, tag)
+        return self.intercomm.irecv(s, tag)
+
+    def irecv_from_dst(self, d: int, tag: int) -> Request:
+        if self.role == "dst":
+            return self.comm.irecv(d, tag)
+        return self.intercomm.irecv(d, tag)
+
+    def recv_from_src_any(self, tag: int) -> tuple[int, Any]:
+        if self.role == "src":
+            return self.comm.recv_any(tag)
+        return self.intercomm.recv_any(tag)
+
+    def recv_from_dst_any(self, tag: int) -> tuple[int, Any]:
+        if self.role == "dst":
+            return self.comm.recv_any(tag)
+        return self.intercomm.recv_any(tag)
 
     def reversed(self) -> "TwoProgramUniverse":
         flipped = "dst" if self.role == "src" else "src"

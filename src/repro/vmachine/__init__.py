@@ -20,7 +20,7 @@ message counts, message sizes and per-element processing work.
 from repro.vmachine.cost_model import CostModel, MachineProfile, IBM_SP2, ALPHA_FARM_ATM
 from repro.vmachine.message import Message, Mailbox, ANY_SOURCE, ANY_TAG
 from repro.vmachine.process import Process, current_process
-from repro.vmachine.comm import Communicator, InterComm, Request
+from repro.vmachine.comm import Communicator, InterComm, Request, waitall, waitany
 from repro.vmachine.machine import VirtualMachine, RankError, SPMDError
 from repro.vmachine.program import ProgramSpec, run_programs, CoupledResult
 from repro.vmachine.timing import PhaseTimer, TimingReport, merge_timings
@@ -40,6 +40,8 @@ __all__ = [
     "Communicator",
     "Request",
     "InterComm",
+    "waitany",
+    "waitall",
     "VirtualMachine",
     "RankError",
     "SPMDError",

@@ -24,13 +24,45 @@ from typing import Any, Callable
 from repro.vmachine.message import ANY_TAG, Mailbox, Message, payload_nbytes
 from repro.vmachine.process import Process
 
-__all__ = ["Communicator", "InterComm", "Request"]
+__all__ = ["Communicator", "InterComm", "Request", "waitany", "waitall",
+           "CONTEXT_STRIDE"]
 
 # Tags >= _COLLECTIVE_TAG_BASE are reserved for internal collective traffic.
 _COLLECTIVE_TAG_BASE = 1 << 24
+# Context-id spacing between communicators: each communicator owns the
+# wire-tag block [context, context + CONTEXT_STRIDE).  ANY_TAG wildcards
+# (receives, probes, Request.test) are scoped to this block so they can
+# never match another communicator's traffic.
+CONTEXT_STRIDE = 1 << 32
 # Default wall-clock receive timeout; converts SPMD deadlocks in buggy
 # application code into diagnosable failures.
 _RECV_TIMEOUT_S = 120.0
+# Split-derived communicators draw their context-block indices from above
+# this floor so they can never collide with the small sequential indices
+# handed to program/pair communicators by the program runner.
+_SPLIT_BLOCK_BASE = 1 << 20
+
+
+def _cantor_pair(a: int, b: int) -> int:
+    """Cantor's pairing function: a deterministic injection N x N -> N."""
+    s = a + b
+    return s * (s + 1) // 2 + b
+
+
+def _account_recv(proc, msg: Message, wire_tag: int) -> None:
+    """Clock/stats/trace bookkeeping for one completed receive."""
+    wait = max(0.0, msg.arrival - proc.clock)
+    proc.advance_to(msg.arrival)
+    proc.charge(proc.cost.recv_overhead(msg.nbytes))
+    proc.stats["messages_received"] += 1
+    proc.stats["bytes_received"] += msg.nbytes
+    if proc.trace is not None:
+        from repro.vmachine.trace import TraceEvent
+
+        proc.trace.append(
+            TraceEvent("recv", proc.clock, proc.rank, msg.source,
+                       wire_tag, msg.nbytes, wait)
+        )
 
 
 class _Endpoint:
@@ -47,6 +79,25 @@ class _Endpoint:
         self._router = router
         self._context = context
         self._contention = contention
+
+    # -- wire-tag arithmetic ----------------------------------------------
+
+    def _wire_tag(self, tag: int) -> int:
+        """User tag -> wire tag (ANY_TAG stays wildcard; see _tag_range)."""
+        return self._context + tag if tag != ANY_TAG else ANY_TAG
+
+    def _tag_range(self, tag: int) -> tuple[int, int] | None:
+        """Tag block scoping an ANY_TAG wildcard; None for exact tags.
+
+        The wildcard covers this communicator's *user* tags only — wire
+        tags ``[context, context + _COLLECTIVE_TAG_BASE)``.  Internal
+        collective traffic lives above ``_COLLECTIVE_TAG_BASE`` within the
+        same context block and must never satisfy an application wildcard
+        (e.g. a neighbour already inside the next barrier).
+        """
+        if tag != ANY_TAG:
+            return None
+        return (self._context, self._context + _COLLECTIVE_TAG_BASE)
 
     # -- raw point-to-point (global-rank addressed) ------------------------
 
@@ -83,21 +134,26 @@ class _Endpoint:
 
     def _recv_global(self, source_global: int, tag: int) -> Any:
         proc = self.process
-        wire_tag = self._context + tag if tag != ANY_TAG else tag
-        msg = proc.mailbox.receive(source_global, wire_tag, timeout=_RECV_TIMEOUT_S)
-        wait = max(0.0, msg.arrival - proc.clock)
-        proc.advance_to(msg.arrival)
-        proc.charge(proc.cost.recv_overhead(msg.nbytes))
-        proc.stats["messages_received"] += 1
-        proc.stats["bytes_received"] += msg.nbytes
-        if proc.trace is not None:
-            from repro.vmachine.trace import TraceEvent
-
-            proc.trace.append(
-                TraceEvent("recv", proc.clock, proc.rank, source_global,
-                           wire_tag, msg.nbytes, wait)
-            )
+        wire_tag = self._wire_tag(tag)
+        msg = proc.mailbox.receive(
+            source_global, wire_tag,
+            timeout=_RECV_TIMEOUT_S, tag_range=self._tag_range(tag),
+        )
+        _account_recv(proc, msg, wire_tag if wire_tag != ANY_TAG else msg.tag)
         return msg.payload
+
+    def _recv_any_global(self, tag: int) -> Message:
+        """Receive from any source within this endpoint's tag namespace."""
+        from repro.vmachine.message import ANY_SOURCE
+
+        proc = self.process
+        wire_tag = self._wire_tag(tag)
+        msg = proc.mailbox.receive(
+            ANY_SOURCE, wire_tag,
+            timeout=_RECV_TIMEOUT_S, tag_range=self._tag_range(tag),
+        )
+        _account_recv(proc, msg, wire_tag if wire_tag != ANY_TAG else msg.tag)
+        return msg
 
 
 class Request:
@@ -121,16 +177,19 @@ class Request:
         self._done = done
 
     def test(self) -> bool:
-        """True when :meth:`wait` would not block (never charges time)."""
+        """True when :meth:`wait` would not block (never charges time).
+
+        ANY_TAG probes are scoped to the owning communicator's context
+        block, so a wildcard request can never report readiness because of
+        another communicator's pending traffic.
+        """
         if self._done:
             return True
-        proc = self._endpoint.process
-        wire_tag = (
-            self._endpoint._context + self._tag
-            if self._tag != ANY_TAG
-            else self._tag
+        ep = self._endpoint
+        return ep.process.mailbox.probe(
+            self._source_global, ep._wire_tag(self._tag),
+            tag_range=ep._tag_range(self._tag),
         )
-        return proc.mailbox.probe(self._source_global, wire_tag)
 
     def wait(self) -> Any:
         """Complete the operation; returns the payload for receives."""
@@ -139,6 +198,62 @@ class Request:
         self._payload = self._endpoint._recv_global(self._source_global, self._tag)
         self._done = True
         return self._payload
+
+    # -- multi-request completion (MPI_Waitany / MPI_Waitall analogue) -----
+
+    @staticmethod
+    def waitany(requests: list["Request"]) -> tuple[int, Any]:
+        """Complete the *logically earliest* incomplete request.
+
+        Returns ``(index, payload)`` of the completed request.  The choice
+        is deterministic: among all incomplete requests' matching messages,
+        the one with the smallest ``(arrival, source, tag)`` completes —
+        the receiver's clock advances only to *that* message's arrival, so
+        work done before the next ``waitany`` call overlaps the remaining
+        messages' flight time (the latency-hiding pattern the OVERLAP
+        executor policy is built on).
+
+        Determinism is bought by physically waiting until every incomplete
+        request has a matching message before choosing (wall-clock only;
+        no logical charge) — callers must ensure all awaited messages are
+        sent without depending on this rank's subsequent actions, which
+        holds for every eager-send/receive-loop phase in this codebase.
+        """
+        pending = [(i, r) for i, r in enumerate(requests) if not r._done]
+        if not pending:
+            raise ValueError("waitany needs at least one incomplete request")
+        proc = pending[0][1]._endpoint.process
+        if any(r._endpoint.process is not proc for _, r in pending):
+            raise ValueError("waitany requests must belong to one process")
+        patterns = [
+            (r._source_global, r._endpoint._wire_tag(r._tag),
+             r._endpoint._tag_range(r._tag))
+            for _, r in pending
+        ]
+        k, msg = proc.mailbox.receive_any_of(patterns, timeout=_RECV_TIMEOUT_S)
+        idx, req = pending[k]
+        _account_recv(proc, msg, msg.tag)
+        req._payload = msg.payload
+        req._done = True
+        return idx, msg.payload
+
+    @staticmethod
+    def waitall(requests: list["Request"]) -> list[Any]:
+        """Complete every request in arrival order; payloads in list order.
+
+        Equivalent to looping :meth:`waitany` until done: each completion
+        advances the clock only as far as its own message's arrival, so
+        per-message processing interleaves with the later messages' flight
+        time instead of serializing behind the slowest one.
+        """
+        while any(not r._done for r in requests):
+            Request.waitany(requests)
+        return [r._payload for r in requests]
+
+
+#: module-level conveniences mirroring ``MPI_Waitany`` / ``MPI_Waitall``
+waitany = Request.waitany
+waitall = Request.waitall
 
 
 class Communicator(_Endpoint):
@@ -188,35 +303,25 @@ class Communicator(_Endpoint):
         return self.recv(source, recv_tag)
 
     def probe(self, source: int, tag: int = 0) -> bool:
-        """Non-blocking, zero-cost test for a pending matching message."""
+        """Non-blocking, zero-cost test for a pending matching message.
+
+        ANY_TAG probes are confined to this communicator's context block.
+        """
         self._check_rank(source)
-        wire_tag = self._context + tag if tag != ANY_TAG else tag
-        return self.process.mailbox.probe(self.members[source], wire_tag)
+        return self.process.mailbox.probe(
+            self.members[source], self._wire_tag(tag),
+            tag_range=self._tag_range(tag),
+        )
 
     def recv_any(self, tag: int = 0) -> tuple[int, Any]:
         """Receive from *any* group member (MPI_ANY_SOURCE).
 
-        Returns ``(source_local_rank, payload)``.  Matching is still
-        confined to this communicator's tag namespace, so wildcard
-        receives never steal another communicator's traffic.
+        Returns ``(source_local_rank, payload)``.  Matching is confined to
+        this communicator's tag namespace — including for ANY_TAG, which
+        is scoped to the context block — so wildcard receives never steal
+        another communicator's traffic.
         """
-        proc = self.process
-        wire_tag = self._context + tag if tag != ANY_TAG else tag
-        from repro.vmachine.message import ANY_SOURCE
-
-        msg = proc.mailbox.receive(ANY_SOURCE, wire_tag, timeout=_RECV_TIMEOUT_S)
-        wait = max(0.0, msg.arrival - proc.clock)
-        proc.advance_to(msg.arrival)
-        proc.charge(proc.cost.recv_overhead(msg.nbytes))
-        proc.stats["messages_received"] += 1
-        proc.stats["bytes_received"] += msg.nbytes
-        if proc.trace is not None:
-            from repro.vmachine.trace import TraceEvent
-
-            proc.trace.append(
-                TraceEvent("recv", proc.clock, proc.rank, msg.source,
-                           wire_tag, msg.nbytes, wait)
-            )
+        msg = self._recv_any_global(tag)
         return self.members.index(msg.source), msg.payload
 
     def isend(self, dest: int, payload: Any, tag: int = 0) -> Request:
@@ -389,26 +494,63 @@ class Communicator(_Endpoint):
             (k, g) for c, k, g in triples if c == color
         )
         members = [g for _, g in mine]
-        # Deterministic context offset shared by the group: derived from
-        # the color, this communicator's context, and the collective epoch
-        # (so repeated splits never share a tag namespace).
-        new_context = self._context + ((color + 1) << 25) + (self._collective_seq << 13)
+        # Deterministic, stride-aligned context block shared by the group:
+        # the block *index* is a Cantor pairing of the parent's block index
+        # with (color, collective epoch), offset above the small sequential
+        # indices used for program/pair communicators.  Injective, so no
+        # two distinct splits (or nested splits) ever share a wire-tag
+        # block — which is what keeps ANY_TAG wildcards from matching
+        # another communicator's traffic.  Purely arithmetic: every member
+        # computes the same block with no coordination, keeping traces
+        # reproducible run to run.
+        parent_block = self._context // CONTEXT_STRIDE
+        new_block = _SPLIT_BLOCK_BASE + _cantor_pair(
+            parent_block, _cantor_pair(color + 1, self._collective_seq)
+        )
+        new_context = new_block * CONTEXT_STRIDE
         return Communicator(
             self.process, members, self._router,
             context=new_context, contention=self._contention,
         )
 
     def reduce(self, value: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Any:
-        """Tree reduction with a user-supplied associative ``op``."""
-        gathered = self.gather(value, root=root)
-        if self.rank != root:
-            return None
-        acc = gathered[0]
-        for item in gathered[1:]:
-            acc = op(acc, item)
+        """Binomial-tree reduction with a user-supplied associative ``op``.
+
+        O(ceil(log2 P)) logical depth — the root receives ~log2(P)
+        messages instead of the P-1 serialized receives of a gather-based
+        reduction, so the critical path shrinks from O(P) to O(log P)
+        while the total message count stays P-1 (each non-root sends
+        exactly one partial).
+
+        ``op`` must be associative (the MPI contract).  Values combine in
+        virtual-rank order — ``root, root+1, ..., P-1, 0, ..., root-1`` —
+        as a balanced tree over contiguous rank ranges, so the *order* of
+        operands is deterministic and commutativity is not required; the
+        tree *grouping* does mean non-associative floating-point effects
+        can differ from a linear fold in the last bits.
+        """
+        tag = self._next_tag()
+        if self.size == 1:
+            return value
+        vrank = (self.rank - root) % self.size
+        acc = value
+        mask = 1
+        while mask < self.size:
+            if vrank & mask:
+                # My subtree is folded; ship it to the parent and leave.
+                parent = ((vrank & ~mask) + root) % self.size
+                self.send(parent, acc, tag)
+                return None
+            child = vrank | mask
+            if child < self.size:
+                # acc spans vranks [vrank, vrank+mask); the child's partial
+                # spans [child, child+mask) — op order stays contiguous.
+                acc = op(acc, self.recv((child + root) % self.size, tag))
+            mask <<= 1
         return acc
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        """Tree reduce at rank 0, then binomial broadcast: O(log P) depth."""
         reduced = self.reduce(value, op, root=0)
         return self.bcast(reduced, root=0)
 
@@ -451,3 +593,34 @@ class InterComm(_Endpoint):
         if not 0 <= source_remote < self.remote_size:
             raise ValueError(f"remote rank {source_remote} out of range")
         return self._recv_global(self.remote_members[source_remote], tag)
+
+    def irecv(self, source_remote: int, tag: int = 0) -> Request:
+        """Nonblocking receive from the remote group (match at ``wait()``).
+
+        Composes with :func:`waitany`/:func:`waitall` exactly like
+        intra-communicator requests, which is what lets the OVERLAP
+        executor complete cross-program messages in arrival order.
+        """
+        if not 0 <= source_remote < self.remote_size:
+            raise ValueError(f"remote rank {source_remote} out of range")
+        return Request(self, self.remote_members[source_remote], tag)
+
+    def recv_any(self, tag: int = 0) -> tuple[int, Any]:
+        """Receive from *any* remote-group member (MPI_ANY_SOURCE).
+
+        Returns ``(source_remote_local_rank, payload)``.  Matching is
+        scoped to this inter-communicator's context block, so the
+        wildcard can only complete traffic addressed through it (only
+        remote-group members send on this context toward this process).
+        """
+        msg = self._recv_any_global(tag)
+        return self.remote_members.index(msg.source), msg.payload
+
+    def probe(self, source_remote: int, tag: int = 0) -> bool:
+        """Non-blocking, zero-cost test for a pending remote-group message."""
+        if not 0 <= source_remote < self.remote_size:
+            raise ValueError(f"remote rank {source_remote} out of range")
+        return self.process.mailbox.probe(
+            self.remote_members[source_remote], self._wire_tag(tag),
+            tag_range=self._tag_range(tag),
+        )

@@ -15,7 +15,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.vmachine.comm import Communicator
+from repro.vmachine.comm import CONTEXT_STRIDE, Communicator
 from repro.vmachine.cost_model import CostModel, IBM_SP2, MachineProfile
 from repro.vmachine.message import Mailbox
 from repro.vmachine.process import Process
@@ -23,8 +23,9 @@ from repro.vmachine.timing import TimingReport, merge_timings
 
 __all__ = ["VirtualMachine", "SPMDResult", "RankError", "SPMDError"]
 
-# Context-id spacing between communicators; user+collective tags stay below.
-CONTEXT_STRIDE = 1 << 32
+# CONTEXT_STRIDE (re-exported from repro.vmachine.comm): context-id spacing
+# between communicators; user+collective tags stay below, and ANY_TAG
+# wildcards are scoped to one communicator's [context, context+stride).
 
 
 @dataclass

@@ -62,10 +62,24 @@ class Message:
     #: payload size used for cost accounting
     nbytes: int = field(default=0)
 
-    def matches(self, source: int, tag: int) -> bool:
-        return (source == ANY_SOURCE or source == self.source) and (
-            tag == ANY_TAG or tag == self.tag
-        )
+    def matches(
+        self,
+        source: int,
+        tag: int,
+        tag_range: tuple[int, int] | None = None,
+    ) -> bool:
+        """Does this message match ``(source, tag)``?
+
+        ``tag_range`` scopes an :data:`ANY_TAG` wildcard to the half-open
+        wire-tag interval ``[lo, hi)`` — the caller's communicator context
+        block — so a wildcard receive or probe can never match another
+        communicator's traffic.  Ignored for exact tags.
+        """
+        if source != ANY_SOURCE and source != self.source:
+            return False
+        if tag == ANY_TAG:
+            return tag_range is None or tag_range[0] <= self.tag < tag_range[1]
+        return tag == self.tag
 
 
 class Mailbox:
@@ -89,17 +103,25 @@ class Mailbox:
             self._messages.append(message)
             self._cond.notify_all()
 
-    def receive(self, source: int, tag: int, timeout: float | None = None) -> Message:
+    def receive(
+        self,
+        source: int,
+        tag: int,
+        timeout: float | None = None,
+        tag_range: tuple[int, int] | None = None,
+    ) -> Message:
         """Block until a message matching ``(source, tag)`` arrives.
 
-        Raises ``TimeoutError`` after ``timeout`` wall-clock seconds, which
-        turns an SPMD deadlock into a diagnosable test failure instead of a
-        hung process.
+        ``tag_range`` scopes :data:`ANY_TAG` wildcards to one communicator's
+        wire-tag block (see :meth:`Message.matches`).  Raises
+        ``TimeoutError`` after ``timeout`` wall-clock seconds, which turns
+        an SPMD deadlock into a diagnosable test failure instead of a hung
+        process.
         """
         with self._cond:
             while True:
                 for i, msg in enumerate(self._messages):
-                    if msg.matches(source, tag):
+                    if msg.matches(source, tag, tag_range):
                         del self._messages[i]
                         return msg
                 if self._closed:
@@ -114,10 +136,78 @@ class Mailbox:
                         f"({len(self._messages)} unmatched message(s) pending)"
                     )
 
-    def probe(self, source: int, tag: int) -> bool:
+    def receive_any_of(
+        self,
+        patterns: list[tuple[int, int, tuple[int, int] | None]],
+        timeout: float | None = None,
+    ) -> tuple[int, Message]:
+        """Wait-any over several ``(source, tag, tag_range)`` patterns.
+
+        Blocks (wall-clock) until **every** pattern has at least one
+        matching message physically delivered, then removes and returns
+        ``(pattern_index, message)`` for the candidate with the earliest
+        *logical* arrival time (ties broken by ``(source, tag)``; messages
+        from the same source+tag keep pairwise FIFO order).
+
+        Waiting for the full candidate set before choosing is what makes
+        arrival-order completion *deterministic*: the pick depends only on
+        logical arrival times, never on host thread scheduling.  The
+        physical wait costs no logical time — completing the earliest
+        message advances the clock only to that message's arrival.
+        Callers must therefore only use it when every pattern's message is
+        already in flight or will be sent without depending on this rank's
+        subsequent actions (true for all Meta-Chaos executor phases, where
+        sends are injected eagerly before the receive loop starts).
+        """
+        with self._cond:
+            while True:
+                claimed: set[int] = set()
+                candidates: list[tuple[float, int, int, int, int]] = []
+                complete = True
+                for k, (source, tag, tag_range) in enumerate(patterns):
+                    found = False
+                    for i, msg in enumerate(self._messages):
+                        if i in claimed:
+                            continue
+                        if msg.matches(source, tag, tag_range):
+                            # (arrival, source, tag) is a deterministic key;
+                            # deque index i only resolves same-pair FIFO.
+                            candidates.append(
+                                (msg.arrival, msg.source, msg.tag, i, k)
+                            )
+                            claimed.add(i)
+                            found = True
+                            break
+                    if not found:
+                        complete = False
+                        break
+                if complete:
+                    arrival, src, tg, i, k = min(
+                        candidates, key=lambda c: (c[0], c[1], c[2])
+                    )
+                    msg = self._messages[i]
+                    del self._messages[i]
+                    return k, msg
+                if self._closed:
+                    raise RuntimeError(
+                        f"rank {self.rank}: receive_any_of on a closed mailbox"
+                    )
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"rank {self.rank}: receive_any_of over "
+                        f"{len(patterns)} pattern(s) timed out after {timeout}s "
+                        f"({len(self._messages)} unmatched message(s) pending)"
+                    )
+
+    def probe(
+        self,
+        source: int,
+        tag: int,
+        tag_range: tuple[int, int] | None = None,
+    ) -> bool:
         """Non-blocking test for a matching pending message."""
         with self._lock:
-            return any(m.matches(source, tag) for m in self._messages)
+            return any(m.matches(source, tag, tag_range) for m in self._messages)
 
     def pending(self) -> int:
         """Number of undelivered messages (used by leak checks in tests)."""

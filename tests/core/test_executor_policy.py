@@ -1,0 +1,290 @@
+"""Executor policies: OVERLAP must change only *when*, never *what*.
+
+``ExecutorPolicy.OVERLAP`` staggers injection (rotated send order) and
+completes receives in logical-arrival order via wait-any; the contract is
+that destination data, message counts and byte counts are identical to
+the paper-faithful ORDERED executor — only clocks may differ.  The
+property tests here drive random SetOfRegions through both policies
+across schedule methods and both universe kinds (single- and
+two-program); unit tests pin the rotation itself and the run-to-run
+determinism of traced OVERLAP executions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.blockparti  # noqa: F401
+import repro.chaos  # noqa: F401
+import repro.hpf  # noqa: F401
+from repro.blockparti import BlockPartiArray
+from repro.chaos import ChaosArray
+from repro.core import (
+    ExecutorPolicy,
+    ScheduleCache,
+    ScheduleMethod,
+    mc_compute_schedule,
+    mc_copy,
+    rotated_order,
+)
+from repro.core.coupling import CoupledExchange, coupled_universe
+from repro.core.policy import ordered_or_rotated
+from repro.vmachine import ProgramSpec, VirtualMachine, run_programs
+
+from helpers import both_methods, index_sor, oracle_copy, run_spmd, section_sor
+
+
+class TestRotatedOrder:
+    def test_starts_at_rank_plus_one(self):
+        assert rotated_order(range(6), my_rank=2, group_size=6) == [3, 4, 5, 0, 1, 2]
+
+    def test_wraps_at_group_end(self):
+        assert rotated_order(range(4), my_rank=3, group_size=4) == [0, 1, 2, 3]
+
+    def test_permutation_of_subset(self):
+        ranks = [0, 2, 5, 7]
+        out = rotated_order(ranks, my_rank=4, group_size=8)
+        assert sorted(out) == ranks
+        assert out == [5, 7, 0, 2]  # rotation point is rank 5
+
+    def test_deterministic(self):
+        ranks = [3, 1, 4, 1, 5][:4]
+        assert (
+            rotated_order(ranks, 2, 6)
+            == rotated_order(ranks, 2, 6)
+            == rotated_order(list(ranks), 2, 6)
+        )
+
+    def test_ordered_policy_is_ascending(self):
+        assert ordered_or_rotated(
+            [5, 1, 3], 0, 6, ExecutorPolicy.ORDERED
+        ) == [1, 3, 5]
+
+    def test_distinct_senders_get_distinct_rotations(self):
+        """The staggering property: each sender starts one past itself, so
+        no two senders inject toward the same first destination (full
+        group case)."""
+        firsts = [rotated_order(range(8), r, 8)[0] for r in range(8)]
+        assert sorted(firsts) == list(range(8))
+
+
+# ---------------------------------------------------------------------------
+# Property: OVERLAP == ORDERED on data and traffic, single program.
+# ---------------------------------------------------------------------------
+
+SHAPE = (12, 10)
+NELEMS = SHAPE[0] * SHAPE[1]
+
+
+def _random_case(seed: int, nprocs: int):
+    """A random rectangular source section and a random scatter of the
+    same size, plus a random destination ownership map."""
+    rng = np.random.default_rng(seed)
+    r0 = int(rng.integers(0, SHAPE[0] - 1))
+    r1 = int(rng.integers(r0 + 1, SHAPE[0] + 1))
+    nsel = (r1 - r0) * SHAPE[1]
+    perm = rng.permutation(NELEMS)[:nsel]
+    owners = rng.integers(0, nprocs, NELEMS)
+    return (slice(r0, r1), slice(0, SHAPE[1])), perm, owners
+
+
+def _run_policy(policy, method, nprocs, case, stats=True):
+    slices, perm, owners = case
+    G = np.random.default_rng(77).random(SHAPE)
+
+    def spmd(comm):
+        A = BlockPartiArray.from_global(comm, G)
+        B = ChaosArray.zeros(comm, owners % comm.size)
+        src = section_sor(slices, SHAPE)
+        dst = index_sor(perm)
+        sched = mc_compute_schedule(
+            comm, "blockparti", A, src, "chaos", B, dst, method, policy=policy
+        )
+        mc_copy(comm, sched, A, B, policy=policy)
+        return B.gather_global()
+
+    res = run_spmd(nprocs, spmd)
+    traffic = {
+        "messages": res.total_stat("messages_sent"),
+        "bytes": res.total_stat("bytes_sent"),
+    }
+    return res.values[0], traffic
+
+
+class TestOverlapEqualsOrderedSingleProgram:
+    @given(
+        seed=st.integers(0, 10_000),
+        nprocs=st.sampled_from([1, 2, 3, 4, 7, 8]),
+        method=st.sampled_from(both_methods()),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_identical_data_and_traffic(self, seed, nprocs, method):
+        case = _random_case(seed, nprocs)
+        d_ord, t_ord = _run_policy(ExecutorPolicy.ORDERED, method, nprocs, case)
+        d_ovl, t_ovl = _run_policy(ExecutorPolicy.OVERLAP, method, nprocs, case)
+        np.testing.assert_array_equal(d_ord, d_ovl)
+        assert t_ord == t_ovl
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_overlap_matches_oracle(self, seed):
+        """OVERLAP is not merely self-consistent with ORDERED: both match
+        the sequential oracle."""
+        case = _random_case(seed, 4)
+        slices, perm, _ = case
+        G = np.random.default_rng(77).random(SHAPE)
+        got, _ = _run_policy(
+            ExecutorPolicy.OVERLAP, ScheduleMethod.COOPERATION, 4, case
+        )
+        expected = oracle_copy(
+            G, section_sor(slices, SHAPE), np.zeros(NELEMS), index_sor(perm)
+        )
+        np.testing.assert_allclose(got, expected)
+
+
+# ---------------------------------------------------------------------------
+# Property: OVERLAP == ORDERED across two coupled programs.
+# ---------------------------------------------------------------------------
+
+G2 = np.random.default_rng(9).random(SHAPE)
+
+
+def _run_coupled(policy, psrc, pdst, perm, method):
+    def src_prog(ctx):
+        comm = ctx.comm
+        A = BlockPartiArray.from_global(comm, G2)
+        uni = coupled_universe(ctx, "dstp", "src")
+        sched = mc_compute_schedule(
+            uni,
+            "blockparti", A, section_sor((slice(0, SHAPE[0]), slice(0, SHAPE[1])), SHAPE),
+            "chaos", None,
+            index_sor(perm) if method is ScheduleMethod.DUPLICATION else None,
+            method, policy=policy,
+        )
+        CoupledExchange(uni, sched, policy=policy).push(A)
+        return None
+
+    def dst_prog(ctx):
+        comm = ctx.comm
+        B = ChaosArray.zeros(comm, (perm * 3) % comm.size)
+        uni = coupled_universe(ctx, "srcp", "dst")
+        sched = mc_compute_schedule(
+            uni,
+            "blockparti", None,
+            section_sor((slice(0, SHAPE[0]), slice(0, SHAPE[1])), SHAPE)
+            if method is ScheduleMethod.DUPLICATION else None,
+            "chaos", B, index_sor(perm),
+            method, policy=policy,
+        )
+        CoupledExchange(uni, sched, policy=policy).push(B)
+        return B.gather_global()
+
+    res = run_programs(
+        [ProgramSpec("srcp", psrc, src_prog), ProgramSpec("dstp", pdst, dst_prog)]
+    )
+    traffic = {
+        name: (r.total_stat("messages_sent"), r.total_stat("bytes_sent"))
+        for name, r in res.programs.items()
+    }
+    return res["dstp"].values[0], traffic
+
+
+class TestOverlapEqualsOrderedTwoProgram:
+    @given(
+        seed=st.integers(0, 10_000),
+        sizes=st.sampled_from([(1, 1), (1, 4), (3, 2), (4, 3)]),
+        method=st.sampled_from(both_methods()),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_identical_data_and_traffic(self, seed, sizes, method):
+        psrc, pdst = sizes
+        perm = np.random.default_rng(seed).permutation(NELEMS)
+        d_ord, t_ord = _run_coupled(ExecutorPolicy.ORDERED, psrc, pdst, perm, method)
+        d_ovl, t_ovl = _run_coupled(ExecutorPolicy.OVERLAP, psrc, pdst, perm, method)
+        np.testing.assert_array_equal(d_ord, d_ovl)
+        assert t_ord == t_ovl
+        expected = np.zeros(NELEMS)
+        expected[perm] = G2.ravel()
+        np.testing.assert_allclose(d_ovl, expected)
+
+
+# ---------------------------------------------------------------------------
+# Determinism and cache interaction.
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def _traced_run(self):
+        perm = np.random.default_rng(5).permutation(NELEMS)
+
+        def spmd(comm):
+            A = BlockPartiArray.from_global(comm, G2)
+            B = ChaosArray.zeros(comm, (perm * 5) % comm.size)
+            src = section_sor((slice(0, SHAPE[0]), slice(0, SHAPE[1])), SHAPE)
+            sched = mc_compute_schedule(
+                comm, "blockparti", A, src, "chaos", B, index_sor(perm),
+                policy=ExecutorPolicy.OVERLAP,
+            )
+            mc_copy(comm, sched, A, B, policy=ExecutorPolicy.OVERLAP)
+            return None
+
+        return VirtualMachine(4, trace=True).run(spmd).traces
+
+    def test_overlap_traces_reproducible(self):
+        """Two identical OVERLAP runs agree event-by-event: send order,
+        completion order, clocks.  Host thread scheduling never leaks in."""
+        t1, t2 = self._traced_run(), self._traced_run()
+        assert len(t1) == len(t2)
+        for rank, (a, b) in enumerate(zip(t1, t2)):
+            assert a == b, f"rank {rank} trace diverged"
+
+    def test_overlap_has_rotated_sends(self):
+        """Sanity: the traced OVERLAP run actually rotates — some rank's
+        first data send is not to its lowest-ranked destination."""
+        traces = self._traced_run()
+        rotated = False
+        for trace in traces:
+            sends = [ev.peer for ev in trace if ev.kind == "send"]
+            if sends and sends[0] != min(sends):
+                rotated = True
+        assert rotated
+
+
+class TestCachePolicySharing:
+    def test_overlap_request_hits_ordered_entry(self):
+        """Schedule content is policy-invariant, so the cache shares
+        entries across policies (no rebuild collective on the second
+        request)."""
+        perm = np.random.default_rng(12).permutation(NELEMS)
+
+        def spmd(comm):
+            A = BlockPartiArray.zeros(comm, SHAPE)
+            B = ChaosArray.zeros(comm, perm % comm.size)
+            cache = ScheduleCache(comm)
+            src = section_sor((slice(0, SHAPE[0]), slice(0, SHAPE[1])), SHAPE)
+            s1 = cache.get_or_build(
+                "blockparti", A, src, "chaos", B, index_sor(perm),
+                policy=ExecutorPolicy.ORDERED,
+            )
+            m0 = comm.process.stats["messages_sent"]
+            s2 = cache.get_or_build(
+                "blockparti", A, src, "chaos", B, index_sor(perm),
+                policy=ExecutorPolicy.OVERLAP,
+            )
+            assert s2 is s1
+            assert comm.process.stats["messages_sent"] == m0
+            return True
+
+        assert run_spmd(3, spmd).values == [True, True, True]
+
+
+class TestPolicyCoercion:
+    def test_coerce_accepts_strings(self):
+        assert ExecutorPolicy.coerce("overlap") is ExecutorPolicy.OVERLAP
+        assert ExecutorPolicy.coerce("ordered") is ExecutorPolicy.ORDERED
+        assert ExecutorPolicy.coerce(ExecutorPolicy.OVERLAP) is ExecutorPolicy.OVERLAP
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ExecutorPolicy.coerce("eager")

@@ -46,6 +46,35 @@ def test_property_allreduce_matches_numpy(size, seed):
         assert np.isclose(v, data.sum())
 
 
+@given(size=st.integers(1, 9), root=st.data())
+@settings(max_examples=20, deadline=None)
+def test_property_reduce_non_commutative_fold_order(size, root):
+    """The binomial tree must fold operands in virtual-rank order, so an
+    associative but non-commutative op (tuple concat) matches the linear
+    fold ``root, root+1, ..., wrap`` exactly."""
+    r = root.draw(st.integers(0, size - 1))
+
+    def spmd(comm):
+        return comm.reduce((comm.rank,), lambda a, b: a + b, root=r)
+
+    vals = run_spmd(size, spmd).values
+    assert vals[r] == tuple((r + k) % size for k in range(size))
+    assert all(vals[i] is None for i in range(size) if i != r)
+
+
+@given(size=st.integers(1, 9), seed=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_property_allreduce_non_commutative(size, seed):
+    """allreduce (tree reduce at 0, then bcast) keeps the same ordering
+    contract and delivers the identical fold to every rank."""
+    words = [f"w{seed}-{i}." for i in range(size)]
+
+    def spmd(comm):
+        return comm.allreduce(words[comm.rank], lambda a, b: a + b)
+
+    assert run_spmd(size, spmd).values == ["".join(words)] * size
+
+
 @given(size=st.integers(1, 8), seed=st.integers(0, 100))
 @settings(max_examples=20, deadline=None)
 def test_property_alltoall_is_transpose(size, seed):

@@ -97,12 +97,19 @@ def mc_copy(
     src_array: Any,
     dst_array: Any,
     policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    timeout: float | None = None,
 ) -> None:
     """One-shot data move within a single program (``MC_Copy``).
 
     ``policy=ExecutorPolicy.OVERLAP`` selects the latency-hiding executor
     (rotated injection + arrival-order completion); the destination array
     is identical either way.
+
+    To run the move over an unreliable (fault-injected) transport, pass a
+    :class:`~repro.core.universe.Universe` on which
+    :meth:`~repro.core.universe.Universe.enable_reliability` has been
+    called — the data plane then travels the ack/retransmit protocol.
+    ``timeout`` bounds each blocking receive and the final fence.
     """
     universe = _as_universe(where)
     if not universe.single_program:
@@ -110,7 +117,8 @@ def mc_copy(
             "mc_copy is the single-program move; coupled programs call "
             "mc_data_move_send / mc_data_move_recv on their own side"
         )
-    data_move(schedule, src_array, dst_array, universe, policy=policy)
+    data_move(schedule, src_array, dst_array, universe, policy=policy,
+              timeout=timeout)
 
 
 def mc_data_move_send(
@@ -118,9 +126,11 @@ def mc_data_move_send(
     schedule: CommSchedule,
     src_array: Any,
     policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    timeout: float | None = None,
 ) -> None:
     """Send half of a data move (``MC_DataMoveSend``)."""
-    data_move_send(schedule, src_array, _as_universe(where), policy=policy)
+    data_move_send(schedule, src_array, _as_universe(where), policy=policy,
+                   timeout=timeout)
 
 
 def mc_data_move_recv(
@@ -128,6 +138,8 @@ def mc_data_move_recv(
     schedule: CommSchedule,
     dst_array: Any,
     policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    timeout: float | None = None,
 ) -> None:
     """Receive half of a data move (``MC_DataMoveRecv``)."""
-    data_move_recv(schedule, dst_array, _as_universe(where), policy=policy)
+    data_move_recv(schedule, dst_array, _as_universe(where), policy=policy,
+                   timeout=timeout)

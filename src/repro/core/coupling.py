@@ -6,6 +6,16 @@ and drive repeated bidirectional exchanges with one symmetric schedule —
 "the communication schedule is also symmetric ... the only change required
 would be to switch the calls to MC_DataMoveSend and MC_DataMoveRecv
 between the programs" (§4.3).
+
+Graceful peer-failure degradation: a :class:`CoupledExchange` constructed
+with ``deadline_s`` bounds every push/pull (and the reliable layer's
+fence) by that wall-clock deadline.  If the peer program crashes — or
+simply stops answering — the exchange raises
+:class:`~repro.vmachine.faults.PeerLostError` *naming the peer program*
+within the deadline instead of hanging, upgrading the transport-level
+:class:`~repro.vmachine.faults.RankLostError` / ``TimeoutError`` with the
+coupling-level context (which peer, which direction, undelivered
+envelopes, last-ack state).
 """
 
 from __future__ import annotations
@@ -16,7 +26,9 @@ from repro.core.datamove import data_move_recv, data_move_send
 from repro.core.policy import ExecutorPolicy
 from repro.core.schedule import CommSchedule
 from repro.core.universe import TwoProgramUniverse
+from repro.vmachine.faults import PeerLostError, RankLostError
 from repro.vmachine.program import ProgramContext
+from repro.vmachine.reliability import Reliability, ReliabilityConfig
 
 __all__ = ["coupled_universe", "CoupledExchange"]
 
@@ -28,8 +40,12 @@ def coupled_universe(
 
     ``role`` is this program's part: ``"src"`` if it owns the source data
     structure of the schedule about to be built, ``"dst"`` otherwise.
+    The peer program's name is stashed on the universe so failure
+    reports can say *which program* was lost, not just which rank.
     """
-    return TwoProgramUniverse(ctx.comm, ctx.peer(peer), role)
+    universe = TwoProgramUniverse(ctx.comm, ctx.peer(peer), role)
+    universe.peer_program = peer
+    return universe
 
 
 class CoupledExchange:
@@ -39,6 +55,22 @@ class CoupledExchange:
     its own halves).  ``push`` moves data in the schedule's forward
     direction, ``pull`` in reverse; each side calls the method with its
     own local array and the object works out whether to send or receive.
+
+    Parameters
+    ----------
+    deadline_s:
+        Wall-clock bound for each push/pull.  Receives retry with
+        exponential backoff within the budget; when it expires (or the
+        peer is detected dead) the exchange raises
+        :class:`~repro.vmachine.faults.PeerLostError` naming the peer
+        program.  ``None`` (default) uses the per-process receive
+        timeout.
+    reliability:
+        Opt-in reliable delivery for the exchanged data: ``True`` (default
+        config), a :class:`~repro.vmachine.reliability.ReliabilityConfig`,
+        or an existing :class:`~repro.vmachine.reliability.Reliability`
+        instance to share.  Attached to the universe, so both directions
+        of the exchange use one protocol instance.
     """
 
     def __init__(
@@ -46,24 +78,83 @@ class CoupledExchange:
         universe: TwoProgramUniverse,
         schedule: CommSchedule,
         policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+        deadline_s: float | None = None,
+        reliability: Reliability | ReliabilityConfig | bool | None = None,
     ):
         self.universe = universe
         self.schedule = schedule
         #: executor policy applied to every push/pull on this exchange
         self.policy = ExecutorPolicy.coerce(policy)
+        #: wall-clock budget per exchange before declaring the peer lost
+        self.deadline_s = deadline_s
+        if isinstance(reliability, Reliability):
+            universe.reliability = reliability
+        elif isinstance(reliability, ReliabilityConfig):
+            universe.enable_reliability(reliability)
+        elif reliability:
+            universe.enable_reliability()
 
     @property
     def _is_src(self) -> bool:
         return self.universe.my_src_rank is not None
 
+    @property
+    def peer_name(self) -> str | None:
+        """Name of the peer program (when built via :func:`coupled_universe`)."""
+        return self.universe.peer_program
+
+    # -- failure translation -----------------------------------------------
+
+    def _peer_lost(self, exc: BaseException, direction: str) -> PeerLostError:
+        proc = self.universe.process
+        if isinstance(exc, RankLostError):
+            return PeerLostError(
+                exc.rank,
+                exc.lost_rank,
+                f"{direction}: {exc.reason}",
+                peer_program=self.peer_name,
+                pending=exc.pending,
+                last_ack=exc.last_ack,
+            )
+        rel = self.universe.reliability
+        return PeerLostError(
+            proc.rank,
+            -1,
+            f"{direction} exceeded the {self.deadline_s}s exchange deadline: "
+            f"{exc}",
+            peer_program=self.peer_name,
+            pending=proc.mailbox.pending_summary(),
+            last_ack=rel.describe() if rel is not None else None,
+        )
+
+    def _run(self, direction: str, fn, *args: Any, **kwargs: Any) -> None:
+        try:
+            fn(*args, **kwargs)
+        except PeerLostError:
+            raise
+        except (RankLostError, TimeoutError) as exc:
+            raise self._peer_lost(exc, direction) from exc
+
+    # -- the exchange itself -----------------------------------------------
+
     def push(self, local_array: Any) -> None:
-        """Forward copy: source program sends, destination receives."""
+        """Forward copy: source program sends, destination receives.
+
+        Raises :class:`~repro.vmachine.faults.PeerLostError` within the
+        deadline when the peer program has failed.
+        """
         if self._is_src:
-            data_move_send(self.schedule, local_array, self.universe,
-                           policy=self.policy)
+            self._run(
+                "push (send half)", data_move_send,
+                self.schedule, local_array, self.universe,
+                policy=self.policy, timeout=self.deadline_s,
+            )
         else:
-            data_move_recv(self.schedule, local_array, self.universe,
-                           policy=self.policy)
+            self._run(
+                "push (receive half)", data_move_recv,
+                self.schedule, local_array, self.universe,
+                policy=self.policy, timeout=self.deadline_s,
+            )
 
     def pull(self, local_array: Any) -> None:
         """Reverse copy along the same (symmetric) schedule."""
@@ -71,6 +162,14 @@ class CoupledExchange:
         runiverse = self.universe.reversed()
         if self._is_src:
             # Forward-source becomes reverse-destination.
-            data_move_recv(rev, local_array, runiverse, policy=self.policy)
+            self._run(
+                "pull (receive half)", data_move_recv,
+                rev, local_array, runiverse,
+                policy=self.policy, timeout=self.deadline_s,
+            )
         else:
-            data_move_send(rev, local_array, runiverse, policy=self.policy)
+            self._run(
+                "pull (send half)", data_move_send,
+                rev, local_array, runiverse,
+                policy=self.policy, timeout=self.deadline_s,
+            )

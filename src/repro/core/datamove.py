@@ -22,6 +22,25 @@ Two executor policies order the message traffic
     :func:`~repro.vmachine.comm.waitany` — each buffer is unpacked while
     later messages are still in flight.  The destination array is
     identical either way; only the clock trajectory differs.
+
+Reliability and degradation
+---------------------------
+When the universe carries a :class:`~repro.vmachine.reliability.
+Reliability` layer (``universe.enable_reliability()``), every ``TAG_DATA``
+payload travels through the sequence-numbered ack/retransmit protocol:
+drops and corruption are retransmitted, duplicates suppressed, reorder
+holdbacks released at the fence.  Schedule construction keeps the bare
+transport either way.  The send half ends with a **fence** (block until
+every payload is cumulatively acked) in the coupled case; the
+single-program :func:`data_move` fences once after both halves, releasing
+held-back packets at the half boundary so two ranks holding each other's
+final packet cannot wedge.
+
+Without the layer, ``timeout`` bounds each blocking receive with an
+exponential-backoff retry ladder (short slices first, so a late-but-alive
+peer still succeeds) before surfacing ``TimeoutError`` — a lost peer
+raises :class:`~repro.vmachine.faults.RankLostError` immediately via the
+run's failure detector.
 """
 
 from __future__ import annotations
@@ -36,12 +55,45 @@ from repro.vmachine.comm import waitany
 
 __all__ = ["data_move", "data_move_send", "data_move_recv", "ExecutorPolicy"]
 
+#: first slice of the bounded-retry receive ladder, as a fraction of the
+#: total budget (doubles each retry; the last slice absorbs the remainder)
+_RETRY_FIRST_FRACTION = 1 / 8
+
+
+def _recv_bounded(
+    universe: Universe, s: int, tag: int, timeout: float | None
+) -> Any:
+    """Blocking receive with a bounded-retry / exponential-backoff ladder.
+
+    ``timeout`` is the *total* wall-clock budget.  The first attempt waits
+    only a fraction of it, and each retry doubles the slice until the
+    budget is spent — so transient wedges (a peer mid-retransmit, a held
+    packet awaiting its fence) get several cheap re-checks while a truly
+    lost peer still fails within the deadline.  Retries are free of
+    logical time; only the eventual receive charges the clock.
+    """
+    if timeout is None:
+        return universe.recv_from_src(s, tag)
+    slice_s = max(timeout * _RETRY_FIRST_FRACTION, 1e-3)
+    waited = 0.0
+    while True:
+        slice_s = min(slice_s, timeout - waited)
+        try:
+            return universe.recv_from_src(s, tag, timeout=slice_s)
+        except TimeoutError:
+            waited += slice_s
+            if waited >= timeout - 1e-12:
+                raise
+            slice_s *= 2.0
+
 
 def data_move_send(
     schedule: CommSchedule,
     src_array: Any,
     universe: Universe,
     policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    timeout: float | None = None,
+    fence: bool | None = None,
 ) -> None:
     """Execute the send half of a schedule (the paper's ``MC_DataMoveSend``).
 
@@ -53,11 +105,22 @@ def data_move_send(
     Under ``ExecutorPolicy.OVERLAP`` the destinations are visited in
     rotated order starting at ``(my_src_rank + 1) % dst_size`` instead of
     ascending rank, staggering injection across the destination group.
+
+    With reliability enabled, ``fence`` controls the end-of-half ack
+    barrier: default ``None`` fences in the coupled (two-program) case —
+    a pure sender must learn its peer received everything — and skips it
+    in the single-program case, where :func:`data_move` fences once after
+    the receive half (fencing between the halves would deadlock: every
+    rank would await acks its peers only produce in *their* receive
+    half).  A skipped fence still flushes held-back packets so the
+    receive half cannot wedge on a reordered final message.  ``timeout``
+    bounds the fence's ack wait.
     """
     if universe.my_src_rank is None:
         raise RuntimeError("data_move_send called on a non-source processor")
     policy = ExecutorPolicy.coerce(policy)
     adapter = get_adapter(schedule.src_lib)
+    rel = universe.reliability
     order = ordered_or_rotated(
         list(schedule.sends), universe.my_src_rank, universe.dst_size, policy
     )
@@ -66,7 +129,17 @@ def data_move_send(
         if len(offsets) == 0 or universe.same_proc_dst(d):
             continue
         buffer = adapter.pack(src_array, offsets)
-        universe.send_to_dst(d, buffer, TAG_DATA)
+        if rel is not None:
+            rel.send(universe.data_endpoint_to_dst(), d, buffer, TAG_DATA)
+        else:
+            universe.send_to_dst(d, buffer, TAG_DATA)
+    if rel is not None:
+        if fence is None:
+            fence = not universe.single_program
+        if fence:
+            rel.fence(timeout=timeout)
+        else:
+            rel.flush()
 
 
 def data_move_recv(
@@ -74,6 +147,7 @@ def data_move_recv(
     dst_array: Any,
     universe: Universe,
     policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    timeout: float | None = None,
 ) -> None:
     """Execute the receive half of a schedule (``MC_DataMoveRecv``).
 
@@ -82,21 +156,47 @@ def data_move_recv(
     message's elements are unpacked into ``dst_array`` while later
     messages are still in flight.  Placement depends only on the schedule
     offsets, so completion order never changes the destination data.
+
+    ``timeout`` bounds each blocking receive (wall-clock seconds); the
+    bare-transport path retries with exponential backoff inside the
+    budget before raising ``TimeoutError``, and a receive blocked on a
+    rank the failure detector knows dead raises
+    :class:`~repro.vmachine.faults.RankLostError` immediately.
     """
     if universe.my_dst_rank is None:
         raise RuntimeError("data_move_recv called on a non-destination processor")
     policy = ExecutorPolicy.coerce(policy)
     adapter = get_adapter(schedule.dst_lib)
+    rel = universe.reliability
     active = [
         s
         for s in sorted(schedule.recvs)
         if len(schedule.recvs[s]) != 0 and not universe.same_proc_src(s)
     ]
+    if rel is not None:
+        endpoint = universe.data_endpoint_to_src()
+        if policy is ExecutorPolicy.OVERLAP and len(active) > 1:
+            remaining = set(active)
+            while remaining:
+                s, buffer = rel.recv_any(
+                    endpoint, sorted(remaining), TAG_DATA, timeout=timeout
+                )
+                remaining.discard(s)
+                offsets = schedule.recvs[s]
+                _check_piece(buffer, offsets, s)
+                adapter.unpack(dst_array, offsets, buffer)
+            return
+        for s in active:
+            offsets = schedule.recvs[s]
+            buffer = rel.recv(endpoint, s, TAG_DATA, timeout=timeout)
+            _check_piece(buffer, offsets, s)
+            adapter.unpack(dst_array, offsets, buffer)
+        return
     if policy is ExecutorPolicy.OVERLAP and len(active) > 1:
         requests = [universe.irecv_from_src(s, TAG_DATA) for s in active]
         remaining = len(requests)
         while remaining:
-            idx, buffer = waitany(requests)
+            idx, buffer = waitany(requests, timeout=timeout)
             remaining -= 1
             s = active[idx]
             offsets = schedule.recvs[s]
@@ -105,7 +205,7 @@ def data_move_recv(
         return
     for s in active:
         offsets = schedule.recvs[s]
-        buffer = universe.recv_from_src(s, TAG_DATA)
+        buffer = _recv_bounded(universe, s, TAG_DATA, timeout)
         _check_piece(buffer, offsets, s)
         adapter.unpack(dst_array, offsets, buffer)
 
@@ -153,21 +253,29 @@ def data_move(
     dst_array: Any,
     universe: Universe,
     policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    timeout: float | None = None,
 ) -> None:
     """Full copy for processors holding both roles (single program), or a
     convenience wrapper dispatching to the proper half otherwise.
 
     In the single-program case: local elements are copied directly, then
     the aggregated inter-processor messages flow (sends first — the
-    virtual transport is buffered, so this cannot deadlock).
+    virtual transport is buffered, so this cannot deadlock).  With
+    reliability enabled the rank fences once at the end, after its
+    receive half, when every peer is already producing acks.
     """
     policy = ExecutorPolicy.coerce(policy)
     if universe.single_program:
         _local_copies(schedule, src_array, dst_array, universe)
-        data_move_send(schedule, src_array, universe, policy=policy)
-        data_move_recv(schedule, dst_array, universe, policy=policy)
+        data_move_send(schedule, src_array, universe, policy=policy,
+                       timeout=timeout, fence=False)
+        data_move_recv(schedule, dst_array, universe, policy=policy,
+                       timeout=timeout)
+        universe.rel_fence(timeout=timeout)
         return
     if universe.my_src_rank is not None:
-        data_move_send(schedule, src_array, universe, policy=policy)
+        data_move_send(schedule, src_array, universe, policy=policy,
+                       timeout=timeout)
     if universe.my_dst_rank is not None:
-        data_move_recv(schedule, dst_array, universe, policy=policy)
+        data_move_recv(schedule, dst_array, universe, policy=policy,
+                       timeout=timeout)

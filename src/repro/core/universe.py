@@ -10,6 +10,16 @@ connected by an inter-communicator.
 data-move engine: group sizes, role membership, sends addressed by group
 rank, and the dense piece-distribution exchange used during schedule
 construction.
+
+A universe also owns the (optional) reliable-delivery protocol instance
+for its data plane: :meth:`Universe.enable_reliability` attaches a
+:class:`~repro.vmachine.reliability.Reliability` layer that the data-move
+engine routes ``TAG_DATA`` traffic through, while schedule construction
+stays on the bare transport (mirroring the paper's Alpha-farm split of a
+reliable control path and a UDP data path).  The instance is shared with
+the :meth:`Universe.reversed` view, so sequence numbers — and therefore
+duplicate suppression — persist across the two directions of a coupled
+exchange.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ from typing import Any
 
 from repro.vmachine.comm import Communicator, InterComm, Request
 from repro.vmachine.process import Process
+from repro.vmachine.reliability import Reliability, ReliabilityConfig
 
 __all__ = ["Universe", "SingleProgramUniverse", "TwoProgramUniverse"]
 
@@ -40,10 +51,50 @@ class Universe(abc.ABC):
     my_dst_rank: int | None
     #: True when both groups are the same program's processors
     single_program: bool
+    #: opt-in reliable-delivery protocol for the data plane (None = bare
+    #: transport; see :meth:`enable_reliability`)
+    reliability: Reliability | None = None
+    #: peer program name, stashed by :func:`repro.core.coupling.
+    #: coupled_universe` for failure diagnostics
+    peer_program: str | None = None
 
     @property
     def process(self) -> Process:
         return self._process
+
+    # -- reliable data plane --------------------------------------------------
+
+    def enable_reliability(
+        self, config: ReliabilityConfig | None = None
+    ) -> Reliability:
+        """Attach (or return the existing) reliable-delivery layer.
+
+        Once enabled, :func:`~repro.core.datamove.data_move` and friends
+        route every ``TAG_DATA`` payload through the sequence-numbered
+        ack/retransmit protocol; schedule-construction traffic keeps using
+        the bare transport.  Idempotent: a second call returns the same
+        instance (``config`` is only honoured on the first).
+        """
+        if self.reliability is None:
+            self.reliability = Reliability(config)
+        return self.reliability
+
+    def rel_fence(self, timeout: float | None = None) -> None:
+        """Block until all reliably sent data is acknowledged (no-op when
+        reliability is disabled).  See :meth:`~repro.vmachine.reliability.
+        Reliability.fence` for failure semantics."""
+        if self.reliability is not None:
+            self.reliability.fence(timeout=timeout)
+
+    @abc.abstractmethod
+    def data_endpoint_to_dst(self):
+        """The communicator carrying this processor's traffic *to* the
+        destination group (used by the reliable layer for channel state)."""
+
+    @abc.abstractmethod
+    def data_endpoint_to_src(self):
+        """The communicator carrying this processor's traffic *to/from*
+        the source group."""
 
     # -- addressed sends/recvs ------------------------------------------------
 
@@ -54,10 +105,14 @@ class Universe(abc.ABC):
     def send_to_dst(self, d: int, payload: Any, tag: int) -> None: ...
 
     @abc.abstractmethod
-    def recv_from_src(self, s: int, tag: int) -> Any: ...
+    def recv_from_src(
+        self, s: int, tag: int, timeout: float | None = None
+    ) -> Any: ...
 
     @abc.abstractmethod
-    def recv_from_dst(self, d: int, tag: int) -> Any: ...
+    def recv_from_dst(
+        self, d: int, tag: int, timeout: float | None = None
+    ) -> Any: ...
 
     # -- nonblocking / wildcard receives (latency-hiding executor) ------------
     #
@@ -113,11 +168,21 @@ class SingleProgramUniverse(Universe):
     def send_to_dst(self, d: int, payload: Any, tag: int) -> None:
         self.comm.send(d, payload, tag)
 
-    def recv_from_src(self, s: int, tag: int) -> Any:
-        return self.comm.recv(s, tag)
+    def recv_from_src(
+        self, s: int, tag: int, timeout: float | None = None
+    ) -> Any:
+        return self.comm.recv(s, tag, timeout=timeout)
 
-    def recv_from_dst(self, d: int, tag: int) -> Any:
-        return self.comm.recv(d, tag)
+    def recv_from_dst(
+        self, d: int, tag: int, timeout: float | None = None
+    ) -> Any:
+        return self.comm.recv(d, tag, timeout=timeout)
+
+    def data_endpoint_to_dst(self) -> Communicator:
+        return self.comm
+
+    def data_endpoint_to_src(self) -> Communicator:
+        return self.comm
 
     def irecv_from_src(self, s: int, tag: int) -> Request:
         return self.comm.irecv(s, tag)
@@ -174,15 +239,27 @@ class TwoProgramUniverse(Universe):
         else:
             self.intercomm.send(d, payload, tag)
 
-    def recv_from_src(self, s: int, tag: int) -> Any:
+    def recv_from_src(
+        self, s: int, tag: int, timeout: float | None = None
+    ) -> Any:
         if self.role == "src":
-            return self.comm.recv(s, tag)
-        return self.intercomm.recv(s, tag)
+            return self.comm.recv(s, tag, timeout=timeout)
+        return self.intercomm.recv(s, tag, timeout=timeout)
 
-    def recv_from_dst(self, d: int, tag: int) -> Any:
+    def recv_from_dst(
+        self, d: int, tag: int, timeout: float | None = None
+    ) -> Any:
         if self.role == "dst":
-            return self.comm.recv(d, tag)
-        return self.intercomm.recv(d, tag)
+            return self.comm.recv(d, tag, timeout=timeout)
+        return self.intercomm.recv(d, tag, timeout=timeout)
+
+    def data_endpoint_to_dst(self) -> Communicator | InterComm:
+        """Traffic toward the destination group: intra-comm when this
+        program *is* the destination group, else the inter-communicator."""
+        return self.comm if self.role == "dst" else self.intercomm
+
+    def data_endpoint_to_src(self) -> Communicator | InterComm:
+        return self.comm if self.role == "src" else self.intercomm
 
     def irecv_from_src(self, s: int, tag: int) -> Request:
         if self.role == "src":
@@ -206,4 +283,10 @@ class TwoProgramUniverse(Universe):
 
     def reversed(self) -> "TwoProgramUniverse":
         flipped = "dst" if self.role == "src" else "src"
-        return TwoProgramUniverse(self.comm, self.intercomm, flipped)
+        rev = TwoProgramUniverse(self.comm, self.intercomm, flipped)
+        # The reversed view shares the reliable-delivery protocol instance:
+        # sequence numbers must persist across push/pull directions for
+        # duplicate suppression to work across retransmissions.
+        rev.reliability = self.reliability
+        rev.peer_program = self.peer_program
+        return rev

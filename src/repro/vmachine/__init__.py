@@ -15,16 +15,37 @@ model (:mod:`repro.vmachine.cost_model`).  A message sent at sender-clock
 This makes the reported times deterministic and hardware independent while
 preserving exactly the quantities the paper's evaluation depends on:
 message counts, message sizes and per-element processing work.
+
+The transport is perfectly reliable by default.  A seeded
+:class:`FaultPlan` (``VirtualMachine(faults=...)``) turns it into the
+paper's Alpha-farm UDP fabric — dropping, duplicating, reordering,
+delaying and corrupting messages deterministically — and the opt-in
+:class:`Reliability` layer implements the ack/retransmit protocol that
+makes data moves correct on top of it, with every control message charged
+by the same cost model.
 """
 
 from repro.vmachine.cost_model import CostModel, MachineProfile, IBM_SP2, ALPHA_FARM_ATM
-from repro.vmachine.message import Message, Mailbox, ANY_SOURCE, ANY_TAG
-from repro.vmachine.process import Process, current_process
+from repro.vmachine.message import Message, Mailbox, ANY_SOURCE, ANY_TAG, payload_nbytes
+from repro.vmachine.process import Process, current_process, default_recv_timeout_s
 from repro.vmachine.comm import Communicator, InterComm, Request, waitall, waitany
 from repro.vmachine.machine import VirtualMachine, RankError, SPMDError
 from repro.vmachine.program import ProgramSpec, run_programs, CoupledResult
 from repro.vmachine.timing import PhaseTimer, TimingReport, merge_timings
 from repro.vmachine.trace import TraceEvent, format_timeline, message_matrix, rank_activity
+from repro.vmachine.faults import (
+    CrashEvent,
+    DeliveryReceipt,
+    FailureDetector,
+    FaultPlan,
+    FaultRates,
+    FaultRule,
+    PeerLostError,
+    RankLostError,
+    SimulatedCrash,
+    tag_class,
+)
+from repro.vmachine.reliability import Reliability, ReliabilityConfig
 
 __all__ = [
     "CostModel",
@@ -55,4 +76,18 @@ __all__ = [
     "message_matrix",
     "rank_activity",
     "format_timeline",
+    "payload_nbytes",
+    "default_recv_timeout_s",
+    "FaultPlan",
+    "FaultRates",
+    "FaultRule",
+    "CrashEvent",
+    "DeliveryReceipt",
+    "FailureDetector",
+    "RankLostError",
+    "PeerLostError",
+    "SimulatedCrash",
+    "tag_class",
+    "Reliability",
+    "ReliabilityConfig",
 ]

@@ -14,13 +14,28 @@ separate-program experiments (paper sections 5.2 and 5.4).
    to the very object that was sent.  As with any zero-copy messaging
    layer, a sender must not mutate a payload after sending it (send a
    ``.copy()`` when the buffer will be reused), and a receiver that plans
-   to mutate a payload in place should copy it first.
+   to mutate a payload in place should copy it first.  The opt-in
+   *copy-on-send* debug mode (``VirtualMachine(copy_on_send=True)`` or
+   ``REPRO_COPY_ON_SEND=1``) deep-copies every payload at send time,
+   which makes mutate-after-send bugs visible as behavioural differences
+   between the two modes.
+
+Fault injection: when a :class:`~repro.vmachine.faults.FaultPlan` is
+installed on the process, every send is routed through it — messages may
+be dropped, duplicated, held back (reordered), delayed or discarded as
+corrupt, and the send returns a
+:class:`~repro.vmachine.faults.DeliveryReceipt` describing what the
+virtual NIC observed.  The receipt is what the opt-in reliable-delivery
+layer (:mod:`repro.vmachine.reliability`) uses as its retransmission
+oracle.
 """
 
 from __future__ import annotations
 
+import copy as _copy
 from typing import Any, Callable
 
+from repro.vmachine.faults import OK_RECEIPT, DeliveryReceipt
 from repro.vmachine.message import ANY_TAG, Mailbox, Message, payload_nbytes
 from repro.vmachine.process import Process
 
@@ -34,9 +49,6 @@ _COLLECTIVE_TAG_BASE = 1 << 24
 # (receives, probes, Request.test) are scoped to this block so they can
 # never match another communicator's traffic.
 CONTEXT_STRIDE = 1 << 32
-# Default wall-clock receive timeout; converts SPMD deadlocks in buggy
-# application code into diagnosable failures.
-_RECV_TIMEOUT_S = 120.0
 # Split-derived communicators draw their context-block indices from above
 # this floor so they can never collide with the small sequential indices
 # handed to program/pair communicators by the program runner.
@@ -99,13 +111,26 @@ class _Endpoint:
             return None
         return (self._context, self._context + _COLLECTIVE_TAG_BASE)
 
+    def _context_label(self) -> str:
+        """Human-readable communicator context for failure diagnostics."""
+        return f"communicator context block {self._context // CONTEXT_STRIDE}"
+
     # -- raw point-to-point (global-rank addressed) ------------------------
 
-    def _send_global(self, dest_global: int, payload: Any, tag: int) -> None:
+    def _send_global(
+        self, dest_global: int, payload: Any, tag: int
+    ) -> DeliveryReceipt:
         proc = self.process
         mailbox = self._router.get(dest_global)
         if mailbox is None:
             raise ValueError(f"no such rank {dest_global} on this machine")
+        plan = proc.faults
+        if plan is not None:
+            plan.on_send(proc)  # may raise SimulatedCrash
+        if proc.copy_on_send:
+            # Debug mode: snapshot the payload so later sender-side
+            # mutation cannot reach the receiver (zero-copy hazard guard).
+            payload = _copy.deepcopy(payload)
         nbytes = payload_nbytes(payload)
         # Sender pays injection (occupancy); the payload becomes available
         # one wire latency after injection completes.
@@ -121,23 +146,39 @@ class _Endpoint:
                            self._context + tag if tag != ANY_TAG else tag,
                            nbytes)
             )
-        mailbox.deliver(
-            Message(
-                source=proc.rank,
-                dest=dest_global,
-                tag=self._context + tag if tag != ANY_TAG else tag,
-                payload=payload,
-                arrival=arrival,
-                nbytes=nbytes,
-            )
+        message = Message(
+            source=proc.rank,
+            dest=dest_global,
+            tag=self._context + tag if tag != ANY_TAG else tag,
+            payload=payload,
+            arrival=arrival,
+            nbytes=nbytes,
         )
+        if plan is not None:
+            return plan.apply(proc, mailbox, message)
+        mailbox.deliver(message)
+        return OK_RECEIPT
 
-    def _recv_global(self, source_global: int, tag: int) -> Any:
+    def _flush_held(self, dest_global: int) -> int:
+        """Deliver fault-plan-held (reordered) messages toward a peer."""
+        plan = self.process.faults
+        if plan is None:
+            return 0
+        return plan.flush_channel(self.process.rank, dest_global)
+
+    def _recv_global(
+        self, source_global: int, tag: int, timeout: float | None = None
+    ) -> Any:
         proc = self.process
+        plan = proc.faults
+        if plan is not None:
+            plan.on_recv(proc)  # may raise SimulatedCrash
         wire_tag = self._wire_tag(tag)
         msg = proc.mailbox.receive(
             source_global, wire_tag,
-            timeout=_RECV_TIMEOUT_S, tag_range=self._tag_range(tag),
+            timeout=timeout if timeout is not None else proc.recv_timeout_s,
+            tag_range=self._tag_range(tag),
+            context=self._context_label(),
         )
         _account_recv(proc, msg, wire_tag if wire_tag != ANY_TAG else msg.tag)
         return msg.payload
@@ -147,10 +188,14 @@ class _Endpoint:
         from repro.vmachine.message import ANY_SOURCE
 
         proc = self.process
+        plan = proc.faults
+        if plan is not None:
+            plan.on_recv(proc)
         wire_tag = self._wire_tag(tag)
         msg = proc.mailbox.receive(
             ANY_SOURCE, wire_tag,
-            timeout=_RECV_TIMEOUT_S, tag_range=self._tag_range(tag),
+            timeout=proc.recv_timeout_s, tag_range=self._tag_range(tag),
+            context=self._context_label(),
         )
         _account_recv(proc, msg, wire_tag if wire_tag != ANY_TAG else msg.tag)
         return msg
@@ -202,7 +247,9 @@ class Request:
     # -- multi-request completion (MPI_Waitany / MPI_Waitall analogue) -----
 
     @staticmethod
-    def waitany(requests: list["Request"]) -> tuple[int, Any]:
+    def waitany(
+        requests: list["Request"], timeout: float | None = None
+    ) -> tuple[int, Any]:
         """Complete the *logically earliest* incomplete request.
 
         Returns ``(index, payload)`` of the completed request.  The choice
@@ -230,7 +277,13 @@ class Request:
              r._endpoint._tag_range(r._tag))
             for _, r in pending
         ]
-        k, msg = proc.mailbox.receive_any_of(patterns, timeout=_RECV_TIMEOUT_S)
+        plan = proc.faults
+        if plan is not None:
+            plan.on_recv(proc)
+        k, msg = proc.mailbox.receive_any_of(
+            patterns,
+            timeout=timeout if timeout is not None else proc.recv_timeout_s,
+        )
         idx, req = pending[k]
         _account_recv(proc, msg, msg.tag)
         req._payload = msg.payload
@@ -285,15 +338,32 @@ class Communicator(_Endpoint):
 
     # -- point-to-point ----------------------------------------------------
 
-    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
-        """Send ``payload`` to local rank ``dest``."""
-        self._check_rank(dest)
-        self._send_global(self.members[dest], payload, tag)
+    def send(self, dest: int, payload: Any, tag: int = 0) -> DeliveryReceipt:
+        """Send ``payload`` to local rank ``dest``.
 
-    def recv(self, source: int, tag: int = 0) -> Any:
-        """Receive a message from local rank ``source``."""
+        Returns the :class:`~repro.vmachine.faults.DeliveryReceipt` from
+        the (possibly fault-injected) transport; callers on a reliable
+        machine can ignore it.
+        """
+        self._check_rank(dest)
+        return self._send_global(self.members[dest], payload, tag)
+
+    def recv(
+        self, source: int, tag: int = 0, timeout: float | None = None
+    ) -> Any:
+        """Receive a message from local rank ``source``.
+
+        ``timeout`` (wall-clock seconds) overrides the per-process receive
+        timeout for this one operation — used by the bounded-retry
+        degradation paths.
+        """
         self._check_rank(source)
-        return self._recv_global(self.members[source], tag)
+        return self._recv_global(self.members[source], tag, timeout=timeout)
+
+    def peer_global(self, rank: int) -> int:
+        """Global rank of group-local rank ``rank`` (diagnostics/fencing)."""
+        self._check_rank(rank)
+        return self.members[rank]
 
     def sendrecv(
         self, dest: int, payload: Any, source: int, send_tag: int = 0, recv_tag: int = 0
@@ -582,17 +652,29 @@ class InterComm(_Endpoint):
         self.local_size = len(self.local_members)
         self.remote_size = len(self.remote_members)
 
-    def send(self, dest_remote: int, payload: Any, tag: int = 0) -> None:
+    def send(
+        self, dest_remote: int, payload: Any, tag: int = 0
+    ) -> DeliveryReceipt:
         """Send to local rank ``dest_remote`` of the *remote* group."""
         if not 0 <= dest_remote < self.remote_size:
             raise ValueError(f"remote rank {dest_remote} out of range")
-        self._send_global(self.remote_members[dest_remote], payload, tag)
+        return self._send_global(self.remote_members[dest_remote], payload, tag)
 
-    def recv(self, source_remote: int, tag: int = 0) -> Any:
+    def recv(
+        self, source_remote: int, tag: int = 0, timeout: float | None = None
+    ) -> Any:
         """Receive from local rank ``source_remote`` of the *remote* group."""
         if not 0 <= source_remote < self.remote_size:
             raise ValueError(f"remote rank {source_remote} out of range")
-        return self._recv_global(self.remote_members[source_remote], tag)
+        return self._recv_global(
+            self.remote_members[source_remote], tag, timeout=timeout
+        )
+
+    def peer_global(self, rank: int) -> int:
+        """Global rank of remote-group local rank ``rank``."""
+        if not 0 <= rank < self.remote_size:
+            raise ValueError(f"remote rank {rank} out of range")
+        return self.remote_members[rank]
 
     def irecv(self, source_remote: int, tag: int = 0) -> Request:
         """Nonblocking receive from the remote group (match at ``wait()``).

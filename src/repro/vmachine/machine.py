@@ -3,13 +3,17 @@
 :class:`VirtualMachine` spawns one thread per virtual processor, binds a
 :class:`~repro.vmachine.process.Process` to each, hands every rank a world
 :class:`~repro.vmachine.comm.Communicator`, and joins the threads.  An
-exception on any rank closes every mailbox (so blocked receives fail fast
-rather than deadlock) and is re-raised on the host thread as
-:class:`SPMDError` with per-rank tracebacks.
+exception on any rank marks that rank dead in the run's
+:class:`~repro.vmachine.faults.FailureDetector` — receives blocked on the
+dead rank raise :class:`~repro.vmachine.faults.RankLostError` with
+per-rank diagnostics (pending mailbox envelopes) instead of hanging — and
+everything is re-raised on the host thread as :class:`SPMDError` with
+per-rank tracebacks.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import traceback
 from dataclasses import dataclass, field
@@ -17,11 +21,16 @@ from typing import Any, Callable
 
 from repro.vmachine.comm import CONTEXT_STRIDE, Communicator
 from repro.vmachine.cost_model import CostModel, IBM_SP2, MachineProfile
+from repro.vmachine.faults import FailureDetector, FaultPlan, RankLostError
 from repro.vmachine.message import Mailbox
 from repro.vmachine.process import Process
 from repro.vmachine.timing import TimingReport, merge_timings
 
 __all__ = ["VirtualMachine", "SPMDResult", "RankError", "SPMDError"]
+
+
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
 
 # CONTEXT_STRIDE (re-exported from repro.vmachine.comm): context-id spacing
 # between communicators; user+collective tags stay below, and ANY_TAG
@@ -46,6 +55,20 @@ class SPMDError(RuntimeError):
         for e in errors:
             chunks.append(f"--- rank {e.rank} ---\n{e.formatted}")
         super().__init__("\n".join(chunks))
+
+    @property
+    def lost_ranks(self) -> list[int]:
+        """Ranks whose failure was a lost-peer condition (degradation)."""
+        return sorted(
+            e.rank for e in self.errors if isinstance(e.exception, RankLostError)
+        )
+
+    @property
+    def root_causes(self) -> list[RankError]:
+        """Failures that were *not* a reaction to another rank's death."""
+        return [
+            e for e in self.errors if not isinstance(e.exception, RankLostError)
+        ]
 
 
 @dataclass
@@ -84,6 +107,19 @@ class VirtualMachine:
     profile:
         Cost-model calibration (defaults to the IBM SP2 used for the
         paper's Tables 1-5).
+    recv_timeout_s:
+        Per-receive wall-clock timeout (seconds).  Defaults to the
+        ``REPRO_RECV_TIMEOUT_S`` environment variable, else 120 s.
+    copy_on_send:
+        Debug mode: deep-copy every payload at send time, guarding
+        against the zero-copy transport's mutate-after-send hazard.
+        Defaults to the ``REPRO_COPY_ON_SEND`` environment variable.
+    faults:
+        Optional seeded :class:`~repro.vmachine.faults.FaultPlan`; when
+        installed, message delivery runs through the fault model and rank
+        slowdown/crash events apply.  ``None`` (default) is the perfectly
+        reliable historical transport — logical clocks are byte-identical
+        with and without this parameter at its default.
     """
 
     def __init__(
@@ -92,6 +128,9 @@ class VirtualMachine:
         profile: MachineProfile = IBM_SP2,
         trace: bool = False,
         check_leaks: bool = True,
+        recv_timeout_s: float | None = None,
+        copy_on_send: bool | None = None,
+        faults: FaultPlan | None = None,
     ):
         if nprocs < 1:
             raise ValueError("need at least one virtual processor")
@@ -101,6 +140,21 @@ class VirtualMachine:
         self.trace = trace
         #: fail the run if any message is delivered but never received
         self.check_leaks = check_leaks
+        self.recv_timeout_s = recv_timeout_s
+        self.copy_on_send = (
+            _env_truthy("REPRO_COPY_ON_SEND") if copy_on_send is None
+            else copy_on_send
+        )
+        self.faults = faults
+
+    def _configure(self, proc: Process) -> None:
+        """Apply machine-level transport settings to one process."""
+        if self.recv_timeout_s is not None:
+            proc.recv_timeout_s = self.recv_timeout_s
+        proc.copy_on_send = self.copy_on_send
+        if self.faults is not None:
+            proc.faults = self.faults
+            proc.slowdown = self.faults.slowdown_for(proc.rank)
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> SPMDResult:
         """Run ``fn(comm, *args, **kwargs)`` on every rank and collect results.
@@ -110,9 +164,12 @@ class VirtualMachine:
         :func:`~repro.vmachine.process.current_process`.
         """
         router: dict[int, Mailbox] = {}
+        detector = FailureDetector()
         processes = [Process(r, self.nprocs, self.cost_model) for r in range(self.nprocs)]
         for p in processes:
             router[p.rank] = p.mailbox
+            detector.register(p.mailbox)
+            self._configure(p)
             if self.trace:
                 p.trace = []
 
@@ -134,9 +191,14 @@ class VirtualMachine:
                     errors.append(
                         RankError(proc.rank, exc, traceback.format_exc())
                     )
-                # Unblock every other rank waiting on a receive.
-                for mb in router.values():
-                    mb.close()
+                # Graceful degradation: mark this rank dead so receives
+                # blocked on it raise RankLostError (with diagnostics)
+                # promptly, instead of closing every mailbox and erasing
+                # who actually failed.  Ranks blocked on still-live peers
+                # unblock transitively as the failure cascades.
+                detector.mark_dead(
+                    proc.rank, f"{type(exc).__name__}: {exc}"
+                )
             finally:
                 proc.unbind()
 

@@ -6,11 +6,20 @@ matching ``(source, tag)`` is available.  Matching supports the usual MPI
 wildcards (:data:`ANY_SOURCE`, :data:`ANY_TAG`) and preserves pairwise FIFO
 order: two messages from the same source with the same tag are received in
 the order they were sent.
+
+Failure behaviour: a mailbox may carry a reference to the run's
+:class:`~repro.vmachine.faults.FailureDetector`.  A receive blocked on a
+*specific* source that the detector knows to be dead raises
+:class:`~repro.vmachine.faults.RankLostError` immediately (with a dump of
+the undelivered envelopes) instead of waiting out the receive timeout —
+this is what turns a crashed peer into a structured, diagnosable error
+rather than a 120-second hang.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
@@ -24,15 +33,19 @@ ANY_TAG = -1
 def payload_nbytes(payload: Any) -> int:
     """Best-effort size in bytes of a message payload.
 
-    NumPy arrays report their buffer size; tuples/lists/dicts are sized
-    recursively; everything else is charged a small fixed envelope.  The
-    size feeds the cost model only — it does not have to be exact, just
-    monotone in the real data volume.
+    NumPy arrays (and ``memoryview`` objects) report their buffer size via
+    ``.nbytes``; strings are charged their encoded UTF-8 length (what
+    would actually cross the wire, not the code-point count);
+    tuples/lists/dicts are sized recursively; everything else is charged a
+    small fixed envelope.  The size feeds the cost model only — it does
+    not have to be exact, just monotone in the real data volume.
     """
     nbytes = getattr(payload, "nbytes", None)
     if nbytes is not None:
         return int(nbytes)
     if isinstance(payload, (bytes, bytearray, memoryview)):
+        # memoryview normally has .nbytes (handled above); this branch
+        # covers bytes/bytearray, whose len() *is* their byte count.
         return len(payload)
     if isinstance(payload, (tuple, list)):
         return 8 + sum(payload_nbytes(item) for item in payload)
@@ -43,7 +56,10 @@ def payload_nbytes(payload: Any) -> int:
     if isinstance(payload, (int, float, bool)) or payload is None:
         return 8
     if isinstance(payload, str):
-        return len(payload)
+        # Encoded size, not len(): non-ASCII text serializes to more than
+        # one byte per code point (ASCII is unchanged, so historical
+        # logical clocks are unaffected).
+        return len(payload.encode("utf-8"))
     # Opaque object: charge an envelope. Schedules and descriptors define
     # their own nbytes property so they do not land here.
     return 64
@@ -81,6 +97,19 @@ class Message:
             return tag_range is None or tag_range[0] <= self.tag < tag_range[1]
         return tag == self.tag
 
+    def clone(self) -> "Message":
+        """Shallow duplicate (same payload reference) — used by the fault
+        layer's duplicate injection; the network copies bytes, not the
+        application object graph."""
+        return Message(
+            source=self.source,
+            dest=self.dest,
+            tag=self.tag,
+            payload=self.payload,
+            arrival=self.arrival,
+            nbytes=self.nbytes,
+        )
+
 
 class Mailbox:
     """Blocking, condition-variable based receive queue for one rank."""
@@ -91,6 +120,8 @@ class Mailbox:
         self._cond = threading.Condition(self._lock)
         self._messages: deque[Message] = deque()
         self._closed = False
+        #: run-wide failure detector (set by VirtualMachine/run_programs)
+        self.detector = None
 
     def deliver(self, message: Message) -> None:
         """Called by the sender thread to enqueue a message."""
@@ -103,21 +134,79 @@ class Mailbox:
             self._messages.append(message)
             self._cond.notify_all()
 
+    def deliver_many(self, messages: list[Message]) -> None:
+        """Atomically enqueue several messages (single lock acquisition).
+
+        The fault layer uses this so a duplicate is never observable
+        without its original, and a flushed (reordered) batch keeps its
+        chosen order — both properties the reliable layer's deterministic
+        drain depends on.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError(
+                    f"mailbox of rank {self.rank} is closed; "
+                    f"late message batch of {len(messages)}"
+                )
+            self._messages.extend(messages)
+            self._cond.notify_all()
+
+    def wake(self) -> None:
+        """Wake all blocked receivers so they re-check failure state."""
+        with self._cond:
+            self._cond.notify_all()
+
+    # -- failure / diagnostic helpers (call with lock held) ----------------
+
+    def _pending_summary(self) -> list[tuple[int, int, int]]:
+        return [(m.source, m.tag, m.nbytes) for m in self._messages]
+
+    def _format_pending(self, limit: int = 8) -> str:
+        pend = self._pending_summary()
+        if not pend:
+            return "no undelivered envelopes pending"
+        shown = ", ".join(
+            f"(src={s}, tag={t & 0xFFFF}, {n}B)" for s, t, n in pend[:limit]
+        )
+        more = f" ... and {len(pend) - limit} more" if len(pend) > limit else ""
+        return f"{len(pend)} undelivered envelope(s): {shown}{more}"
+
+    def _check_lost(self, source: int) -> None:
+        """Raise RankLostError if ``source`` is known dead (lock held)."""
+        det = self.detector
+        if det is None or source == ANY_SOURCE:
+            return
+        reason = det.dead_reason(source)
+        if reason is not None:
+            from repro.vmachine.faults import RankLostError
+
+            raise RankLostError(
+                self.rank, source, reason, pending=self._pending_summary()
+            )
+
     def receive(
         self,
         source: int,
         tag: int,
         timeout: float | None = None,
         tag_range: tuple[int, int] | None = None,
+        context: str | None = None,
     ) -> Message:
         """Block until a message matching ``(source, tag)`` arrives.
 
         ``tag_range`` scopes :data:`ANY_TAG` wildcards to one communicator's
-        wire-tag block (see :meth:`Message.matches`).  Raises
-        ``TimeoutError`` after ``timeout`` wall-clock seconds, which turns
-        an SPMD deadlock into a diagnosable test failure instead of a hung
-        process.
+        wire-tag block (see :meth:`Message.matches`).  ``context`` is an
+        optional human-readable description of the waiting operation
+        (communicator context), included in failure diagnostics.
+
+        Raises ``TimeoutError`` after ``timeout`` wall-clock seconds
+        (measured against a deadline, so spurious wakeups do not extend
+        the wait), which turns an SPMD deadlock into a diagnosable test
+        failure instead of a hung process; raises
+        :class:`~repro.vmachine.faults.RankLostError` as soon as the
+        awaited source is marked dead.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
                 for i, msg in enumerate(self._messages):
@@ -129,17 +218,30 @@ class Mailbox:
                         f"rank {self.rank}: receive(source={source}, tag={tag}) "
                         "on a closed mailbox"
                     )
-                if not self._cond.wait(timeout=timeout):
-                    raise TimeoutError(
-                        f"rank {self.rank}: receive(source={source}, tag={tag}) "
-                        f"timed out after {timeout}s "
-                        f"({len(self._messages)} unmatched message(s) pending)"
-                    )
+                self._check_lost(source)
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(self._timeout_text(source, tag, timeout,
+                                                          context))
+                self._cond.wait(timeout=remaining)
+
+    def _timeout_text(
+        self, source: int, tag: int, timeout: float | None, context: str | None
+    ) -> str:
+        where = f" in {context}" if context else ""
+        return (
+            f"rank {self.rank}: receive(source={source}, "
+            f"tag={tag if tag == ANY_TAG else tag & 0xFFFF}){where} "
+            f"timed out after {timeout}s; {self._format_pending()}"
+        )
 
     def receive_any_of(
         self,
         patterns: list[tuple[int, int, tuple[int, int] | None]],
         timeout: float | None = None,
+        context: str | None = None,
     ) -> tuple[int, Message]:
         """Wait-any over several ``(source, tag, tag_range)`` patterns.
 
@@ -158,12 +260,18 @@ class Mailbox:
         already in flight or will be sent without depending on this rank's
         subsequent actions (true for all Meta-Chaos executor phases, where
         sends are injected eagerly before the receive loop starts).
+
+        Raises :class:`~repro.vmachine.faults.RankLostError` when an
+        unmatched pattern's exact source is known dead — that pattern can
+        never complete.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
                 claimed: set[int] = set()
                 candidates: list[tuple[float, int, int, int, int]] = []
                 complete = True
+                unmatched_sources: list[int] = []
                 for k, (source, tag, tag_range) in enumerate(patterns):
                     found = False
                     for i, msg in enumerate(self._messages):
@@ -180,7 +288,7 @@ class Mailbox:
                             break
                     if not found:
                         complete = False
-                        break
+                        unmatched_sources.append(source)
                 if complete:
                     arrival, src, tg, i, k = min(
                         candidates, key=lambda c: (c[0], c[1], c[2])
@@ -192,12 +300,20 @@ class Mailbox:
                     raise RuntimeError(
                         f"rank {self.rank}: receive_any_of on a closed mailbox"
                     )
-                if not self._cond.wait(timeout=timeout):
+                for source in unmatched_sources:
+                    self._check_lost(source)
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    where = f" in {context}" if context else ""
                     raise TimeoutError(
                         f"rank {self.rank}: receive_any_of over "
-                        f"{len(patterns)} pattern(s) timed out after {timeout}s "
-                        f"({len(self._messages)} unmatched message(s) pending)"
+                        f"{len(patterns)} pattern(s){where} timed out after "
+                        f"{timeout}s; still unmatched sources "
+                        f"{unmatched_sources}; {self._format_pending()}"
                     )
+                self._cond.wait(timeout=remaining)
 
     def probe(
         self,
@@ -213,6 +329,11 @@ class Mailbox:
         """Number of undelivered messages (used by leak checks in tests)."""
         with self._lock:
             return len(self._messages)
+
+    def pending_summary(self) -> list[tuple[int, int, int]]:
+        """Snapshot of undelivered envelopes as ``(source, tag, nbytes)``."""
+        with self._lock:
+            return self._pending_summary()
 
     def close(self) -> None:
         with self._cond:

@@ -10,6 +10,7 @@ leaking through.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Any
 
@@ -17,9 +18,26 @@ from repro.vmachine.cost_model import CostModel
 from repro.vmachine.message import Mailbox
 from repro.vmachine.timing import PhaseTimer
 
-__all__ = ["Process", "current_process"]
+__all__ = ["Process", "current_process", "default_recv_timeout_s"]
 
 _tls = threading.local()
+
+#: hard-coded fallback for the per-receive wall-clock timeout (seconds)
+_DEFAULT_RECV_TIMEOUT_S = 120.0
+
+
+def default_recv_timeout_s() -> float:
+    """The default receive timeout: ``REPRO_RECV_TIMEOUT_S`` env var when
+    set (seconds), else 120 s.  Evaluated per run so tests can tweak it."""
+    raw = os.environ.get("REPRO_RECV_TIMEOUT_S")
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_RECV_TIMEOUT_S={raw!r} is not a number"
+            ) from None
+    return _DEFAULT_RECV_TIMEOUT_S
 
 
 def current_process() -> "Process":
@@ -64,14 +82,29 @@ class Process:
         self.env: dict[str, Any] = {}
         #: message trace (list of TraceEvent) when tracing is enabled
         self.trace: list | None = None
+        #: per-receive wall-clock timeout (configurable per VirtualMachine
+        #: or via the REPRO_RECV_TIMEOUT_S environment variable)
+        self.recv_timeout_s: float = default_recv_timeout_s()
+        #: debug mode: deep-copy payloads at send time (catches the
+        #: mutate-after-send hazard of the zero-copy transport)
+        self.copy_on_send: bool = False
+        #: clock-slowdown factor applied to every charge (fault injection)
+        self.slowdown: float = 1.0
+        #: installed FaultPlan (None = perfectly reliable transport)
+        self.faults = None
 
     # -- clock management --------------------------------------------------
 
     def charge(self, seconds: float) -> None:
-        """Advance the logical clock by a cost-model duration."""
+        """Advance the logical clock by a cost-model duration.
+
+        A fault-plan ``slowdown`` factor scales every charge: a straggling
+        rank's compute *and* messaging overheads take proportionally
+        longer, which is exactly how a slow node manifests to its peers.
+        """
         if seconds < 0:
             raise ValueError(f"negative charge {seconds}")
-        self.clock += seconds
+        self.clock += seconds * self.slowdown
 
     def advance_to(self, t: float) -> None:
         """Move the clock forward to absolute logical time ``t`` (no-op if

@@ -18,7 +18,14 @@ from typing import Any, Callable
 
 from repro.vmachine.comm import Communicator, InterComm
 from repro.vmachine.cost_model import CostModel, IBM_SP2, MachineProfile
-from repro.vmachine.machine import CONTEXT_STRIDE, RankError, SPMDError, SPMDResult
+from repro.vmachine.faults import FailureDetector, FaultPlan
+from repro.vmachine.machine import (
+    CONTEXT_STRIDE,
+    RankError,
+    SPMDError,
+    SPMDResult,
+    _env_truthy,
+)
 from repro.vmachine.message import Mailbox
 from repro.vmachine.process import Process
 
@@ -100,12 +107,21 @@ def run_programs(
     specs: list[ProgramSpec],
     profile: MachineProfile = IBM_SP2,
     trace: bool = False,
+    recv_timeout_s: float | None = None,
+    copy_on_send: bool | None = None,
+    faults: FaultPlan | None = None,
 ) -> CoupledResult:
     """Run several programs concurrently on disjoint processor sets.
 
     Global ranks are assigned contiguously in spec order.  The inter-program
     network uses the same cost profile as the intra-program network (on the
     SP2 both are the switch; on the Alpha farm both are the ATM fabric).
+
+    ``recv_timeout_s``, ``copy_on_send`` and ``faults`` mirror the
+    :class:`~repro.vmachine.machine.VirtualMachine` parameters; a
+    :class:`~repro.vmachine.faults.FaultPlan` crash event may name a whole
+    program (``rank="program:<name>"``) and is expanded to that program's
+    global ranks here.
     """
     if not specs:
         raise ValueError("need at least one program")
@@ -115,10 +131,19 @@ def run_programs(
 
     total = sum(s.nprocs for s in specs)
     cost_model = CostModel(profile)
+    detector = FailureDetector()
     processes = [Process(r, total, cost_model) for r in range(total)]
     router: dict[int, Mailbox] = {p.rank: p.mailbox for p in processes}
-    if trace:
-        for p in processes:
+    copy_flag = (
+        _env_truthy("REPRO_COPY_ON_SEND") if copy_on_send is None
+        else copy_on_send
+    )
+    for p in processes:
+        detector.register(p.mailbox)
+        if recv_timeout_s is not None:
+            p.recv_timeout_s = recv_timeout_s
+        p.copy_on_send = copy_flag
+        if trace:
             p.trace = []
 
     # Contiguous global-rank blocks per program.
@@ -129,6 +154,12 @@ def run_programs(
             raise ValueError(f"program {s.name!r} needs at least one processor")
         blocks[s.name] = list(range(base, base + s.nprocs))
         base += s.nprocs
+
+    if faults is not None:
+        faults.resolve_program_crashes(blocks)
+        for p in processes:
+            p.faults = faults
+            p.slowdown = faults.slowdown_for(p.rank)
 
     # Deterministic context ids: one per communicator, spec order.
     contexts: dict[str, int] = {
@@ -178,8 +209,11 @@ def run_programs(
         except BaseException as exc:  # noqa: BLE001 - reported to host
             with errors_lock:
                 errors.append(RankError(proc.rank, exc, traceback.format_exc()))
-            for mb in router.values():
-                mb.close()
+            # Graceful degradation: targeted dead-rank marking (see
+            # VirtualMachine.run) — the surviving program's blocked
+            # receives surface RankLostError with diagnostics, which the
+            # coupling layer upgrades to PeerLostError.
+            detector.mark_dead(proc.rank, f"{type(exc).__name__}: {exc}")
         finally:
             proc.unbind()
 

@@ -1,0 +1,85 @@
+"""Boundary tests for :func:`repro.vmachine.payload_nbytes`.
+
+The size only feeds the LogGP cost model, but it must be monotone in the
+real data volume — in particular, strings are charged their UTF-8
+encoded length (what would actually cross a wire), not their code-point
+count.
+"""
+
+import numpy as np
+
+from repro.vmachine import payload_nbytes
+
+
+class TestStrings:
+    def test_ascii_equals_len(self):
+        assert payload_nbytes("hello") == 5
+
+    def test_empty_string(self):
+        assert payload_nbytes("") == 0
+
+    def test_non_ascii_charges_encoded_bytes(self):
+        # U+00E9 is 2 bytes in UTF-8; len() would report 1.
+        s = "café"
+        assert payload_nbytes(s) == len(s.encode("utf-8")) == 5
+
+    def test_astral_plane_four_bytes_per_char(self):
+        s = "\U0001f600" * 3  # emoji: 4 bytes each in UTF-8
+        assert payload_nbytes(s) == 12
+        assert len(s) == 3  # the code-point count would undercharge
+
+
+class TestBuffers:
+    def test_bytes_and_bytearray(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes(bytearray(7)) == 7
+        assert payload_nbytes(b"") == 0
+
+    def test_memoryview_reports_buffer_size(self):
+        mv = memoryview(np.zeros(5, dtype=np.float64))
+        assert payload_nbytes(mv) == 40
+
+    def test_memoryview_slice(self):
+        mv = memoryview(b"0123456789")[2:6]
+        assert payload_nbytes(mv) == 4
+
+    def test_numpy_array_nbytes(self):
+        assert payload_nbytes(np.zeros((3, 4), dtype=np.float32)) == 48
+        assert payload_nbytes(np.zeros(0)) == 0
+
+
+class TestContainers:
+    def test_nested_tuple(self):
+        # 8 (tuple) + 8 (int) + 8 (inner tuple) + 4 (str) + 8 (float)
+        assert payload_nbytes((1, ("abcd", 2.0))) == 8 + 8 + 8 + 4 + 8
+
+    def test_nested_list_of_arrays(self):
+        p = [np.zeros(2), np.zeros(3)]
+        assert payload_nbytes(p) == 8 + 16 + 24
+
+    def test_dict_charges_keys_and_values(self):
+        p = {"ab": np.zeros(4, dtype=np.int64)}
+        assert payload_nbytes(p) == 8 + 2 + 32
+
+    def test_empty_containers(self):
+        assert payload_nbytes(()) == 8
+        assert payload_nbytes([]) == 8
+        assert payload_nbytes({}) == 8
+
+
+class TestScalarsAndOpaque:
+    def test_scalars_fixed_envelope(self):
+        for v in (0, 3.14, True, None):
+            assert payload_nbytes(v) == 8
+
+    def test_opaque_object_envelope(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) == 64
+
+    def test_object_with_nbytes_property_is_trusted(self):
+        class Sized:
+            nbytes = 123
+
+        assert payload_nbytes(Sized()) == 123

@@ -13,6 +13,9 @@ The pieces map one-to-one onto the paper's section 4:
   (§4.1.3), in both the *cooperation* and *duplication* variants (§5.1);
 - :mod:`repro.core.datamove` — moving data with a schedule (§4.1.4),
   with at most one aggregated message per processor pair;
+- :mod:`repro.core.plan` — the multi-array extension: k schedules
+  compiled into a :class:`~repro.core.plan.MovePlan` whose execution
+  fuses every pair's k messages into one;
 - :mod:`repro.core.api` — the applications-programmer interface (§4.2):
   ``mc_*`` functions mirroring the paper's example code;
 - :mod:`repro.core.universe` — where the two sides live: one program, or
@@ -23,7 +26,7 @@ from repro.core.region import Region, SectionRegion, IndexRegion, MaskRegion
 from repro.core.setofregions import SetOfRegions
 from repro.core.linearization import Linearization
 from repro.core.runs import RunList, copy_runs, group_by_runs
-from repro.core.wire import RunEncoded, count_runs
+from repro.core.wire import FusedBuffer, RunEncoded, SegmentHeader, count_runs
 from repro.core.registry import (
     LibraryAdapter,
     RemoteHandle,
@@ -34,8 +37,21 @@ from repro.core.registry import (
 )
 from repro.core.universe import Universe, SingleProgramUniverse, TwoProgramUniverse
 from repro.core.policy import ExecutorPolicy, rotated_order
-from repro.core.schedule import CommSchedule, ScheduleMethod, build_schedule
+from repro.core.schedule import (
+    CommSchedule,
+    ScheduleMethod,
+    SchedulePeerStats,
+    build_schedule,
+)
 from repro.core.datamove import data_move, data_move_send, data_move_recv
+from repro.core.plan import (
+    MovePlan,
+    PlanSegment,
+    compile_plan,
+    plan_move,
+    plan_move_recv,
+    plan_move_send,
+)
 from repro.core.cache import ScheduleCache, dist_key, region_key, sor_key
 from repro.core.validate import (
     ScheduleStats,
@@ -46,11 +62,15 @@ from repro.core.validate import (
 )
 from repro.core.api import (
     mc_add_region_to_set,
+    mc_compute_plan,
     mc_compute_schedule,
     mc_copy,
+    mc_copy_many,
     mc_data_move_recv,
     mc_data_move_send,
     mc_new_set_of_regions,
+    mc_plan_move_recv,
+    mc_plan_move_send,
 )
 
 __all__ = [
@@ -76,18 +96,31 @@ __all__ = [
     "TwoProgramUniverse",
     "CommSchedule",
     "ScheduleMethod",
+    "SchedulePeerStats",
     "ExecutorPolicy",
     "rotated_order",
     "build_schedule",
     "data_move",
     "data_move_send",
     "data_move_recv",
+    "FusedBuffer",
+    "SegmentHeader",
+    "MovePlan",
+    "PlanSegment",
+    "compile_plan",
+    "plan_move",
+    "plan_move_send",
+    "plan_move_recv",
     "mc_new_set_of_regions",
     "mc_add_region_to_set",
     "mc_compute_schedule",
+    "mc_compute_plan",
     "mc_copy",
+    "mc_copy_many",
     "mc_data_move_send",
     "mc_data_move_recv",
+    "mc_plan_move_send",
+    "mc_plan_move_recv",
     "ScheduleStats",
     "ScheduleValidationError",
     "validate_schedule",

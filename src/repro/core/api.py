@@ -14,13 +14,28 @@ engine.  The four steps of §4.2 map to:
 Where the paper passes a library identifier (``MC_ComputeSched(HPF,
 ...)``) these functions take the registered adapter name (e.g. ``"hpf"``,
 ``"chaos"``, ``"blockparti"``, ``"pcxx"``).
+
+Multi-array extension: applications moving several arrays per timestep
+compile their schedules into one :class:`~repro.core.plan.MovePlan`
+(:func:`mc_compute_plan`) and execute it with :func:`mc_copy_many` /
+:func:`mc_plan_move_send` / :func:`mc_plan_move_recv` — one *fused*
+message per processor pair instead of one per schedule per pair.  The
+single-schedule entry points never route through the plan machinery, so
+their modelled clocks are unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from repro.core.datamove import data_move, data_move_recv, data_move_send
+from repro.core.plan import (
+    MovePlan,
+    compile_plan,
+    plan_move,
+    plan_move_recv,
+    plan_move_send,
+)
 from repro.core.policy import ExecutorPolicy
 from repro.core.region import Region
 from repro.core.schedule import CommSchedule, ScheduleMethod, build_schedule
@@ -32,9 +47,13 @@ __all__ = [
     "mc_new_set_of_regions",
     "mc_add_region_to_set",
     "mc_compute_schedule",
+    "mc_compute_plan",
     "mc_copy",
+    "mc_copy_many",
     "mc_data_move_send",
     "mc_data_move_recv",
+    "mc_plan_move_send",
+    "mc_plan_move_recv",
     "ExecutorPolicy",
 ]
 
@@ -119,6 +138,76 @@ def mc_copy(
         )
     data_move(schedule, src_array, dst_array, universe, policy=policy,
               timeout=timeout)
+
+
+def mc_compute_plan(schedules: Sequence[CommSchedule]) -> MovePlan:
+    """Compile schedules into a fused :class:`~repro.core.plan.MovePlan`.
+
+    Purely local (no communication, no logical-time charge): each rank
+    reorganizes its own schedule halves into per-peer pack/unpack
+    programs.  All member schedules must span the same universe shape.
+    The plan is reusable for any number of :func:`mc_copy_many` calls,
+    exactly as a schedule is for :func:`mc_copy`.
+    """
+    return compile_plan(schedules)
+
+
+def mc_copy_many(
+    where: Universe | Communicator,
+    plan_or_schedules: MovePlan | Sequence[CommSchedule],
+    src_arrays: Sequence[Any],
+    dst_arrays: Sequence[Any],
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    timeout: float | None = None,
+) -> MovePlan:
+    """Fused one-shot move of several arrays within a single program.
+
+    Equivalent to calling :func:`mc_copy` once per ``(schedule,
+    src_array, dst_array)`` triple — same destination bytes, same
+    element order — but every processor pair exchanges **one** message
+    carrying all schedules' segments, saving ``k-1`` message latencies
+    per pair.  Accepts a precompiled :class:`~repro.core.plan.MovePlan`
+    or a schedule sequence (compiled on the fly); returns the plan so
+    loops can reuse the compilation.
+    """
+    universe = _as_universe(where)
+    if not universe.single_program:
+        raise ValueError(
+            "mc_copy_many is the single-program move; coupled programs "
+            "call mc_plan_move_send / mc_plan_move_recv on their own side"
+        )
+    plan = (
+        plan_or_schedules
+        if isinstance(plan_or_schedules, MovePlan)
+        else compile_plan(plan_or_schedules)
+    )
+    plan_move(plan, src_arrays, dst_arrays, universe, policy=policy,
+              timeout=timeout)
+    return plan
+
+
+def mc_plan_move_send(
+    where: Universe | Communicator,
+    plan: MovePlan,
+    src_arrays: Sequence[Any],
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    timeout: float | None = None,
+) -> None:
+    """Send half of a fused multi-array move (source-group processors)."""
+    plan_move_send(plan, src_arrays, _as_universe(where), policy=policy,
+                   timeout=timeout)
+
+
+def mc_plan_move_recv(
+    where: Universe | Communicator,
+    plan: MovePlan,
+    dst_arrays: Sequence[Any],
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    timeout: float | None = None,
+) -> None:
+    """Receive half of a fused multi-array move (destination group)."""
+    plan_move_recv(plan, dst_arrays, _as_universe(where), policy=policy,
+                   timeout=timeout)
 
 
 def mc_data_move_send(

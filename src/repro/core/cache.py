@@ -12,17 +12,26 @@ Keys are computed locally and deterministically, so every rank hits or
 misses together (the cache never desynchronizes a collective).  Irregular
 distributions and index regions hash their full index content (cached on
 the object after the first use — the arrays are immutable by convention).
+
+Fused plans cache the same way: :meth:`ScheduleCache.get_or_build_plan`
+keys a :class:`~repro.core.plan.MovePlan` by the tuple of its member
+schedules' content keys — member schedules themselves go through (and
+populate) the schedule store, so a plan request warms both layers.  When
+LRU eviction drops a schedule entry, every plan built over it is
+invalidated with it: a later plan request recompiles against the freshly
+rebuilt member, never against a stale reference.
 """
 
 from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.core.api import mc_compute_schedule
+from repro.core.plan import MovePlan, compile_plan
 from repro.core.policy import ExecutorPolicy
 from repro.core.region import IndexRegion, MaskRegion, Region, SectionRegion
 from repro.core.registry import get_adapter
@@ -100,13 +109,21 @@ class ScheduleCache:
             raise ValueError("maxsize must be a positive integer (or None)")
         self._where = where
         self._store: OrderedDict[tuple, CommSchedule] = OrderedDict()
+        self._plans: OrderedDict[tuple, MovePlan] = OrderedDict()
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_invalidations = 0
 
     def __len__(self) -> int:
         return len(self._store)
+
+    @property
+    def plan_count(self) -> int:
+        return len(self._plans)
 
     def get_or_build(
         self,
@@ -131,14 +148,8 @@ class ScheduleCache:
         policy only matters on the collective miss — which the
         deterministic keys guarantee happens on every rank together.
         """
-        key = (
-            src_lib,
-            dst_lib,
-            method,
-            dist_key(get_adapter(src_lib).dist_of(src_array)),
-            sor_key(src_sor),
-            dist_key(get_adapter(dst_lib).dist_of(dst_array)),
-            sor_key(dst_sor),
+        key = self._request_key(
+            src_lib, src_array, src_sor, dst_lib, dst_array, dst_sor, method
         )
         hit = self._store.get(key)
         if hit is not None:
@@ -151,8 +162,87 @@ class ScheduleCache:
             dst_lib, dst_array, dst_sor, method, policy=policy,
         )
         self._store[key] = sched
-        if self.maxsize is not None:
-            while len(self._store) > self.maxsize:
-                self._store.popitem(last=False)
-                self.evictions += 1
+        self._enforce_maxsize()
         return sched
+
+    def get_or_build_plan(
+        self,
+        requests: Sequence[tuple],
+        method: ScheduleMethod = ScheduleMethod.COOPERATION,
+        policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    ) -> MovePlan:
+        """Return a cached fused plan for a sequence of copy requests.
+
+        Each request is a ``(src_lib, src_array, src_sor, dst_lib,
+        dst_array, dst_sor)`` tuple; member schedules resolve through
+        :meth:`get_or_build` (populating the schedule store — collective
+        exactly on schedule misses, which the deterministic keys keep
+        synchronized across ranks).  The plan key is the ordered tuple of
+        member keys, so two requests fusing the same schedules in the
+        same order share one compiled plan.  Plan compilation itself is
+        local and never collective, so plan hits/misses need no
+        cross-rank agreement — but they get it anyway, for free.
+        """
+        member_keys = []
+        schedules = []
+        for req in requests:
+            src_lib, src_array, src_sor, dst_lib, dst_array, dst_sor = req
+            member_keys.append(
+                self._request_key(
+                    src_lib, src_array, src_sor,
+                    dst_lib, dst_array, dst_sor, method,
+                )
+            )
+            schedules.append(
+                self.get_or_build(
+                    src_lib, src_array, src_sor,
+                    dst_lib, dst_array, dst_sor,
+                    method=method, policy=policy,
+                )
+            )
+        plan_key = tuple(member_keys)
+        hit = self._plans.get(plan_key)
+        if hit is not None:
+            self.plan_hits += 1
+            self._plans.move_to_end(plan_key)
+            return hit
+        self.plan_misses += 1
+        plan = compile_plan(schedules)
+        self._plans[plan_key] = plan
+        if self.maxsize is not None:
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+        return plan
+
+    # -- internals -----------------------------------------------------------
+
+    def _request_key(
+        self, src_lib, src_array, src_sor, dst_lib, dst_array, dst_sor, method
+    ) -> tuple:
+        return (
+            src_lib,
+            dst_lib,
+            method,
+            dist_key(get_adapter(src_lib).dist_of(src_array)),
+            sor_key(src_sor),
+            dist_key(get_adapter(dst_lib).dist_of(dst_array)),
+            sor_key(dst_sor),
+        )
+
+    def _enforce_maxsize(self) -> None:
+        if self.maxsize is None:
+            return
+        while len(self._store) > self.maxsize:
+            evicted_key, _ = self._store.popitem(last=False)
+            self.evictions += 1
+            # A plan built over an evicted member is stale by definition:
+            # the next schedule request rebuilds the member, and the plan
+            # must recompile against the rebuilt object, not hold the old
+            # one alive behind the cache's back.
+            dependent = [
+                pk for pk in self._plans if evicted_key in pk
+            ]
+            for pk in dependent:
+                del self._plans[pk]
+                self.plan_invalidations += 1

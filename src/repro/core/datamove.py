@@ -41,6 +41,19 @@ exponential-backoff retry ladder (short slices first, so a late-but-alive
 peer still succeeds) before surfacing ``TimeoutError`` — a lost peer
 raises :class:`~repro.vmachine.faults.RankLostError` immediately via the
 run's failure detector.
+
+Multi-array fusion
+------------------
+This module moves **one** schedule's data.  A program moving k arrays
+per step can compile the k schedules into a
+:class:`~repro.core.plan.MovePlan` (:func:`~repro.core.api.
+mc_compute_plan`) and execute them with one *fused* message per
+processor pair instead of k — see :mod:`repro.core.plan`, which reuses
+this module's local-copy and bounded-receive machinery
+(:func:`_local_copies`, :func:`_recv_bounded`) so both executors share
+identical degradation and reliability behaviour.  The single-schedule
+entry points below never consult the plan module; fusion is strictly
+opt-in and their clock trajectories are guarded byte-for-byte by CI.
 """
 
 from __future__ import annotations

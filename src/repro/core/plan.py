@@ -1,0 +1,443 @@
+"""Fused multi-array data moves: the MovePlan compiler and executors.
+
+A single :class:`~repro.core.schedule.CommSchedule` already aggregates
+traffic so "at most one message is sent between each source and each
+destination processor" — *per copy*.  Coupled applications, though, move
+**several** arrays along the same (or compatible) mappings every timestep:
+the paper's §5.1 mesh exchange ships multiple physical fields per
+iteration, and §5.4's client/server transfers a batch of vectors.  Run as
+k separate copies that costs ``k * P * (P-1)`` messages — k latencies
+(LogGP α) per processor pair where one would do.
+
+:func:`compile_plan` turns k schedules sharing a universe into a
+:class:`MovePlan`: per destination processor, a *pack program* — the
+ordered list of (schedule id, run-compressed offsets) segments whose
+elements travel in **one** fused message — and the mirror-image unpack
+program per source processor.  Executing the plan
+(:func:`plan_move` / :func:`plan_move_send` / :func:`plan_move_recv`)
+sends ``P * (P-1)`` messages total, saving ``k-1`` α's per active pair,
+at the price of per-segment headers and alignment padding
+(:class:`~repro.core.wire.FusedBuffer` — the honest wire size).
+
+Pack staging goes through the per-rank
+:class:`~repro.vmachine.message.PackArena`: one pooled buffer per fused
+message, leased at pack time and returned by the *receiver* after the
+last segment is unpacked, so iterative exchange loops stop allocating
+per message per timestep.  Arena checkout/release never charges the
+logical clock — pool behaviour cannot perturb timing determinism.
+
+Everything else mirrors :mod:`repro.core.datamove` deliberately: both
+executor policies (``ORDERED`` and the latency-hiding ``OVERLAP``
+wait-any), the reliable-delivery path (fused payloads are opaque to the
+ack/retransmit protocol), fence semantics, bounded-retry receives, and
+direct intra-processor copies.  Fusion is strictly opt-in: the
+single-schedule entry points never route through this module, so their
+logical clocks stay byte-identical to the published tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.datamove import _local_copies, _recv_bounded
+from repro.core.policy import ExecutorPolicy, ordered_or_rotated
+from repro.core.registry import get_adapter
+from repro.core.runs import RunList
+from repro.core.schedule import CommSchedule
+from repro.core.universe import TAG_DATA, Universe
+from repro.core.wire import FusedBuffer, SegmentHeader, segment_layout
+from repro.vmachine.comm import waitany
+
+__all__ = [
+    "MovePlan",
+    "PlanSegment",
+    "compile_plan",
+    "plan_move",
+    "plan_move_send",
+    "plan_move_recv",
+]
+
+
+@dataclass(frozen=True)
+class PlanSegment:
+    """One schedule's contribution to one fused message.
+
+    ``schedule_id`` indexes :attr:`MovePlan.schedules`; ``offsets`` is
+    that schedule's run-compressed half for the peer this segment's
+    program addresses (send half on the source side, receive half on the
+    destination side).
+    """
+
+    schedule_id: int
+    offsets: RunList
+
+    @property
+    def count(self) -> int:
+        return len(self.offsets)
+
+
+@dataclass(frozen=True)
+class MovePlan:
+    """Compiled fusion of k schedules into one message per processor pair.
+
+    ``send_programs[d]`` — the pack program this rank runs for
+    destination-group rank ``d``: segments in schedule order, one per
+    member schedule with elements bound for ``d``.  Present (nonempty)
+    only on source-group members with traffic.
+
+    ``recv_programs[s]`` — the unpack program for source-group rank
+    ``s``, mirror-ordered so the i-th received segment scatters through
+    the i-th program entry.  The wire carries self-describing
+    :class:`~repro.core.wire.SegmentHeader` entries besides, and the
+    executor cross-checks them, so a sender/receiver plan mismatch fails
+    loudly.
+
+    Compilation is purely local — it reorganizes this rank's existing
+    schedule halves and charges no logical time, so compiling a plan is
+    never a collective operation (every rank may compile independently,
+    or not at all).
+    """
+
+    schedules: tuple[CommSchedule, ...]
+    send_programs: dict[int, tuple[PlanSegment, ...]]
+    recv_programs: dict[int, tuple[PlanSegment, ...]]
+
+    # -- introspection (benchmarks, plan-summary CLI, tests) ----------------
+
+    @property
+    def nschedules(self) -> int:
+        return len(self.schedules)
+
+    @property
+    def fused_message_count(self) -> int:
+        """Messages this rank sends when the plan executes (remote pairs
+        counted; the executor additionally skips the self-pair)."""
+        return len(self.send_programs)
+
+    @property
+    def unfused_message_count(self) -> int:
+        """Messages the same traffic costs as k sequential copies."""
+        return sum(len(prog) for prog in self.send_programs.values())
+
+    @property
+    def alpha_saved(self) -> int:
+        """Per-pair message latencies the fusion eliminates on this rank."""
+        return self.unfused_message_count - self.fused_message_count
+
+    def pair_table(self, itemsizes: Sequence[int] | None = None) -> list[dict]:
+        """Per-destination summary rows (peer, segments, elements, bytes).
+
+        ``itemsizes`` supplies each schedule's element size (default 8:
+        the paper's doubles); ``data_bytes`` is the fused message's
+        payload before headers/padding (the exact wire size needs the
+        arrays' dtypes — see :attr:`~repro.core.wire.FusedBuffer.nbytes`).
+        """
+        if itemsizes is None:
+            itemsizes = [8] * len(self.schedules)
+        rows = []
+        for d in sorted(self.send_programs):
+            prog = self.send_programs[d]
+            data_bytes = sum(
+                seg.count * itemsizes[seg.schedule_id] for seg in prog
+            )
+            rows.append(
+                {
+                    "peer": d,
+                    "segments": len(prog),
+                    "elements": sum(seg.count for seg in prog),
+                    "data_bytes": data_bytes,
+                    "alpha_saved": len(prog) - 1,
+                }
+            )
+        return rows
+
+
+def compile_plan(schedules: Sequence[CommSchedule]) -> MovePlan:
+    """Compile schedules sharing one universe into a :class:`MovePlan`.
+
+    Validates that every member spans the same source/destination group
+    sizes (they must have been built over the same
+    :class:`~repro.core.universe.Universe` shape).  Fusion decisions are
+    driven by :meth:`CommSchedule.stats`: only peers a schedule actually
+    messages contribute segments, so an all-local schedule adds nothing
+    to any program.
+    """
+    schedules = tuple(schedules)
+    if not schedules:
+        raise ValueError("compile_plan needs at least one schedule")
+    s0 = schedules[0]
+    for i, sched in enumerate(schedules[1:], start=1):
+        if (sched.src_size, sched.dst_size) != (s0.src_size, s0.dst_size):
+            raise ValueError(
+                f"schedule {i} spans groups "
+                f"{sched.src_size}x{sched.dst_size} but schedule 0 spans "
+                f"{s0.src_size}x{s0.dst_size}; a plan needs one universe"
+            )
+    send_programs: dict[int, list[PlanSegment]] = {}
+    recv_programs: dict[int, list[PlanSegment]] = {}
+    for sid, sched in enumerate(schedules):
+        st = sched.stats()
+        for d in st.send_elements:
+            send_programs.setdefault(d, []).append(
+                PlanSegment(sid, sched.sends[d])
+            )
+        for s in st.recv_elements:
+            recv_programs.setdefault(s, []).append(
+                PlanSegment(sid, sched.recvs[s])
+            )
+    return MovePlan(
+        schedules=schedules,
+        send_programs={d: tuple(p) for d, p in sorted(send_programs.items())},
+        recv_programs={s: tuple(p) for s, p in sorted(recv_programs.items())},
+    )
+
+
+# ---------------------------------------------------------------------------
+# fused pack / unpack
+# ---------------------------------------------------------------------------
+
+
+def _pack_fused(
+    plan: MovePlan,
+    program: tuple[PlanSegment, ...],
+    src_arrays: Sequence[Any],
+    universe: Universe,
+) -> FusedBuffer:
+    """Pack every segment of one destination's program into one staging
+    buffer leased from this rank's arena."""
+    proc = universe.process
+    headers = []
+    for seg in program:
+        sched = plan.schedules[seg.schedule_id]
+        adapter = get_adapter(sched.src_lib)
+        data = adapter.local_data(src_arrays[seg.schedule_id])
+        headers.append(
+            SegmentHeader(seg.schedule_id, data.dtype.str, seg.count)
+        )
+    headers = tuple(headers)
+    _, total = segment_layout(headers)
+    lease = proc.arena.checkout(total, pooled=not proc.copy_on_send)
+    fused = FusedBuffer(headers, lease.buffer, lease=lease)
+    for i, seg in enumerate(program):
+        sched = plan.schedules[seg.schedule_id]
+        get_adapter(sched.src_lib).pack_into(
+            src_arrays[seg.schedule_id], seg.offsets, fused.segment(i)
+        )
+    return fused
+
+
+def _unpack_fused(
+    plan: MovePlan,
+    program: tuple[PlanSegment, ...],
+    dst_arrays: Sequence[Any],
+    fused: FusedBuffer,
+    s: int,
+) -> None:
+    """Scatter one fused message through its unpack program, then return
+    the staging buffer to the sender's arena."""
+    _check_fused(program, fused, s)
+    for i, seg in enumerate(program):
+        sched = plan.schedules[seg.schedule_id]
+        get_adapter(sched.dst_lib).unpack(
+            dst_arrays[seg.schedule_id], seg.offsets, fused.segment(i)
+        )
+    fused.release()
+
+
+def _check_fused(
+    program: tuple[PlanSegment, ...], fused: Any, s: int
+) -> None:
+    if not isinstance(fused, FusedBuffer):
+        raise RuntimeError(
+            f"plan mismatch: source rank {s} sent a "
+            f"{type(fused).__name__}, not a fused buffer — was the peer "
+            "executing a plain data_move?"
+        )
+    if fused.nsegments != len(program):
+        raise RuntimeError(
+            f"plan mismatch: fused message from source rank {s} carries "
+            f"{fused.nsegments} segment(s) but the unpack program expects "
+            f"{len(program)}"
+        )
+    for i, (header, seg) in enumerate(zip(fused.headers, program)):
+        if header.schedule_id != seg.schedule_id:
+            raise RuntimeError(
+                f"plan mismatch: segment {i} from source rank {s} belongs "
+                f"to schedule {header.schedule_id}, expected "
+                f"{seg.schedule_id}"
+            )
+        if header.count != seg.count:
+            raise RuntimeError(
+                f"schedule mismatch: segment {i} (schedule "
+                f"{header.schedule_id}) from source rank {s} carries "
+                f"{header.count} elements but expected {seg.count}"
+            )
+
+
+def _note_fusion(universe: Universe, d: int, fused: FusedBuffer) -> None:
+    """Observability: per-rank fusion counters + a ``plan:fuse`` trace
+    event per fused message (mirroring the fault layer's ``fault:*``
+    convention — kind-prefixed events riding the normal trace stream)."""
+    proc = universe.process
+    stats = proc.stats
+    stats["plan_fused_messages"] = stats.get("plan_fused_messages", 0) + 1
+    stats["plan_fused_segments"] = (
+        stats.get("plan_fused_segments", 0) + fused.nsegments
+    )
+    stats["plan_alpha_saved"] = (
+        stats.get("plan_alpha_saved", 0) + fused.nsegments - 1
+    )
+    if proc.trace is not None:
+        from repro.vmachine.trace import TraceEvent
+
+        proc.trace.append(
+            TraceEvent(
+                "plan:fuse", proc.clock, proc.rank, d, TAG_DATA, fused.nbytes
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# executors (mirrors of data_move_send / data_move_recv / data_move)
+# ---------------------------------------------------------------------------
+
+
+def _check_arrays(plan: MovePlan, arrays: Sequence[Any], side: str) -> None:
+    if len(arrays) != len(plan.schedules):
+        raise ValueError(
+            f"plan fuses {len(plan.schedules)} schedule(s) but "
+            f"{len(arrays)} {side} array(s) were supplied"
+        )
+
+
+def plan_move_send(
+    plan: MovePlan,
+    src_arrays: Sequence[Any],
+    universe: Universe,
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    timeout: float | None = None,
+    fence: bool | None = None,
+) -> None:
+    """Send half of a fused move: one message per destination processor.
+
+    The i-th source array pairs with the i-th member schedule.  Ordering,
+    reliability and fence semantics are exactly those of
+    :func:`~repro.core.datamove.data_move_send` — the fused payload is
+    opaque to the reliable layer, so drops/dups/reorder are handled
+    identically.
+    """
+    if universe.my_src_rank is None:
+        raise RuntimeError("plan_move_send called on a non-source processor")
+    _check_arrays(plan, src_arrays, "source")
+    policy = ExecutorPolicy.coerce(policy)
+    rel = universe.reliability
+    order = ordered_or_rotated(
+        list(plan.send_programs), universe.my_src_rank, universe.dst_size,
+        policy,
+    )
+    for d in order:
+        if universe.same_proc_dst(d):
+            continue
+        program = plan.send_programs[d]
+        fused = _pack_fused(plan, program, src_arrays, universe)
+        _note_fusion(universe, d, fused)
+        if rel is not None:
+            rel.send(universe.data_endpoint_to_dst(), d, fused, TAG_DATA)
+        else:
+            universe.send_to_dst(d, fused, TAG_DATA)
+    if rel is not None:
+        if fence is None:
+            fence = not universe.single_program
+        if fence:
+            rel.fence(timeout=timeout)
+        else:
+            rel.flush()
+
+
+def plan_move_recv(
+    plan: MovePlan,
+    dst_arrays: Sequence[Any],
+    universe: Universe,
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    timeout: float | None = None,
+) -> None:
+    """Receive half of a fused move: one message per source processor.
+
+    Under ``OVERLAP`` all fused receives are posted up front and
+    completed in arrival order; each message's segments unpack while
+    later messages are in flight.  After a message's last segment is
+    scattered, its staging buffer returns to the sender's arena.
+    """
+    if universe.my_dst_rank is None:
+        raise RuntimeError(
+            "plan_move_recv called on a non-destination processor"
+        )
+    _check_arrays(plan, dst_arrays, "destination")
+    policy = ExecutorPolicy.coerce(policy)
+    rel = universe.reliability
+    active = [
+        s for s in sorted(plan.recv_programs) if not universe.same_proc_src(s)
+    ]
+    if rel is not None:
+        endpoint = universe.data_endpoint_to_src()
+        if policy is ExecutorPolicy.OVERLAP and len(active) > 1:
+            remaining = set(active)
+            while remaining:
+                s, fused = rel.recv_any(
+                    endpoint, sorted(remaining), TAG_DATA, timeout=timeout
+                )
+                remaining.discard(s)
+                _unpack_fused(plan, plan.recv_programs[s], dst_arrays,
+                              fused, s)
+            return
+        for s in active:
+            fused = rel.recv(endpoint, s, TAG_DATA, timeout=timeout)
+            _unpack_fused(plan, plan.recv_programs[s], dst_arrays, fused, s)
+        return
+    if policy is ExecutorPolicy.OVERLAP and len(active) > 1:
+        requests = [universe.irecv_from_src(s, TAG_DATA) for s in active]
+        remaining = len(requests)
+        while remaining:
+            idx, fused = waitany(requests, timeout=timeout)
+            remaining -= 1
+            s = active[idx]
+            _unpack_fused(plan, plan.recv_programs[s], dst_arrays, fused, s)
+        return
+    for s in active:
+        fused = _recv_bounded(universe, s, TAG_DATA, timeout)
+        _unpack_fused(plan, plan.recv_programs[s], dst_arrays, fused, s)
+
+
+def plan_move(
+    plan: MovePlan,
+    src_arrays: Sequence[Any],
+    dst_arrays: Sequence[Any],
+    universe: Universe,
+    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    timeout: float | None = None,
+) -> None:
+    """Full fused move (single program), or role dispatch otherwise.
+
+    Intra-processor elements of every member schedule are copied
+    directly, buffer-free, exactly as k sequential moves would — fusion
+    only changes the *inter*-processor message structure.
+    """
+    policy = ExecutorPolicy.coerce(policy)
+    _check_arrays(plan, src_arrays, "source")
+    _check_arrays(plan, dst_arrays, "destination")
+    if universe.single_program:
+        for sid, sched in enumerate(plan.schedules):
+            _local_copies(sched, src_arrays[sid], dst_arrays[sid], universe)
+        plan_move_send(plan, src_arrays, universe, policy=policy,
+                       timeout=timeout, fence=False)
+        plan_move_recv(plan, dst_arrays, universe, policy=policy,
+                       timeout=timeout)
+        universe.rel_fence(timeout=timeout)
+        return
+    if universe.my_src_rank is not None:
+        plan_move_send(plan, src_arrays, universe, policy=policy,
+                       timeout=timeout)
+    if universe.my_dst_rank is not None:
+        plan_move_recv(plan, dst_arrays, universe, policy=policy,
+                       timeout=timeout)

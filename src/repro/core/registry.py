@@ -195,6 +195,33 @@ class LibraryAdapter(abc.ABC):
             return offsets.gather(data)
         return data[offsets]
 
+    def pack_into(
+        self, array: Any, offsets: np.ndarray | RunList, out: np.ndarray
+    ) -> None:
+        """:meth:`pack`, but gathering straight into caller-owned storage.
+
+        The fused-plan executor (:mod:`repro.core.plan`) leases one
+        staging buffer per destination from the rank's
+        :class:`~repro.vmachine.message.PackArena` and packs every
+        schedule's segment into its slice of that buffer — no per-segment
+        allocation.  ``out`` must be 1-D with exactly ``len(offsets)``
+        slots of the source array's element type.  The logical-clock
+        charge is identical to :meth:`pack` (same element count), so
+        fused and sequential moves cost the same pack time.
+        """
+        data = self.local_data(array)
+        offsets = as_offsets(offsets)
+        if len(out) != len(offsets):
+            raise ValueError(
+                f"pack_into buffer has {len(out)} slots for "
+                f"{len(offsets)} offsets"
+            )
+        current_process().charge_pack(len(offsets))
+        if isinstance(offsets, RunList):
+            offsets.gather(data, out=out)
+        else:
+            out[...] = data[offsets]
+
     def unpack(self, array: Any, offsets: np.ndarray | RunList, values: np.ndarray) -> None:
         """Scatter buffer ``values`` into local elements at ``offsets``.
 

@@ -362,22 +362,37 @@ class RunList:
             data[start0:], shape=(nrows, count), strides=(rowstep * st, step * st)
         )
 
-    def gather(self, data: np.ndarray) -> np.ndarray:
+    def gather(self, data: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """``data[self]`` — slice copies per run, fancy indexing fallback.
 
         A uniform run grid (the regular 2-D section move) is gathered in
         one vectorized strided-view copy instead of a per-run loop.
+
+        ``out``, when given, receives the gathered elements in place (it
+        must be 1-D, length ``len(self)``, dtype-compatible) and is
+        returned — the fused-plan executor packs segments straight into a
+        pooled staging buffer this way, with zero intermediate
+        allocation.
         """
+        if out is not None and len(out) != self._n:
+            raise ValueError(
+                f"gather out buffer has {len(out)} slots for {self._n} elements"
+            )
         if self._runs is None:
-            return data[self._dense]
+            if out is None:
+                return data[self._dense]
+            out[...] = data[self._dense]
+            return out
         grid = self._uniform_grid()
         if grid is not None:
             view = self._grid_view(data, grid)
             if view is not None:
-                out = np.empty(grid[3] * grid[4], dtype=data.dtype)
+                if out is None:
+                    out = np.empty(grid[3] * grid[4], dtype=data.dtype)
                 out.reshape(grid[3], grid[4])[...] = view
                 return out
-        out = np.empty(self._n, dtype=data.dtype)
+        if out is None:
+            out = np.empty(self._n, dtype=data.dtype)
         pos = 0
         for start, step, count in self._exec_runs().tolist():
             if step == 0:

@@ -49,10 +49,16 @@ from repro.core.universe import (
     TAG_SCHED_SRCINFO,
     Universe,
 )
-from repro.core.wire import RunEncoded
+from repro.core.wire import RunEncoded, count_runs
 from repro.vmachine.comm import waitany
 
-__all__ = ["ScheduleMethod", "CommSchedule", "build_schedule", "chunk_ranges"]
+__all__ = [
+    "ScheduleMethod",
+    "CommSchedule",
+    "SchedulePeerStats",
+    "build_schedule",
+    "chunk_ranges",
+]
 
 
 class ScheduleMethod(enum.Enum):
@@ -60,6 +66,61 @@ class ScheduleMethod(enum.Enum):
 
     COOPERATION = "cooperation"
     DUPLICATION = "duplication"
+
+
+@dataclass(frozen=True)
+class SchedulePeerStats:
+    """Per-peer traffic summary of one processor's schedule halves.
+
+    Everything message-level behaviour depends on, without touching any
+    data buffer: how many elements travel to/from each peer, how many
+    runs encode each half (the wire size of the schedule itself), and the
+    payload bytes each peer-message would carry at ``itemsize`` bytes per
+    element.  Consumed by the :mod:`~repro.core.plan` compiler's fusion
+    decisions, the ``plan-summary`` CLI, and the executors' ``plan:fuse``
+    trace events.
+    """
+
+    #: elements per destination-group peer (send half; nonempty peers only)
+    send_elements: dict[int, int]
+    #: elements per source-group peer (receive half; nonempty peers only)
+    recv_elements: dict[int, int]
+    #: greedy run count of each send half
+    send_runs: dict[int, int]
+    #: greedy run count of each receive half
+    recv_runs: dict[int, int]
+    #: payload bytes of the message to each destination peer
+    send_bytes: dict[int, int]
+    #: payload bytes of the message from each source peer
+    recv_bytes: dict[int, int]
+    #: element size the byte figures were computed with
+    itemsize: int
+
+    @property
+    def send_fanout(self) -> int:
+        """Number of destination peers this rank actually messages."""
+        return len(self.send_elements)
+
+    @property
+    def recv_fanout(self) -> int:
+        """Number of source peers this rank actually hears from."""
+        return len(self.recv_elements)
+
+    @property
+    def total_send_elements(self) -> int:
+        return sum(self.send_elements.values())
+
+    @property
+    def total_recv_elements(self) -> int:
+        return sum(self.recv_elements.values())
+
+    @property
+    def total_send_bytes(self) -> int:
+        return sum(self.send_bytes.values())
+
+    @property
+    def total_recv_bytes(self) -> int:
+        return sum(self.recv_bytes.values())
 
 
 @dataclass
@@ -174,6 +235,28 @@ class CommSchedule:
             sorted(s for s, v in self.recvs.items() if len(v)),
         )
 
+    def stats(self, itemsize: int = 8) -> SchedulePeerStats:
+        """Per-peer element/byte/run counts and fan-out of this rank's halves.
+
+        ``itemsize`` sizes the byte figures (default: 8-byte elements, the
+        paper's doubles); pass the moved array's true element size for
+        exact message payload bytes.  Purely local and cheap — O(peers),
+        reading only the run metadata, never a data buffer — so it is safe
+        to call inside executors (the ``plan:fuse`` trace events do) and
+        from inspection tooling (``python -m repro plan-summary``).
+        """
+        send_elements = {d: len(v) for d, v in sorted(self.sends.items()) if len(v)}
+        recv_elements = {s: len(v) for s, v in sorted(self.recvs.items()) if len(v)}
+        return SchedulePeerStats(
+            send_elements=send_elements,
+            recv_elements=recv_elements,
+            send_runs={d: _half_nruns(self.sends[d]) for d in send_elements},
+            recv_runs={s: _half_nruns(self.recvs[s]) for s in recv_elements},
+            send_bytes={d: n * itemsize for d, n in send_elements.items()},
+            recv_bytes={s: n * itemsize for s, n in recv_elements.items()},
+            itemsize=itemsize,
+        )
+
 
 def _readonly(offsets) -> np.ndarray:
     arr = offsets.expand() if isinstance(offsets, RunList) else np.array(offsets)
@@ -185,6 +268,10 @@ def _half_nbytes(offsets) -> int:
     if isinstance(offsets, RunList):
         return offsets.nbytes_memory
     return int(np.asarray(offsets).nbytes)
+
+
+def _half_nruns(offsets) -> int:
+    return count_runs(offsets)
 
 
 def chunk_ranges(n: int, parts: int) -> list[tuple[int, int]]:

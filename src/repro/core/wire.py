@@ -13,15 +13,38 @@ bytes per run).  The compressed form is what actually travels: the
 receiver expands lazily, on first access to :attr:`RunEncoded.array` —
 regular schedule pieces stay layout-sized end to end, and the cost model
 charges the wire exactly what it always did.
+
+:class:`FusedBuffer` is the wire format of a *fused* data message (the
+:mod:`repro.core.plan` executor): one staging buffer carrying several
+schedules' packed segments to the same destination, each described by a
+:class:`SegmentHeader` (schedule id, element dtype, element count).
+Segment payloads start at 16-byte-aligned offsets computed
+deterministically from the headers alone — :func:`segment_layout` — so
+sender and receiver agree on the layout without shipping per-segment
+offsets, and every dtype view into the byte buffer is aligned.  The
+buffer's :attr:`~FusedBuffer.nbytes` (what the virtual transport charges)
+is a fixed fused header, one fixed header per segment, plus the padded
+payload bytes — the honest wire size of the concatenation.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.runs import RUN_WIRE_BYTES, RUN_WIRE_HEADER, RunList, run_starts
 
-__all__ = ["RunEncoded", "count_runs"]
+__all__ = [
+    "FUSED_HEADER_BYTES",
+    "SEGMENT_ALIGN",
+    "SEGMENT_HEADER_BYTES",
+    "FusedBuffer",
+    "RunEncoded",
+    "SegmentHeader",
+    "count_runs",
+    "segment_layout",
+]
 
 
 def count_runs(arr: np.ndarray) -> int:
@@ -77,3 +100,149 @@ class RunEncoded:
 
     def __repr__(self) -> str:
         return f"RunEncoded(n={len(self.runlist)}, runs={self.runlist.nruns})"
+
+
+# ---------------------------------------------------------------------------
+# fused data messages (plan executor wire format)
+# ---------------------------------------------------------------------------
+
+#: fixed per-message header of a fused buffer (segment count, total bytes)
+FUSED_HEADER_BYTES = 16
+#: fixed per-segment header (schedule id, dtype code, element count)
+SEGMENT_HEADER_BYTES = 16
+#: alignment of each segment's payload within the staging buffer; a
+#: power of two >= every supported itemsize, so dtype views are aligned
+SEGMENT_ALIGN = 16
+
+
+@dataclass(frozen=True)
+class SegmentHeader:
+    """Self-describing header of one schedule's segment in a fused message.
+
+    ``schedule_id`` is the segment's position in the plan's schedule
+    tuple — the receiver validates it against its own receive program, so
+    a sender/receiver plan mismatch fails loudly instead of scattering
+    elements through the wrong offsets.
+    """
+
+    schedule_id: int
+    dtype: str
+    count: int
+
+    @property
+    def itemsize(self) -> int:
+        return int(np.dtype(self.dtype).itemsize)
+
+    @property
+    def data_nbytes(self) -> int:
+        return self.count * self.itemsize
+
+
+def _pad(nbytes: int) -> int:
+    """Round ``nbytes`` up to the segment alignment."""
+    return -(-nbytes // SEGMENT_ALIGN) * SEGMENT_ALIGN
+
+
+def segment_layout(
+    headers: tuple[SegmentHeader, ...]
+) -> tuple[tuple[int, ...], int]:
+    """(payload byte offsets, total padded payload bytes) of a fused buffer.
+
+    Deterministic in the headers alone: segment ``i`` starts at the
+    running sum of the padded sizes of segments ``0..i-1``.  Both sender
+    (pack) and receiver (unpack) compute the same layout, so no offset
+    table travels on the wire.
+    """
+    offsets = []
+    cursor = 0
+    for h in headers:
+        offsets.append(cursor)
+        cursor += _pad(h.data_nbytes)
+    return tuple(offsets), cursor
+
+
+class FusedBuffer:
+    """One fused data message: per-segment headers + one staging buffer.
+
+    ``data`` is a 1-D ``uint8`` array whose capacity is at least the
+    layout's total padded payload bytes (arena size classes round up).
+    :meth:`segment` returns the aligned dtype view of one segment's
+    payload — writable on the sender (pack target), read by the receiver
+    (unpack source).
+
+    The buffer may be leased from the sender's
+    :class:`~repro.vmachine.message.PackArena`; the *receiver* calls
+    :meth:`release` after unpacking the last segment, returning the
+    staging storage to the sender's pool.  Safe on the zero-copy
+    transport because a fused message has exactly one receiver;
+    fault-layer duplicates share the payload reference but are suppressed
+    by the reliable layer *without* unpacking, and ``release`` is
+    idempotent besides.  Under copy-on-send debug mode the transport
+    deep-copies the payload: :meth:`__deepcopy__` copies the bytes and
+    severs the lease, so releasing the copy never recycles pooled
+    storage.
+    """
+
+    __slots__ = ("headers", "data", "_offsets", "_lease")
+
+    def __init__(self, headers, data: np.ndarray, lease=None):
+        self.headers = tuple(headers)
+        self.data = data
+        self._offsets, total = segment_layout(self.headers)
+        if len(data) < total:
+            raise ValueError(
+                f"fused staging buffer has {len(data)} bytes for a "
+                f"{total}-byte segment layout"
+            )
+        self._lease = lease
+
+    @property
+    def nsegments(self) -> int:
+        return len(self.headers)
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size: fused header + per-segment headers + padded payload.
+
+        This is what the virtual transport charges (``payload_nbytes``
+        finds it via the ``.nbytes`` attribute) — the honest cost of the
+        concatenated message, including alignment padding and the
+        self-describing headers.
+        """
+        _, total = segment_layout(self.headers)
+        return (
+            FUSED_HEADER_BYTES
+            + SEGMENT_HEADER_BYTES * len(self.headers)
+            + total
+        )
+
+    def segment(self, i: int) -> np.ndarray:
+        """Aligned dtype view of segment ``i``'s payload."""
+        h = self.headers[i]
+        start = self._offsets[i]
+        raw = self.data[start : start + h.data_nbytes]
+        return raw.view(np.dtype(h.dtype))
+
+    def release(self) -> None:
+        """Return the staging buffer to the sender's arena (idempotent;
+        no-op for unleased buffers)."""
+        lease = self._lease
+        self._lease = None
+        if lease is not None:
+            lease.release()
+
+    def __deepcopy__(self, memo) -> "FusedBuffer":
+        # copy-on-send support: the copy owns private storage and no lease.
+        return FusedBuffer(self.headers, self.data.copy(), lease=None)
+
+    def __len__(self) -> int:
+        # Element count across segments: lets the reliable layer's
+        # diagnostics and generic length checks treat fused payloads
+        # uniformly with plain packed buffers.
+        return sum(h.count for h in self.headers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        segs = ", ".join(
+            f"#{h.schedule_id}:{h.dtype}x{h.count}" for h in self.headers
+        )
+        return f"FusedBuffer({segs}, nbytes={self.nbytes})"

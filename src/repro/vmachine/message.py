@@ -1,4 +1,4 @@
-"""Messages and per-rank mailboxes.
+"""Messages, per-rank mailboxes, and the pooled pack-buffer arena.
 
 A :class:`Mailbox` is the receive side of one virtual processor.  Senders
 append :class:`Message` envelopes; the receiver blocks until a message
@@ -6,6 +6,18 @@ matching ``(source, tag)`` is available.  Matching supports the usual MPI
 wildcards (:data:`ANY_SOURCE`, :data:`ANY_TAG`) and preserves pairwise FIFO
 order: two messages from the same source with the same tag are received in
 the order they were sent.
+
+:class:`PackArena` is each rank's pool of message *staging* buffers
+(pack/unpack scratch for the fused-plan executor in
+:mod:`repro.core.plan`): size-class reuse so iterative loops stop
+allocating a fresh buffer per message per timestep.  Buffers are leased
+at send time and returned by the *receiver* once it has unpacked the
+payload — safe on this zero-copy transport because each fused buffer has
+exactly one receiver, and by the time ``release()`` runs nobody else
+holds a live reference.  Checkout/release never charges the logical
+clock, so arena behaviour (hit or miss) can never perturb a run's
+timing determinism; the counters are wall-clock-truthful observability
+only.
 
 Failure behaviour: a mailbox may carry a reference to the run's
 :class:`~repro.vmachine.faults.FailureDetector`.  A receive blocked on a
@@ -24,7 +36,17 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Mailbox", "payload_nbytes"]
+import numpy as np
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "ArenaLease",
+    "Message",
+    "Mailbox",
+    "PackArena",
+    "payload_nbytes",
+]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -339,3 +361,129 @@ class Mailbox:
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+
+
+# ---------------------------------------------------------------------------
+# pooled pack-buffer arena
+# ---------------------------------------------------------------------------
+
+#: smallest pooled buffer (bytes); sub-minimum requests round up to this
+ARENA_MIN_CLASS = 256
+
+
+class ArenaLease:
+    """One checked-out staging buffer.
+
+    ``buffer`` is a 1-D ``uint8`` array of the size class's capacity
+    (>= the requested bytes; slice it to the payload length).  Call
+    :meth:`release` exactly when no live reference to the bytes remains —
+    for a fused data message, that is the moment the receiver has
+    unpacked every segment.  ``release`` is idempotent and thread-safe
+    (the receiver's thread returns the buffer to the *sender's* arena).
+    A lease from a bypassed checkout (``pooled=False``) releases to
+    nowhere: the buffer is ordinary garbage-collected storage.
+    """
+
+    __slots__ = ("buffer", "_arena", "_released")
+
+    def __init__(self, buffer: np.ndarray, arena: "PackArena | None"):
+        self.buffer = buffer
+        self._arena = arena
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        if self._arena is not None:
+            self._arena._give_back(self.buffer)
+
+
+class PackArena:
+    """Per-rank, size-class pool of message staging buffers.
+
+    Capacities are powers of two (>= :data:`ARENA_MIN_CLASS`); a checkout
+    reuses the most recently released buffer of the class when one is
+    free (LIFO — the cache-warm buffer) and allocates otherwise.
+
+    Counters (mirrored into the owning process's ``stats`` dict so they
+    surface in :meth:`~repro.vmachine.machine.SPMDResult.total_stat`):
+
+    - ``arena_hits`` / ``arena_misses`` — checkouts served from the pool
+      vs freshly allocated;
+    - ``arena_bytes_reused`` — capacity bytes served from the pool;
+    - ``arena_high_water_bytes`` — largest total capacity ever owned
+      (pooled + outstanding), the arena's memory footprint ceiling;
+    - ``arena_bypass`` — checkouts that skipped pooling (see below).
+
+    The ``copy_on_send`` escape hatch: when the process runs in
+    copy-on-send debug mode, the transport deep-copies every payload at
+    send time — the receiver then unpacks a *private copy* and its
+    ``release()`` must not recycle a buffer the pool never really
+    controlled (the deep copy severs the lease).  Callers therefore pass
+    ``pooled=False`` (the fused executor passes
+    ``not process.copy_on_send``), turning the checkout into a plain
+    allocation with a no-op release.
+    """
+
+    def __init__(self, stats: dict[str, float] | None = None):
+        self._lock = threading.Lock()
+        self._free: dict[int, list[np.ndarray]] = {}
+        self._stats = stats if stats is not None else {}
+        self._owned_bytes = 0  # total capacity: pooled + outstanding
+
+    @staticmethod
+    def size_class(nbytes: int) -> int:
+        """Smallest power-of-two capacity >= ``nbytes`` (floored at
+        :data:`ARENA_MIN_CLASS`)."""
+        if nbytes < 0:
+            raise ValueError(f"negative buffer size {nbytes}")
+        cls = ARENA_MIN_CLASS
+        while cls < nbytes:
+            cls <<= 1
+        return cls
+
+    def _bump(self, key: str, amount: float = 1) -> None:
+        self._stats[key] = self._stats.get(key, 0) + amount
+
+    def checkout(self, nbytes: int, pooled: bool = True) -> ArenaLease:
+        """Lease a staging buffer of capacity >= ``nbytes``.
+
+        Never charges logical time.  ``pooled=False`` is the escape
+        hatch: a fresh, unpooled allocation whose release is a no-op.
+        """
+        cls = self.size_class(nbytes)
+        if not pooled:
+            self._bump("arena_bypass")
+            return ArenaLease(np.empty(cls, dtype=np.uint8), None)
+        with self._lock:
+            bucket = self._free.get(cls)
+            if bucket:
+                buf = bucket.pop()
+                self._bump("arena_hits")
+                self._bump("arena_bytes_reused", cls)
+                return ArenaLease(buf, self)
+            self._bump("arena_misses")
+            self._owned_bytes += cls
+            high = self._stats.get("arena_high_water_bytes", 0)
+            if self._owned_bytes > high:
+                self._stats["arena_high_water_bytes"] = self._owned_bytes
+        return ArenaLease(np.empty(cls, dtype=np.uint8), self)
+
+    def _give_back(self, buffer: np.ndarray) -> None:
+        with self._lock:
+            self._free.setdefault(len(buffer), []).append(buffer)
+
+    # -- introspection (tests / diagnostics) -------------------------------
+
+    @property
+    def pooled_bytes(self) -> int:
+        """Capacity currently sitting free in the pool."""
+        with self._lock:
+            return sum(cls * len(b) for cls, b in self._free.items())
+
+    @property
+    def owned_bytes(self) -> int:
+        """Total capacity this arena has allocated and still tracks."""
+        with self._lock:
+            return self._owned_bytes

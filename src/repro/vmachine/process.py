@@ -15,7 +15,7 @@ import threading
 from typing import Any
 
 from repro.vmachine.cost_model import CostModel
-from repro.vmachine.message import Mailbox
+from repro.vmachine.message import Mailbox, PackArena
 from repro.vmachine.timing import PhaseTimer
 
 __all__ = ["Process", "current_process", "default_recv_timeout_s"]
@@ -92,6 +92,9 @@ class Process:
         self.slowdown: float = 1.0
         #: installed FaultPlan (None = perfectly reliable transport)
         self.faults = None
+        #: pooled pack/unpack staging buffers (counters mirror into
+        #: ``self.stats``; see :class:`~repro.vmachine.message.PackArena`)
+        self.arena = PackArena(self.stats)
 
     # -- clock management --------------------------------------------------
 

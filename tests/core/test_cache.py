@@ -208,3 +208,128 @@ class TestBoundedLRU:
 
         res = run_spmd(4, spmd)
         assert len(set(res.values)) == 1  # every rank agrees
+
+
+class TestPlanCache:
+    """get_or_build_plan: fused plans keyed by their member schedule keys."""
+
+    def _nth_dst(self, n):
+        return mc_new_set_of_regions(IndexRegion(np.roll(np.arange(N), n)))
+
+    def _requests(self, comm, ns):
+        A = BlockPartiArray.zeros(comm, (6, 6))
+        src, _ = _sors()
+        reqs = []
+        for n in ns:
+            B = ChaosArray.zeros(comm, np.roll(PERM, n) % comm.size)
+            reqs.append(("blockparti", A, src, "chaos", B, self._nth_dst(n)))
+        return reqs
+
+    def test_plan_hit_reuses_compiled_plan(self):
+        def spmd(comm):
+            cache = ScheduleCache(comm)
+            reqs = self._requests(comm, [0, 1])
+            p1 = cache.get_or_build_plan(reqs)
+            p2 = cache.get_or_build_plan(reqs)
+            assert p2 is p1
+            return (cache.plan_hits, cache.plan_misses, cache.misses,
+                    cache.plan_count, p1.nschedules)
+
+        assert run_spmd(2, spmd).values[0] == (1, 1, 2, 1, 2)
+
+    def test_plan_warms_schedule_store(self):
+        def spmd(comm):
+            cache = ScheduleCache(comm)
+            reqs = self._requests(comm, [0, 1])
+            plan = cache.get_or_build_plan(reqs)
+            # Single-schedule requests now hit the store the plan warmed.
+            s0 = cache.get_or_build(*reqs[0])
+            assert plan.schedules[0] is s0
+            return cache.hits, cache.misses
+
+        assert run_spmd(2, spmd).values[0] == (1, 2)
+
+    def test_member_order_matters(self):
+        def spmd(comm):
+            cache = ScheduleCache(comm)
+            reqs = self._requests(comm, [0, 1])
+            cache.get_or_build_plan(reqs)
+            cache.get_or_build_plan(list(reversed(reqs)))
+            # Same schedules, different fusion order: two distinct plans,
+            # but the member schedules all come from the store.
+            return cache.plan_misses, cache.plan_count, cache.misses
+
+        assert run_spmd(2, spmd).values[0] == (2, 2, 2)
+
+    def test_schedule_eviction_invalidates_dependent_plans(self):
+        def spmd(comm):
+            cache = ScheduleCache(comm, maxsize=2)
+            reqs = self._requests(comm, [0, 1])
+            cache.get_or_build_plan(reqs)
+            assert cache.plan_count == 1
+            # Two fresh schedule requests evict both plan members.
+            for n in (2, 3):
+                cache.get_or_build(*self._requests(comm, [n])[0])
+            assert cache.plan_count == 0
+            return cache.plan_invalidations, cache.evictions
+
+        invalidations, evictions = run_spmd(2, spmd).values[0]
+        assert invalidations == 1  # the one dependent plan, dropped once
+        assert evictions == 2
+
+    def test_invalidated_plan_rebuilds_against_fresh_member(self):
+        def spmd(comm):
+            cache = ScheduleCache(comm, maxsize=2)
+            reqs = self._requests(comm, [0, 1])
+            p1 = cache.get_or_build_plan(reqs)
+            for n in (2, 3):
+                cache.get_or_build(*self._requests(comm, [n])[0])
+            p2 = cache.get_or_build_plan(reqs)
+            assert p2 is not p1
+            # The recompiled plan holds the *rebuilt* members, not stale ones.
+            assert p2.schedules[0] is cache.get_or_build(*reqs[0])
+            return cache.plan_misses
+
+        assert run_spmd(2, spmd).values[0] == 2
+
+    def test_plan_cache_deterministic_across_ranks(self):
+        def spmd(comm):
+            cache = ScheduleCache(comm, maxsize=3)
+            for ns in ([0, 1], [1, 2], [0, 1], [2, 3]):
+                cache.get_or_build_plan(self._requests(comm, ns))
+            return (cache.plan_hits, cache.plan_misses,
+                    cache.plan_invalidations, cache.hits, cache.misses)
+
+        res = run_spmd(4, spmd)
+        assert len(set(res.values)) == 1  # every rank agrees
+
+    def test_cached_plan_executes_correctly(self):
+        from repro.core import mc_copy_many
+
+        def spmd(comm):
+            A = BlockPartiArray.from_function(
+                comm, (6, 6), lambda i, j: i * 6.0 + j
+            )
+            src, _ = _sors()
+            B1 = ChaosArray.zeros(comm, PERM % comm.size)
+            B2 = ChaosArray.zeros(comm, np.roll(PERM, 1) % comm.size)
+            reqs = [
+                ("blockparti", A, src, "chaos", B1, self._nth_dst(0)),
+                ("blockparti", A, src, "chaos", B2, self._nth_dst(1)),
+            ]
+            cache = ScheduleCache(comm)
+            for _ in range(3):
+                plan = cache.get_or_build_plan(reqs)
+                mc_copy_many(comm, plan, [A, A], [B1, B2])
+            return B1.gather_global(), B2.gather_global(), cache.plan_hits
+
+        values = run_spmd(2, spmd).values
+        flat = np.arange(36, dtype=float)
+        g1, g2, _ = values[0]  # gathers land on rank 0
+        e1 = np.zeros(36)
+        e1[np.roll(np.arange(N), 0)] = flat
+        e2 = np.zeros(36)
+        e2[np.roll(np.arange(N), 1)] = flat
+        np.testing.assert_array_equal(g1, e1)
+        np.testing.assert_array_equal(g2, e2)
+        assert all(v[2] == 2 for v in values)  # plan hit on every rank

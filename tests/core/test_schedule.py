@@ -336,3 +336,82 @@ class TestRunCompressedSchedules:
         for (run_t, got_run), (dense_t, got_dense) in zip(run_res, dense_res):
             assert run_t == dense_t  # identical simulated physics, per rank
             np.testing.assert_array_equal(got_run, got_dense)
+
+
+class TestScheduleStats:
+    """CommSchedule.stats(): the per-peer summary the plan compiler,
+    plan:fuse trace events, and the plan-summary CLI all consume."""
+
+    def _sched(self, comm):
+        A = BlockPartiArray.from_function(
+            comm, (8, 8), lambda i, j: i * 8.0 + j
+        )
+        perm = np.random.default_rng(3).permutation(64)
+        B = ChaosArray.zeros(comm, perm % comm.size)
+        return mc_compute_schedule(
+            comm, "blockparti", A, section_sor((slice(0, 8), slice(0, 8)), (8, 8)),
+            "chaos", B, index_sor(perm),
+        ), A, B
+
+    def test_counts_match_halves(self):
+        def spmd(comm):
+            sched, _, _ = self._sched(comm)
+            st = sched.stats()
+            assert st.send_elements == {
+                d: len(v) for d, v in sched.sends.items() if len(v)
+            }
+            assert st.recv_elements == {
+                s: len(v) for s, v in sched.recvs.items() if len(v)
+            }
+            assert st.send_fanout == len(st.send_elements)
+            assert st.recv_fanout == len(st.recv_elements)
+            assert st.total_send_elements == sum(st.send_elements.values())
+            return None
+
+        run_spmd(4, spmd)
+
+    def test_bytes_scale_with_itemsize(self):
+        def spmd(comm):
+            sched, _, _ = self._sched(comm)
+            st8 = sched.stats()           # default doubles
+            st4 = sched.stats(itemsize=4)
+            assert st8.itemsize == 8 and st4.itemsize == 4
+            for d, n in st8.send_elements.items():
+                assert st8.send_bytes[d] == 8 * n
+                assert st4.send_bytes[d] == 4 * n
+            return None
+
+        run_spmd(4, spmd)
+
+    def test_empty_peers_omitted_and_runs_positive(self):
+        def spmd(comm):
+            sched, _, _ = self._sched(comm)
+            st = sched.stats()
+            assert all(n > 0 for n in st.send_elements.values())
+            assert all(n > 0 for n in st.recv_elements.values())
+            # Every nonempty half needs at least one run to encode.
+            assert all(r >= 1 for r in st.send_runs.values())
+            assert all(r >= 1 for r in st.recv_runs.values())
+            return None
+
+        run_spmd(4, spmd)
+
+    def test_stats_charges_no_logical_time(self):
+        def spmd(comm):
+            sched, _, _ = self._sched(comm)
+            before = comm.process.clock
+            for _ in range(10):
+                sched.stats()
+            return comm.process.clock - before
+
+        assert all(dt == 0.0 for dt in run_spmd(4, spmd).values)
+
+    def test_global_totals_balance(self):
+        """Summed across ranks, sent elements == received elements."""
+        def spmd(comm):
+            sched, _, _ = self._sched(comm)
+            st = sched.stats()
+            return st.total_send_elements, sum(st.recv_elements.values())
+
+        vals = run_spmd(4, spmd).values
+        assert sum(v[0] for v in vals) == sum(v[1] for v in vals) == 64

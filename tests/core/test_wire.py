@@ -1,6 +1,7 @@
 """Run-length wire-encoding tests."""
 
 import numpy as np
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -79,3 +80,110 @@ def test_property_runs_bounded_by_length(values):
 def test_property_progressions_are_one_run(start, step, n):
     arr = start + step * np.arange(n)
     assert count_runs(arr) == 1
+
+
+class TestSegmentLayout:
+    def _headers(self):
+        from repro.core.wire import SegmentHeader
+
+        return (
+            SegmentHeader(0, "<f8", 5),   # 40 B -> padded 48
+            SegmentHeader(1, "<f4", 3),   # 12 B -> padded 16
+            SegmentHeader(2, "<i8", 2),   # 16 B -> padded 16
+        )
+
+    def test_offsets_are_aligned(self):
+        from repro.core.wire import SEGMENT_ALIGN, segment_layout
+
+        offsets, total = segment_layout(self._headers())
+        assert offsets == (0, 48, 64)
+        assert total == 80
+        assert all(o % SEGMENT_ALIGN == 0 for o in offsets)
+
+    def test_header_sizes(self):
+        from repro.core.wire import SegmentHeader
+
+        h = SegmentHeader(3, "<f4", 7)
+        assert h.itemsize == 4
+        assert h.data_nbytes == 28
+
+    def test_empty_headers(self):
+        from repro.core.wire import segment_layout
+
+        assert segment_layout(()) == ((), 0)
+
+
+class TestFusedBuffer:
+    def _fused(self):
+        from repro.core.wire import FusedBuffer, SegmentHeader, segment_layout
+
+        headers = (SegmentHeader(0, "<f8", 4), SegmentHeader(1, "<f4", 6))
+        offsets, total = segment_layout(headers)
+        data = np.zeros(total, dtype=np.uint8)
+        fused = FusedBuffer(headers, data)
+        fused.segment(0)[:] = np.arange(4, dtype=np.float64)
+        fused.segment(1)[:] = np.arange(6, dtype=np.float32) * 0.5
+        return fused
+
+    def test_segment_views_roundtrip(self):
+        fused = self._fused()
+        np.testing.assert_array_equal(fused.segment(0), np.arange(4.0))
+        np.testing.assert_array_equal(
+            fused.segment(1), np.arange(6, dtype=np.float32) * 0.5
+        )
+        assert fused.segment(0).dtype == np.float64
+        assert fused.segment(1).dtype == np.float32
+
+    def test_segments_are_views_not_copies(self):
+        fused = self._fused()
+        fused.segment(0)[0] = 99.0
+        assert fused.segment(0)[0] == 99.0  # both reads hit shared bytes
+
+    def test_nbytes_charges_headers_and_padding(self):
+        from repro.core.wire import FUSED_HEADER_BYTES, SEGMENT_HEADER_BYTES
+
+        fused = self._fused()
+        # 32 B f8 payload -> 32 padded; 24 B f4 payload -> 32 padded.
+        assert fused.nbytes == FUSED_HEADER_BYTES + 2 * SEGMENT_HEADER_BYTES + 64
+        assert len(fused) == 10  # logical elements across segments
+
+    def test_short_data_rejected(self):
+        from repro.core.wire import FusedBuffer, SegmentHeader
+
+        with pytest.raises(ValueError):
+            FusedBuffer(
+                (SegmentHeader(0, "<f8", 4),), np.zeros(8, dtype=np.uint8)
+            )
+
+    def test_deepcopy_severs_lease(self):
+        import copy
+
+        from repro.vmachine.message import PackArena
+
+        arena = PackArena({})
+        from repro.core.wire import FusedBuffer, SegmentHeader, segment_layout
+
+        headers = (SegmentHeader(0, "<f8", 2),)
+        _, total = segment_layout(headers)
+        lease = arena.checkout(total)
+        fused = FusedBuffer(headers, lease.buffer, lease=lease)
+        clone = copy.deepcopy(fused)
+        clone.segment(0)[:] = 7.0
+        clone.release()  # releases nothing: the copy owns private bytes
+        assert arena.pooled_bytes == 0
+        fused.release()
+        assert arena.pooled_bytes > 0
+        assert not np.shares_memory(clone.data, fused.data)
+
+    def test_release_idempotent(self):
+        from repro.vmachine.message import PackArena
+        from repro.core.wire import FusedBuffer, SegmentHeader, segment_layout
+
+        arena = PackArena({})
+        headers = (SegmentHeader(0, "<f4", 2),)
+        _, total = segment_layout(headers)
+        lease = arena.checkout(total)
+        fused = FusedBuffer(headers, lease.buffer, lease=lease)
+        fused.release()
+        fused.release()
+        assert arena.pooled_bytes == 256  # pooled exactly once

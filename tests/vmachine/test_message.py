@@ -113,3 +113,76 @@ class TestMailbox:
         mb.deliver(msg(source=1, tag=1))
         assert mb.probe(1, 1)
         assert not mb.probe(1, 2)
+
+
+class TestPackArena:
+    def _arena(self):
+        from repro.vmachine.message import PackArena
+
+        stats = {}
+        return PackArena(stats), stats
+
+    def test_size_class_power_of_two(self):
+        from repro.vmachine.message import ARENA_MIN_CLASS, PackArena
+
+        assert PackArena.size_class(0) == ARENA_MIN_CLASS
+        assert PackArena.size_class(1) == ARENA_MIN_CLASS
+        assert PackArena.size_class(ARENA_MIN_CLASS) == ARENA_MIN_CLASS
+        assert PackArena.size_class(ARENA_MIN_CLASS + 1) == 2 * ARENA_MIN_CLASS
+        assert PackArena.size_class(1000) == 1024
+        with pytest.raises(ValueError):
+            PackArena.size_class(-1)
+
+    def test_miss_then_hit(self):
+        arena, stats = self._arena()
+        lease = arena.checkout(300)
+        assert len(lease.buffer) == 512
+        assert stats["arena_misses"] == 1
+        lease.release()
+        again = arena.checkout(400)  # same size class
+        assert again.buffer is lease.buffer
+        assert stats["arena_hits"] == 1
+        assert stats["arena_bytes_reused"] == 512
+
+    def test_release_is_idempotent(self):
+        arena, _ = self._arena()
+        lease = arena.checkout(100)
+        lease.release()
+        lease.release()  # no double-pooling
+        a = arena.checkout(100)
+        b = arena.checkout(100)
+        assert a.buffer is not b.buffer
+
+    def test_high_water_tracks_total_capacity(self):
+        arena, stats = self._arena()
+        l1 = arena.checkout(256)
+        l2 = arena.checkout(256)
+        assert stats["arena_high_water_bytes"] == 512
+        l1.release()
+        l2.release()
+        # Reuse does not grow the footprint ceiling.
+        arena.checkout(256)
+        assert stats["arena_high_water_bytes"] == 512
+        assert arena.owned_bytes == 512
+
+    def test_distinct_size_classes_do_not_mix(self):
+        arena, _ = self._arena()
+        small = arena.checkout(256)
+        small.release()
+        big = arena.checkout(2048)
+        assert len(big.buffer) == 2048
+        assert big.buffer is not small.buffer
+
+    def test_bypass_is_unpooled(self):
+        arena, stats = self._arena()
+        lease = arena.checkout(256, pooled=False)
+        lease.release()
+        assert stats["arena_bypass"] == 1
+        assert "arena_misses" not in stats
+        assert arena.pooled_bytes == 0  # release went nowhere
+
+    def test_checkout_release_charge_no_stats_time(self):
+        # The arena is pure bookkeeping: no clock key ever appears.
+        arena, stats = self._arena()
+        arena.checkout(512).release()
+        assert all(k.startswith("arena_") for k in stats)

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Guard the committed ``BENCH_*.json`` trajectories against regressions.
+
+Compares timing fields (``*_ms`` leaves under ``results``) between a
+baseline and a current benchmark JSON and exits nonzero when any grows
+by more than ``--threshold`` percent.  Non-timing scalar drift (message
+counts, flags) is reported but does not fail the check — the logical
+clock is deterministic, so timing fields should normally be *identical*
+run to run; the threshold exists so intentional model changes fail
+loudly instead of silently rewriting the baselines.
+
+Modes::
+
+    # explicit pair
+    python benchmarks/check_regression.py --baseline old.json --current new.json
+
+    # regenerated file(s) vs the committed copy at HEAD
+    python benchmarks/check_regression.py BENCH_overlap.json BENCH_fusion.json
+
+    # prove the detector works: inject a synthetic +10% regression
+    python benchmarks/check_regression.py --self-test BENCH_overlap.json
+
+Exit status: 0 clean, 1 regression found (or self-test failure),
+2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+# Runnable without PYTHONPATH=src, like the other benchmark drivers.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.observe.regression import (  # noqa: E402
+    compare_benchmarks,
+    iter_ms_fields,
+)
+
+
+def _load(path: str | Path) -> dict:
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def _load_committed(path: str) -> dict | None:
+    """The committed (HEAD) copy of ``path``, or None if unavailable."""
+    repo_root = Path(__file__).resolve().parent.parent
+    rel = Path(path).resolve().relative_to(repo_root)
+    try:
+        out = subprocess.run(
+            ["git", "show", f"HEAD:{rel.as_posix()}"],
+            cwd=repo_root,
+            capture_output=True,
+            check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return None
+    return json.loads(out)
+
+
+def _report(name: str, baseline: dict, current: dict, threshold: float) -> bool:
+    """Print the comparison; True when a regression was found."""
+    regressions, drifts = compare_benchmarks(
+        baseline, current, threshold_pct=threshold
+    )
+    nfields = sum(
+        1
+        for cfg in baseline.get("results", {}).values()
+        for _ in iter_ms_fields(cfg)
+    )
+    if not regressions and not drifts:
+        print(f"{name}: OK ({nfields} timing fields within {threshold:g}%)")
+        return False
+    for d in drifts:
+        print(f"{name}: drift  {d.config}.{d.field}: "
+              f"{d.baseline!r} -> {d.current!r}")
+    for r in regressions:
+        print(f"{name}: REGRESSION  {r}")
+    if not regressions:
+        print(f"{name}: OK with drift ({len(drifts)} non-timing change(s))")
+    return bool(regressions)
+
+
+def _self_test(path: str, threshold: float) -> int:
+    """Detector sanity: identical compare passes, +(threshold+5)% fails."""
+    baseline = _load(path)
+    ok, _ = compare_benchmarks(baseline, baseline, threshold_pct=threshold)
+    if ok:
+        print(f"self-test FAILED: identical compare flagged {len(ok)} "
+              "regression(s)")
+        return 1
+    inflated = copy.deepcopy(baseline)
+    factor = 1.0 + (threshold + 5.0) / 100.0
+    ninflated = 0
+    for cfg in inflated.get("results", {}).values():
+        for field, _ in iter_ms_fields(cfg):
+            node = cfg
+            *parents, leaf = field.split(".")
+            for p in parents:
+                node = node[p]
+            node[leaf] *= factor
+            ninflated += 1
+    if ninflated == 0:
+        print(f"self-test FAILED: no *_ms fields found in {path}")
+        return 1
+    found, _ = compare_benchmarks(baseline, inflated, threshold_pct=threshold)
+    if len(found) != ninflated:
+        print(f"self-test FAILED: inflated {ninflated} fields by "
+              f"{(factor - 1) * 100:.0f}% but detected {len(found)}")
+        return 1
+    print(f"self-test OK: {path} — identical compare clean, "
+          f"{ninflated}/{ninflated} injected +{(factor - 1) * 100:.0f}% "
+          "regressions detected")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("files", nargs="*",
+                        help="benchmark JSONs compared against HEAD")
+    parser.add_argument("--baseline", help="explicit baseline JSON")
+    parser.add_argument("--current", help="explicit current JSON")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="allowed %% growth of any *_ms field "
+                             "(default: %(default)s)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="inject a synthetic regression into each FILE "
+                             "and assert it is detected")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        if not args.files:
+            parser.error("--self-test needs at least one FILE")
+        return max(_self_test(f, args.threshold) for f in args.files)
+
+    if (args.baseline is None) != (args.current is None):
+        parser.error("--baseline and --current go together")
+
+    failed = False
+    if args.baseline is not None:
+        failed |= _report(
+            f"{args.baseline} -> {args.current}",
+            _load(args.baseline), _load(args.current), args.threshold,
+        )
+    elif not args.files:
+        parser.error("give FILE(s) to check against HEAD, or "
+                     "--baseline/--current")
+
+    for path in args.files:
+        committed = _load_committed(path)
+        if committed is None:
+            print(f"{path}: no committed baseline at HEAD; skipping",
+                  file=sys.stderr)
+            continue
+        failed |= _report(f"{path} (vs HEAD)", committed, _load(path),
+                          args.threshold)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@
     python -m repro coupled --procs 8 --remap mc-coop
     python -m repro matvec --client 1 --server 8 --vectors 4
     python -m repro plan-summary --procs 4 --arrays 3
+    python -m repro trace --procs 4 --out trace.json   # Perfetto/chrome://tracing
+    python -m repro profile --procs 4                  # cost-term attribution
 """
 
 from __future__ import annotations
@@ -209,6 +211,100 @@ def cmd_plan_summary(args) -> int:
     return 0
 
 
+def _run_observed(procs: int, size: int, policy: str = "ordered"):
+    """The demo's cross-library copy, run with observability enabled.
+
+    Shared driver for ``trace`` and ``profile``: a regular BlockParti
+    source copied onto a permuted Chaos destination (schedule build +
+    single-schedule move + a 2-array fused plan move), so the resulting
+    trace exercises every span kind — ``schedule:build``, ``pack``,
+    ``wire``, ``unpack``, ``copy:local``, ``plan:compile``,
+    ``plan:execute``.
+    """
+    import numpy as np
+
+    from repro.blockparti import BlockPartiArray
+    from repro.chaos import ChaosArray
+    from repro.core import (
+        ExecutorPolicy,
+        IndexRegion,
+        ScheduleMethod,
+        SectionRegion,
+        mc_compute_plan,
+        mc_compute_schedule,
+        mc_copy,
+        mc_copy_many,
+        mc_new_set_of_regions,
+    )
+    from repro.distrib.section import Section
+    from repro.vmachine import VirtualMachine
+
+    n = size
+    pol = ExecutorPolicy.coerce(policy)
+    rng = np.random.default_rng(0)
+    perms = [rng.permutation(n * n) for _ in range(2)]
+
+    def spmd(comm):
+        sor_src = mc_new_set_of_regions(SectionRegion(Section.full((n, n))))
+        arrays, schedules = [], []
+        for perm in perms:
+            A = BlockPartiArray.from_function(
+                comm, (n, n), lambda i, j: 1.0 * i * n + j
+            )
+            B = ChaosArray.zeros(comm, perm % comm.size)
+            arrays.append((A, B))
+            schedules.append(
+                mc_compute_schedule(
+                    comm, "blockparti", A, sor_src,
+                    "chaos", B, mc_new_set_of_regions(IndexRegion(perm)),
+                    ScheduleMethod.COOPERATION, policy=pol,
+                )
+            )
+        # One single-schedule move, then a fused 2-array plan move.
+        mc_copy(comm, schedules[0], arrays[0][0], arrays[0][1], policy=pol)
+        plan = mc_compute_plan(schedules)
+        mc_copy_many(
+            comm, plan,
+            [a for a, _ in arrays], [b for _, b in arrays],
+            policy=pol,
+        )
+        return None
+
+    return VirtualMachine(procs, observe=True).run(spmd)
+
+
+def cmd_trace(args) -> int:
+    """Run an observed workload and export a Chrome/Perfetto trace."""
+    from repro.observe import write_chrome_trace
+
+    result = _run_observed(args.procs, args.size, args.policy)
+    doc = write_chrome_trace(args.out, result)
+    nspans = sum(len(s) for s in result.spans)
+    nevents = sum(len(t) for t in result.traces)
+    print(
+        f"wrote {args.out}: {len(doc['traceEvents'])} trace events "
+        f"({nspans} spans, {nevents} raw events, {args.procs} rank tracks)"
+    )
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Run an observed workload and print per-rank cost-term attribution."""
+    from repro.observe import format_phase_table, format_profile
+
+    result = _run_observed(args.procs, args.size, args.policy)
+    print(format_profile(result.metrics, result.clocks))
+    print()
+    print(format_phase_table(result.metrics))
+    worst = max(
+        abs(m.attributed_seconds() - c)
+        for m, c in zip(result.metrics, result.clocks)
+    )
+    print(f"\nmax |attributed - clock| residual: {worst:.3e} s")
+    return 0 if worst < 1e-9 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -243,6 +339,25 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--size", type=int, default=16)
     p.add_argument("--arrays", type=int, default=3)
 
+    p = sub.add_parser(
+        "trace",
+        help="export a Chrome/Perfetto trace of an observed demo run",
+    )
+    p.add_argument("--procs", type=int, default=4)
+    p.add_argument("--size", type=int, default=16)
+    p.add_argument("--policy", choices=("ordered", "overlap"),
+                   default="ordered")
+    p.add_argument("--out", default="trace.json")
+
+    p = sub.add_parser(
+        "profile",
+        help="per-rank cost-term attribution of an observed demo run",
+    )
+    p.add_argument("--procs", type=int, default=4)
+    p.add_argument("--size", type=int, default=16)
+    p.add_argument("--policy", choices=("ordered", "overlap"),
+                   default="ordered")
+
     args = parser.parse_args(argv)
     return {
         "info": cmd_info,
@@ -250,6 +365,8 @@ def main(argv: list[str] | None = None) -> int:
         "coupled": cmd_coupled,
         "matvec": cmd_matvec,
         "plan-summary": cmd_plan_summary,
+        "trace": cmd_trace,
+        "profile": cmd_profile,
     }[args.command](args)
 
 

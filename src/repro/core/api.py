@@ -26,6 +26,7 @@ their modelled clocks are unchanged.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Sequence
 
 from repro.core.datamove import data_move, data_move_recv, data_move_send
@@ -75,6 +76,19 @@ def _as_universe(where: Universe | Communicator) -> Universe:
     if isinstance(where, Universe):
         return where
     return SingleProgramUniverse(where)
+
+
+def _maybe_span(name: str):
+    """A ``span(name)`` on the calling rank's process, or a no-op outside
+    a virtual-machine run (plan compilation is purely local and legal to
+    call from the host)."""
+    try:
+        from repro.vmachine.process import current_process
+
+        proc = current_process()
+    except (ImportError, RuntimeError):
+        return nullcontext()
+    return proc.span(name)
 
 
 def mc_compute_schedule(
@@ -136,8 +150,9 @@ def mc_copy(
             "mc_copy is the single-program move; coupled programs call "
             "mc_data_move_send / mc_data_move_recv on their own side"
         )
-    data_move(schedule, src_array, dst_array, universe, policy=policy,
-              timeout=timeout)
+    with universe.process.span("copy:execute"):
+        data_move(schedule, src_array, dst_array, universe, policy=policy,
+                  timeout=timeout)
 
 
 def mc_compute_plan(schedules: Sequence[CommSchedule]) -> MovePlan:
@@ -149,7 +164,8 @@ def mc_compute_plan(schedules: Sequence[CommSchedule]) -> MovePlan:
     The plan is reusable for any number of :func:`mc_copy_many` calls,
     exactly as a schedule is for :func:`mc_copy`.
     """
-    return compile_plan(schedules)
+    with _maybe_span("plan:compile"):
+        return compile_plan(schedules)
 
 
 def mc_copy_many(
@@ -179,10 +195,11 @@ def mc_copy_many(
     plan = (
         plan_or_schedules
         if isinstance(plan_or_schedules, MovePlan)
-        else compile_plan(plan_or_schedules)
+        else mc_compute_plan(plan_or_schedules)
     )
-    plan_move(plan, src_arrays, dst_arrays, universe, policy=policy,
-              timeout=timeout)
+    with universe.process.span("plan:execute"):
+        plan_move(plan, src_arrays, dst_arrays, universe, policy=policy,
+                  timeout=timeout)
     return plan
 
 

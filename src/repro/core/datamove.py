@@ -137,11 +137,13 @@ def data_move_send(
     order = ordered_or_rotated(
         list(schedule.sends), universe.my_src_rank, universe.dst_size, policy
     )
+    proc = universe.process
     for d in order:
         offsets = schedule.sends[d]
         if len(offsets) == 0 or universe.same_proc_dst(d):
             continue
-        buffer = adapter.pack(src_array, offsets)
+        with proc.span("pack"):
+            buffer = adapter.pack(src_array, offsets)
         if rel is not None:
             rel.send(universe.data_endpoint_to_dst(), d, buffer, TAG_DATA)
         else:
@@ -181,11 +183,19 @@ def data_move_recv(
     policy = ExecutorPolicy.coerce(policy)
     adapter = get_adapter(schedule.dst_lib)
     rel = universe.reliability
+    proc = universe.process
     active = [
         s
         for s in sorted(schedule.recvs)
         if len(schedule.recvs[s]) != 0 and not universe.same_proc_src(s)
     ]
+
+    def _unpack(s: int, buffer: Any) -> None:
+        offsets = schedule.recvs[s]
+        _check_piece(buffer, offsets, s)
+        with proc.span("unpack"):
+            adapter.unpack(dst_array, offsets, buffer)
+
     if rel is not None:
         endpoint = universe.data_endpoint_to_src()
         if policy is ExecutorPolicy.OVERLAP and len(active) > 1:
@@ -195,15 +205,11 @@ def data_move_recv(
                     endpoint, sorted(remaining), TAG_DATA, timeout=timeout
                 )
                 remaining.discard(s)
-                offsets = schedule.recvs[s]
-                _check_piece(buffer, offsets, s)
-                adapter.unpack(dst_array, offsets, buffer)
+                _unpack(s, buffer)
             return
         for s in active:
-            offsets = schedule.recvs[s]
             buffer = rel.recv(endpoint, s, TAG_DATA, timeout=timeout)
-            _check_piece(buffer, offsets, s)
-            adapter.unpack(dst_array, offsets, buffer)
+            _unpack(s, buffer)
         return
     if policy is ExecutorPolicy.OVERLAP and len(active) > 1:
         requests = [universe.irecv_from_src(s, TAG_DATA) for s in active]
@@ -211,16 +217,11 @@ def data_move_recv(
         while remaining:
             idx, buffer = waitany(requests, timeout=timeout)
             remaining -= 1
-            s = active[idx]
-            offsets = schedule.recvs[s]
-            _check_piece(buffer, offsets, s)
-            adapter.unpack(dst_array, offsets, buffer)
+            _unpack(active[idx], buffer)
         return
     for s in active:
-        offsets = schedule.recvs[s]
         buffer = _recv_bounded(universe, s, TAG_DATA, timeout)
-        _check_piece(buffer, offsets, s)
-        adapter.unpack(dst_array, offsets, buffer)
+        _unpack(s, buffer)
 
 
 def _check_piece(buffer: Any, offsets: Any, s: int) -> None:
@@ -254,10 +255,11 @@ def _local_copies(
         raise RuntimeError("inconsistent local halves of the schedule")
     # Both offset lists are linearization-ordered over the same element
     # subset, so a direct aligned copy is correct.
-    get_adapter(schedule.dst_lib).copy_local(
-        src_array, src_offsets, dst_array, dst_offsets,
-        src_adapter=get_adapter(schedule.src_lib),
-    )
+    with universe.process.span("copy:local"):
+        get_adapter(schedule.dst_lib).copy_local(
+            src_array, src_offsets, dst_array, dst_offsets,
+            src_adapter=get_adapter(schedule.src_lib),
+        )
 
 
 def data_move(

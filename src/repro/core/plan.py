@@ -219,11 +219,12 @@ def _pack_fused(
     _, total = segment_layout(headers)
     lease = proc.arena.checkout(total, pooled=not proc.copy_on_send)
     fused = FusedBuffer(headers, lease.buffer, lease=lease)
-    for i, seg in enumerate(program):
-        sched = plan.schedules[seg.schedule_id]
-        get_adapter(sched.src_lib).pack_into(
-            src_arrays[seg.schedule_id], seg.offsets, fused.segment(i)
-        )
+    with proc.span("pack"):
+        for i, seg in enumerate(program):
+            sched = plan.schedules[seg.schedule_id]
+            get_adapter(sched.src_lib).pack_into(
+                src_arrays[seg.schedule_id], seg.offsets, fused.segment(i)
+            )
     return fused
 
 
@@ -233,15 +234,17 @@ def _unpack_fused(
     dst_arrays: Sequence[Any],
     fused: FusedBuffer,
     s: int,
+    universe: Universe,
 ) -> None:
     """Scatter one fused message through its unpack program, then return
     the staging buffer to the sender's arena."""
     _check_fused(program, fused, s)
-    for i, seg in enumerate(program):
-        sched = plan.schedules[seg.schedule_id]
-        get_adapter(sched.dst_lib).unpack(
-            dst_arrays[seg.schedule_id], seg.offsets, fused.segment(i)
-        )
+    with universe.process.span("unpack"):
+        for i, seg in enumerate(program):
+            sched = plan.schedules[seg.schedule_id]
+            get_adapter(sched.dst_lib).unpack(
+                dst_arrays[seg.schedule_id], seg.offsets, fused.segment(i)
+            )
     fused.release()
 
 
@@ -280,20 +283,17 @@ def _note_fusion(universe: Universe, d: int, fused: FusedBuffer) -> None:
     event per fused message (mirroring the fault layer's ``fault:*``
     convention — kind-prefixed events riding the normal trace stream)."""
     proc = universe.process
-    stats = proc.stats
-    stats["plan_fused_messages"] = stats.get("plan_fused_messages", 0) + 1
-    stats["plan_fused_segments"] = (
-        stats.get("plan_fused_segments", 0) + fused.nsegments
-    )
-    stats["plan_alpha_saved"] = (
-        stats.get("plan_alpha_saved", 0) + fused.nsegments - 1
-    )
+    metrics = proc.metrics
+    metrics.incr("plan_fused_messages")
+    metrics.incr("plan_fused_segments", fused.nsegments)
+    metrics.incr("plan_alpha_saved", fused.nsegments - 1)
     if proc.trace is not None:
         from repro.vmachine.trace import TraceEvent
 
         proc.trace.append(
             TraceEvent(
-                "plan:fuse", proc.clock, proc.rank, d, TAG_DATA, fused.nbytes
+                "plan:fuse", proc.clock, proc.rank, d, TAG_DATA, fused.nbytes,
+                phase=proc.phase_path,
             )
         )
 
@@ -389,11 +389,12 @@ def plan_move_recv(
                 )
                 remaining.discard(s)
                 _unpack_fused(plan, plan.recv_programs[s], dst_arrays,
-                              fused, s)
+                              fused, s, universe)
             return
         for s in active:
             fused = rel.recv(endpoint, s, TAG_DATA, timeout=timeout)
-            _unpack_fused(plan, plan.recv_programs[s], dst_arrays, fused, s)
+            _unpack_fused(plan, plan.recv_programs[s], dst_arrays, fused, s,
+                          universe)
         return
     if policy is ExecutorPolicy.OVERLAP and len(active) > 1:
         requests = [universe.irecv_from_src(s, TAG_DATA) for s in active]
@@ -402,11 +403,13 @@ def plan_move_recv(
             idx, fused = waitany(requests, timeout=timeout)
             remaining -= 1
             s = active[idx]
-            _unpack_fused(plan, plan.recv_programs[s], dst_arrays, fused, s)
+            _unpack_fused(plan, plan.recv_programs[s], dst_arrays, fused, s,
+                          universe)
         return
     for s in active:
         fused = _recv_bounded(universe, s, TAG_DATA, timeout)
-        _unpack_fused(plan, plan.recv_programs[s], dst_arrays, fused, s)
+        _unpack_fused(plan, plan.recv_programs[s], dst_arrays, fused, s,
+                      universe)
 
 
 def plan_move(

@@ -330,54 +330,60 @@ def build_schedule(
     """
     policy = ExecutorPolicy.coerce(policy)
     proc = universe.process
-    proc.charge_startup()
-    src_adapter = get_adapter(src_lib)
-    dst_adapter = get_adapter(dst_lib)
+    with proc.span("schedule:build"):
+        proc.charge_startup()
+        src_adapter = get_adapter(src_lib)
+        dst_adapter = get_adapter(dst_lib)
 
-    # The handles' distributions must span exactly their universe group —
-    # a mismatch would produce schedule entries addressing ranks that do
-    # not exist (or silently starve some).
-    if src_handle is not None and universe.my_src_rank is not None:
-        nprocs = src_adapter.dist_of(src_adapter.resolve_handle(src_handle)).nprocs
-        if nprocs != universe.src_size:
-            raise ValueError(
-                f"source structure is distributed over {nprocs} processors "
-                f"but the source group has {universe.src_size}"
+        # The handles' distributions must span exactly their universe
+        # group — a mismatch would produce schedule entries addressing
+        # ranks that do not exist (or silently starve some).
+        if src_handle is not None and universe.my_src_rank is not None:
+            nprocs = src_adapter.dist_of(
+                src_adapter.resolve_handle(src_handle)
+            ).nprocs
+            if nprocs != universe.src_size:
+                raise ValueError(
+                    f"source structure is distributed over {nprocs} "
+                    f"processors but the source group has {universe.src_size}"
+                )
+        if dst_handle is not None and universe.my_dst_rank is not None:
+            nprocs = dst_adapter.dist_of(
+                dst_adapter.resolve_handle(dst_handle)
+            ).nprocs
+            if nprocs != universe.dst_size:
+                raise ValueError(
+                    f"destination structure is distributed over {nprocs} "
+                    f"processors but the destination group has "
+                    f"{universe.dst_size}"
+                )
+
+        n = _conformance_size(universe, src_handle, src_sor, dst_handle,
+                              dst_sor, src_adapter, dst_adapter)
+
+        if method is ScheduleMethod.COOPERATION:
+            sends, recvs = _build_cooperation(
+                universe, src_adapter, src_handle, src_sor,
+                dst_adapter, dst_handle, dst_sor, n, policy,
             )
-    if dst_handle is not None and universe.my_dst_rank is not None:
-        nprocs = dst_adapter.dist_of(dst_adapter.resolve_handle(dst_handle)).nprocs
-        if nprocs != universe.dst_size:
-            raise ValueError(
-                f"destination structure is distributed over {nprocs} "
-                f"processors but the destination group has {universe.dst_size}"
+        elif method is ScheduleMethod.DUPLICATION:
+            sends, recvs = _build_duplication(
+                universe, src_adapter, src_handle, src_sor,
+                dst_adapter, dst_handle, dst_sor, n,
             )
+        else:  # pragma: no cover - enum exhausted
+            raise ValueError(f"unknown method {method}")
 
-    n = _conformance_size(universe, src_handle, src_sor, dst_handle, dst_sor,
-                          src_adapter, dst_adapter)
-
-    if method is ScheduleMethod.COOPERATION:
-        sends, recvs = _build_cooperation(
-            universe, src_adapter, src_handle, src_sor,
-            dst_adapter, dst_handle, dst_sor, n, policy,
+        return CommSchedule(
+            src_lib=src_lib,
+            dst_lib=dst_lib,
+            n_elements=n,
+            src_size=universe.src_size,
+            dst_size=universe.dst_size,
+            method=method,
+            sends=sends,
+            recvs=recvs,
         )
-    elif method is ScheduleMethod.DUPLICATION:
-        sends, recvs = _build_duplication(
-            universe, src_adapter, src_handle, src_sor,
-            dst_adapter, dst_handle, dst_sor, n,
-        )
-    else:  # pragma: no cover - enum exhausted
-        raise ValueError(f"unknown method {method}")
-
-    return CommSchedule(
-        src_lib=src_lib,
-        dst_lib=dst_lib,
-        n_elements=n,
-        src_size=universe.src_size,
-        dst_size=universe.dst_size,
-        method=method,
-        sends=sends,
-        recvs=recvs,
-    )
 
 
 def _conformance_size(

@@ -1,0 +1,200 @@
+"""Chrome/Perfetto ``trace.json`` export.
+
+Turns one run's observability record — per-rank :class:`~repro.vmachine.
+trace.TraceEvent` streams plus per-rank :class:`~repro.observe.spans.
+SpanRecord` logs — into the Chrome trace-event JSON format that
+https://ui.perfetto.dev (and ``chrome://tracing``) loads directly:
+
+- one *track* per rank (``pid = rank``), named in a ``"M"`` metadata
+  event;
+- every closed span becomes a ``"X"`` *complete* duration event
+  (``ts``/``dur`` in microseconds of logical time);
+- every message becomes a *flow arrow*: a ``"s"`` (flow start) event at
+  the sender's ``send`` trace event and a ``"f"`` (flow finish) at the
+  receiver's matching ``recv``.  Endpoints are matched per
+  ``(src, dst, wire-tag)`` channel in FIFO order — exactly the
+  transport's delivery order guarantee — so arrows stay correct under
+  wildcard receives and arrival-order (OVERLAP) completion.  Perfetto
+  binds each flow terminator to the enclosing slice on its track, which
+  is the ``wire`` span the communicator opens around every endpoint;
+- non-message events (``fault:*``, ``plan:fuse``) become ``"i"``
+  *instant* events so injected faults and fused sends are visible inline
+  on the rank that observed them.
+
+Timestamps are *logical* seconds scaled to microseconds; the exporter
+never touches the machine, so exporting cannot perturb a run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any
+
+__all__ = ["chrome_trace", "export_chrome_trace", "write_chrome_trace"]
+
+#: logical seconds -> trace microseconds
+_US = 1e6
+
+
+def _track_metadata(nranks: int) -> list[dict]:
+    events = []
+    for r in range(nranks):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": r,
+                "args": {"name": f"rank {r}"},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": r,
+                "tid": 0,
+                "args": {"name": f"vproc-{r}"},
+            }
+        )
+    return events
+
+
+def _span_events(spans: list[list[Any]]) -> list[dict]:
+    events = []
+    for per_rank in spans:
+        for s in per_rank:
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": s.start * _US,
+                    "dur": (s.end - s.start) * _US,
+                    "pid": s.rank,
+                    "tid": 0,
+                    "args": {"path": s.path, "depth": s.depth},
+                }
+            )
+    return events
+
+
+def _message_events(traces: list[list[Any]]) -> list[dict]:
+    """Flow arrows for matched send/recv pairs + instants for the rest.
+
+    Matching walks each channel ``(src, dst, tag)`` in trace order on
+    both endpoints; pairwise FIFO delivery makes the k-th send on a
+    channel the k-th receive.  Unmatched endpoints (dropped messages,
+    traces cut short) degrade to instants instead of dangling arrows.
+    """
+    events: list[dict] = []
+    # Pass 1: enumerate sends per channel in send order, assigning ids.
+    flow_ids: dict[tuple[int, int, int], deque[int]] = {}
+    next_id = 1
+    sends: list[tuple[Any, int]] = []  # (event, flow id)
+    for per_rank in traces:
+        for e in per_rank:
+            if e.kind == "send":
+                fid = next_id
+                next_id += 1
+                flow_ids.setdefault((e.rank, e.peer, e.tag), deque()).append(fid)
+                sends.append((e, fid))
+    for e, fid in sends:
+        args = {"tag": e.tag, "nbytes": e.nbytes}
+        phase = getattr(e, "phase", "")
+        if phase:
+            args["phase"] = phase
+        events.append(
+            {
+                "name": f"msg to {e.peer}",
+                "cat": "msg",
+                "ph": "s",
+                "id": fid,
+                "ts": e.time * _US,
+                "pid": e.rank,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    # Pass 2: receives consume their channel's ids in receive order.
+    for per_rank in traces:
+        for e in per_rank:
+            if e.kind == "send":
+                continue
+            args = {"tag": e.tag, "nbytes": e.nbytes}
+            phase = getattr(e, "phase", "")
+            if phase:
+                args["phase"] = phase
+            if e.kind == "recv":
+                if e.wait > 0:
+                    args["wait_us"] = e.wait * _US
+                queue = flow_ids.get((e.peer, e.rank, e.tag))
+                if queue:
+                    events.append(
+                        {
+                            "name": f"msg from {e.peer}",
+                            "cat": "msg",
+                            "ph": "f",
+                            "bp": "e",
+                            "id": queue.popleft(),
+                            "ts": e.time * _US,
+                            "pid": e.rank,
+                            "tid": 0,
+                            "args": args,
+                        }
+                    )
+                    continue
+            # Non-message kinds (fault:*, plan:fuse) and unmatched recvs.
+            args["peer"] = e.peer
+            events.append(
+                {
+                    "name": e.kind,
+                    "cat": "event" if e.kind != "recv" else "msg",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": e.time * _US,
+                    "pid": e.rank,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+    return events
+
+
+def chrome_trace(
+    traces: list[list[Any]],
+    spans: list[list[Any]] | None = None,
+) -> dict:
+    """Build the Chrome trace-event document as a Python dict.
+
+    ``traces``: per-rank :class:`~repro.vmachine.trace.TraceEvent` lists;
+    ``spans``: per-rank :class:`~repro.observe.spans.SpanRecord` lists
+    (optional — a trace-only run still exports its message arrows).
+    """
+    nranks = max(len(traces), len(spans or ()))
+    events = _track_metadata(nranks)
+    if spans:
+        events.extend(_span_events(spans))
+    events.extend(_message_events(traces))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.observe.perfetto (logical time)"},
+    }
+
+
+def export_chrome_trace(result: Any) -> dict:
+    """:func:`chrome_trace` for an :class:`~repro.vmachine.machine.
+    SPMDResult` (or anything with ``.traces`` and ``.spans``)."""
+    return chrome_trace(result.traces, getattr(result, "spans", None))
+
+
+def write_chrome_trace(path: str, result: Any) -> dict:
+    """Export ``result`` to ``path`` as ``trace.json``.
+
+    Returns the document that was serialized (handy for summaries).
+    """
+    doc = export_chrome_trace(result)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    return doc

@@ -32,7 +32,14 @@ from repro.vmachine.comm import Communicator, InterComm, Request, waitall, waita
 from repro.vmachine.machine import VirtualMachine, RankError, SPMDError
 from repro.vmachine.program import ProgramSpec, run_programs, CoupledResult
 from repro.vmachine.timing import PhaseTimer, TimingReport, merge_timings
-from repro.vmachine.trace import TraceEvent, format_timeline, message_matrix, rank_activity
+from repro.vmachine.trace import (
+    MESSAGE_KINDS,
+    TraceEvent,
+    format_tag,
+    format_timeline,
+    message_matrix,
+    rank_activity,
+)
 from repro.vmachine.faults import (
     CrashEvent,
     DeliveryReceipt,
@@ -73,6 +80,8 @@ __all__ = [
     "TimingReport",
     "merge_timings",
     "TraceEvent",
+    "MESSAGE_KINDS",
+    "format_tag",
     "message_matrix",
     "rank_activity",
     "format_timeline",

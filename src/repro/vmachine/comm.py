@@ -62,19 +62,27 @@ def _cantor_pair(a: int, b: int) -> int:
 
 
 def _account_recv(proc, msg: Message, wire_tag: int) -> None:
-    """Clock/stats/trace bookkeeping for one completed receive."""
-    wait = max(0.0, msg.arrival - proc.clock)
-    proc.advance_to(msg.arrival)
-    proc.charge(proc.cost.recv_overhead(msg.nbytes))
-    proc.stats["messages_received"] += 1
-    proc.stats["bytes_received"] += msg.nbytes
-    if proc.trace is not None:
-        from repro.vmachine.trace import TraceEvent
+    """Clock/stats/trace bookkeeping for one completed receive.
 
-        proc.trace.append(
-            TraceEvent("recv", proc.clock, proc.rank, msg.source,
-                       wire_tag, msg.nbytes, wait)
-        )
+    Runs inside a ``wire`` span: the blocked wait (``alpha``) and the
+    drain overhead (``occupancy``) are attributed to the enclosing phase,
+    and the ``recv`` trace event carries the span path.
+    """
+    with proc.span("wire"):
+        wait = max(0.0, msg.arrival - proc.clock)
+        proc.advance_to(msg.arrival)
+        proc.charge(proc.cost.recv_overhead(msg.nbytes), term="occupancy")
+        metrics = proc.metrics
+        metrics.incr("messages_received")
+        metrics.incr("bytes_received", msg.nbytes)
+        if proc.trace is not None:
+            from repro.vmachine.trace import TraceEvent
+
+            proc.trace.append(
+                TraceEvent("recv", proc.clock, proc.rank, msg.source,
+                           wire_tag, msg.nbytes, wait,
+                           phase=proc.phase_path)
+            )
 
 
 class _Endpoint:
@@ -131,33 +139,36 @@ class _Endpoint:
             # Debug mode: snapshot the payload so later sender-side
             # mutation cannot reach the receiver (zero-copy hazard guard).
             payload = _copy.deepcopy(payload)
-        nbytes = payload_nbytes(payload)
-        # Sender pays injection (occupancy); the payload becomes available
-        # one wire latency after injection completes.
-        proc.charge(proc.cost.send_occupancy(nbytes, self._contention))
-        arrival = proc.clock + proc.cost.post_injection_latency()
-        proc.stats["messages_sent"] += 1
-        proc.stats["bytes_sent"] += nbytes
-        if proc.trace is not None:
-            from repro.vmachine.trace import TraceEvent
+        with proc.span("wire"):
+            nbytes = payload_nbytes(payload)
+            # Sender pays injection (occupancy + wire serialization); the
+            # payload becomes available one wire latency after injection
+            # completes.
+            proc.charge_send_injection(nbytes, self._contention)
+            arrival = proc.clock + proc.cost.post_injection_latency()
+            metrics = proc.metrics
+            metrics.incr("messages_sent")
+            metrics.incr("bytes_sent", nbytes)
+            if proc.trace is not None:
+                from repro.vmachine.trace import TraceEvent
 
-            proc.trace.append(
-                TraceEvent("send", proc.clock, proc.rank, dest_global,
-                           self._context + tag if tag != ANY_TAG else tag,
-                           nbytes)
+                proc.trace.append(
+                    TraceEvent("send", proc.clock, proc.rank, dest_global,
+                               self._context + tag if tag != ANY_TAG else tag,
+                               nbytes, phase=proc.phase_path)
+                )
+            message = Message(
+                source=proc.rank,
+                dest=dest_global,
+                tag=self._context + tag if tag != ANY_TAG else tag,
+                payload=payload,
+                arrival=arrival,
+                nbytes=nbytes,
             )
-        message = Message(
-            source=proc.rank,
-            dest=dest_global,
-            tag=self._context + tag if tag != ANY_TAG else tag,
-            payload=payload,
-            arrival=arrival,
-            nbytes=nbytes,
-        )
-        if plan is not None:
-            return plan.apply(proc, mailbox, message)
-        mailbox.deliver(message)
-        return OK_RECEIPT
+            if plan is not None:
+                return plan.apply(proc, mailbox, message)
+            mailbox.deliver(message)
+            return OK_RECEIPT
 
     def _flush_held(self, dest_global: int) -> int:
         """Deliver fault-plan-held (reordered) messages toward a peer."""

@@ -618,14 +618,26 @@ class FaultPlan:
 
     @staticmethod
     def _note(proc: "Process", kind: str, message: "Message") -> None:
-        stat = "faults_" + kind.split(":", 1)[1]
-        proc.stats[stat] = proc.stats.get(stat, 0) + 1
+        proc.metrics.incr("faults_" + kind.split(":", 1)[1])
         if proc.trace is not None:
             from repro.vmachine.trace import TraceEvent
 
+            # ``peer`` is the *other* endpoint relative to the observing
+            # rank: a sender-side fault names the destination, a
+            # receiver-side one (dup suppression, reorder release) names
+            # the source.  Recording ``message.dest`` unconditionally
+            # mislabelled receiver-side events as self-directed.
+            peer = (
+                message.dest if proc.rank == message.source
+                else message.source
+            )
+            path = proc.phase_path
             proc.trace.append(
                 TraceEvent(
-                    kind, proc.clock, proc.rank, message.dest,
+                    kind, proc.clock, proc.rank, peer,
                     message.tag, message.nbytes,
+                    # span context plus the fault kind, so a timeline or
+                    # Perfetto export shows *where* the fault struck
+                    phase=f"{path}/{kind}" if path else kind,
                 )
             )

@@ -81,6 +81,11 @@ class SPMDResult:
     stats: list[dict[str, float]]
     #: per-rank message traces (populated when the run traced messages)
     traces: list[list] = field(default_factory=list)
+    #: per-rank :class:`~repro.observe.metrics.MetricsSnapshot` (counters
+    #: always; (phase, term) attribution when the run observed)
+    metrics: list = field(default_factory=list)
+    #: per-rank closed-span logs (populated when the run observed)
+    spans: list[list] = field(default_factory=list)
 
     @property
     def elapsed_ms(self) -> float:
@@ -120,6 +125,13 @@ class VirtualMachine:
         slowdown/crash events apply.  ``None`` (default) is the perfectly
         reliable historical transport — logical clocks are byte-identical
         with and without this parameter at its default.
+    observe:
+        Full observability: implies ``trace=True`` and additionally logs
+        phase spans and attributes every clock advance to its cost-model
+        term (:class:`~repro.observe.metrics.MetricsRegistry`).  Defaults
+        to the ``REPRO_OBSERVE`` environment variable.  Zero-cost to the
+        logical clocks: every published table is byte-identical with
+        observability on or off (guarded in CI).
     """
 
     def __init__(
@@ -131,6 +143,7 @@ class VirtualMachine:
         recv_timeout_s: float | None = None,
         copy_on_send: bool | None = None,
         faults: FaultPlan | None = None,
+        observe: bool | None = None,
     ):
         if nprocs < 1:
             raise ValueError("need at least one virtual processor")
@@ -146,6 +159,9 @@ class VirtualMachine:
             else copy_on_send
         )
         self.faults = faults
+        self.observe = (
+            _env_truthy("REPRO_OBSERVE") if observe is None else observe
+        )
 
     def _configure(self, proc: Process) -> None:
         """Apply machine-level transport settings to one process."""
@@ -155,6 +171,8 @@ class VirtualMachine:
         if self.faults is not None:
             proc.faults = self.faults
             proc.slowdown = self.faults.slowdown_for(proc.rank)
+        if self.observe:
+            proc.enable_observability()
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> SPMDResult:
         """Run ``fn(comm, *args, **kwargs)`` on every rank and collect results.
@@ -170,7 +188,7 @@ class VirtualMachine:
             router[p.rank] = p.mailbox
             detector.register(p.mailbox)
             self._configure(p)
-            if self.trace:
+            if self.trace or self.observe:
                 p.trace = []
 
         members = list(range(self.nprocs))
@@ -244,4 +262,6 @@ class VirtualMachine:
             timings=[p.timer.report for p in processes],
             stats=[p.stats for p in processes],
             traces=[p.trace if p.trace is not None else [] for p in processes],
+            metrics=[p.metrics.snapshot() for p in processes],
+            spans=[p.spans if p.spans is not None else [] for p in processes],
         )

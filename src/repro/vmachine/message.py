@@ -426,10 +426,18 @@ class PackArena:
     allocation with a no-op release.
     """
 
-    def __init__(self, stats: dict[str, float] | None = None):
+    def __init__(self, stats: Any = None):
         self._lock = threading.Lock()
         self._free: dict[int, list[np.ndarray]] = {}
-        self._stats = stats if stats is not None else {}
+        # Accepts a plain dict (historical/tests) or a
+        # :class:`~repro.observe.metrics.MetricsRegistry` (the process
+        # passes its registry; the arena writes the registry's counter
+        # storage directly so `proc.stats` and `proc.metrics` agree).
+        counters = getattr(stats, "counters", None)
+        if counters is not None:
+            self._stats = counters
+        else:
+            self._stats = stats if stats is not None else {}
         self._owned_bytes = 0  # total capacity: pooled + outstanding
 
     @staticmethod

@@ -14,6 +14,8 @@ import os
 import threading
 from typing import Any
 
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.spans import span_on
 from repro.vmachine.cost_model import CostModel
 from repro.vmachine.message import Mailbox, PackArena
 from repro.vmachine.timing import PhaseTimer
@@ -71,17 +73,17 @@ class Process:
         self.clock = 0.0
         self.mailbox = Mailbox(rank)
         self.timer = PhaseTimer(lambda: self.clock)
-        #: counters useful for invariant checks in tests/benchmarks
-        self.stats: dict[str, float] = {
-            "messages_sent": 0,
-            "messages_received": 0,
-            "bytes_sent": 0,
-            "bytes_received": 0,
-        }
+        #: per-rank observability state: named counters (always on) plus
+        #: opt-in cost-term attribution of every clock advance
+        self.metrics = MetricsRegistry()
         #: free-form per-rank scratch for application code
         self.env: dict[str, Any] = {}
         #: message trace (list of TraceEvent) when tracing is enabled
         self.trace: list | None = None
+        #: open-span name stack (always maintained; labels events/terms)
+        self._span_stack: list[str] = []
+        #: closed-span log (list of SpanRecord) when observing is enabled
+        self.spans: list | None = None
         #: per-receive wall-clock timeout (configurable per VirtualMachine
         #: or via the REPRO_RECV_TIMEOUT_S environment variable)
         self.recv_timeout_s: float = default_recv_timeout_s()
@@ -93,54 +95,136 @@ class Process:
         #: installed FaultPlan (None = perfectly reliable transport)
         self.faults = None
         #: pooled pack/unpack staging buffers (counters mirror into
-        #: ``self.stats``; see :class:`~repro.vmachine.message.PackArena`)
-        self.arena = PackArena(self.stats)
+        #: ``self.metrics``; see :class:`~repro.vmachine.message.PackArena`)
+        self.arena = PackArena(self.metrics)
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def stats(self) -> dict[str, float]:
+        """Counter view (name → number), kept for the historical dict API.
+
+        Backed by :attr:`metrics` — ``proc.stats["messages_sent"] += 1``
+        and ``proc.metrics.incr("messages_sent")`` hit the same storage.
+        """
+        return self.metrics.counters
+
+    def span(self, name: str):
+        """Open a zero-clock-charge phase span (context manager).
+
+        Everything executed inside carries ``name`` as its phase: trace
+        events record it, cost-term attribution buckets by it, and (when
+        observing) a :class:`~repro.observe.spans.SpanRecord` is logged
+        at exit for the Perfetto exporter.  Never charges the clock.
+        """
+        return span_on(self, name)
+
+    @property
+    def phase(self) -> str:
+        """Innermost open span name ("" outside any span)."""
+        stack = self._span_stack
+        return stack[-1] if stack else ""
+
+    @property
+    def phase_path(self) -> str:
+        """Full open-span path, e.g. ``"copy:execute/wire"``."""
+        return "/".join(self._span_stack)
+
+    def enable_observability(self) -> None:
+        """Turn on span logging and cost-term attribution (idempotent).
+
+        Pure bookkeeping — the logical clock trajectory is unchanged (the
+        tables-byte-identity CI guard holds this to the last bit).
+        """
+        if self.spans is None:
+            self.spans = []
+        self.metrics.attributing = True
 
     # -- clock management --------------------------------------------------
 
-    def charge(self, seconds: float) -> None:
+    def charge(self, seconds: float, term: str = "other") -> None:
         """Advance the logical clock by a cost-model duration.
 
         A fault-plan ``slowdown`` factor scales every charge: a straggling
         rank's compute *and* messaging overheads take proportionally
         longer, which is exactly how a slow node manifests to its peers.
+
+        ``term`` names the analytical cost-model term this charge belongs
+        to (see :data:`~repro.observe.metrics.COST_TERMS`); when the rank
+        is attributing, the *exact* clock delta is recorded under
+        ``(current phase, term)`` so the metrics sum reproduces the clock.
         """
         if seconds < 0:
             raise ValueError(f"negative charge {seconds}")
+        metrics = self.metrics
+        if not metrics.attributing:
+            self.clock += seconds * self.slowdown
+            return
+        before = self.clock
         self.clock += seconds * self.slowdown
+        metrics.add_term(self.phase, term, self.clock - before)
 
     def advance_to(self, t: float) -> None:
         """Move the clock forward to absolute logical time ``t`` (no-op if
         already past it) — used when a receive waits for a message that has
-        not yet 'arrived' in logical time."""
+        not yet 'arrived' in logical time.  The gap is the receiver-side
+        latency the model calls ``alpha``."""
         if t > self.clock:
+            metrics = self.metrics
+            if metrics.attributing:
+                metrics.add_term(self.phase, "alpha", t - self.clock)
             self.clock = t
+
+    def charge_send_injection(self, nbytes: int, contention: float) -> None:
+        """Charge one message's sender-side injection occupancy.
+
+        Exactly ``charge(cost.send_occupancy(nbytes, contention))`` on
+        the clock — the single-charge expression is preserved so clocks
+        stay byte-identical — but the attributed delta is split into its
+        ``beta`` (wire serialization, ``nbytes / bandwidth``) and
+        ``occupancy`` (fixed ``o_send``) components.
+        """
+        seconds = self.cost.send_occupancy(nbytes, contention)
+        metrics = self.metrics
+        if not metrics.attributing:
+            self.clock += seconds * self.slowdown
+            return
+        before = self.clock
+        self.clock += seconds * self.slowdown
+        delta = self.clock - before
+        beta = min(
+            delta,
+            (contention * nbytes / self.cost.profile.bandwidth) * self.slowdown,
+        )
+        phase = self.phase
+        metrics.add_term(phase, "beta", beta)
+        metrics.add_term(phase, "occupancy", delta - beta)
 
     # -- convenience charge helpers ---------------------------------------
 
     def charge_flops(self, n: float) -> None:
-        self.charge(self.cost.flops(n))
+        self.charge(self.cost.flops(n), term="per_element")
 
     def charge_mem(self, nbytes: float) -> None:
-        self.charge(self.cost.mem(nbytes))
+        self.charge(self.cost.mem(nbytes), term="per_element")
 
     def charge_deref_irregular(self, nelems: float) -> None:
-        self.charge(self.cost.deref_irregular(nelems))
+        self.charge(self.cost.deref_irregular(nelems), term="per_element")
 
     def charge_deref_regular(self, nelems: float) -> None:
-        self.charge(self.cost.deref_regular(nelems))
+        self.charge(self.cost.deref_regular(nelems), term="per_element")
 
     def charge_hash(self, nrefs: float) -> None:
-        self.charge(self.cost.hash_refs(nrefs))
+        self.charge(self.cost.hash_refs(nrefs), term="per_element")
 
     def charge_pack(self, nelems: float) -> None:
-        self.charge(self.cost.pack(nelems))
+        self.charge(self.cost.pack(nelems), term="per_element")
 
     def charge_locate(self, nruns: float, nelems: float) -> None:
-        self.charge(self.cost.locate(nruns, nelems))
+        self.charge(self.cost.locate(nruns, nelems), term="per_element")
 
     def charge_startup(self) -> None:
-        self.charge(self.cost.startup())
+        self.charge(self.cost.startup(), term="occupancy")
 
     # -- thread binding ----------------------------------------------------
 

@@ -110,6 +110,7 @@ def run_programs(
     recv_timeout_s: float | None = None,
     copy_on_send: bool | None = None,
     faults: FaultPlan | None = None,
+    observe: bool | None = None,
 ) -> CoupledResult:
     """Run several programs concurrently on disjoint processor sets.
 
@@ -117,11 +118,11 @@ def run_programs(
     network uses the same cost profile as the intra-program network (on the
     SP2 both are the switch; on the Alpha farm both are the ATM fabric).
 
-    ``recv_timeout_s``, ``copy_on_send`` and ``faults`` mirror the
-    :class:`~repro.vmachine.machine.VirtualMachine` parameters; a
-    :class:`~repro.vmachine.faults.FaultPlan` crash event may name a whole
-    program (``rank="program:<name>"``) and is expanded to that program's
-    global ranks here.
+    ``recv_timeout_s``, ``copy_on_send``, ``faults`` and ``observe``
+    mirror the :class:`~repro.vmachine.machine.VirtualMachine`
+    parameters; a :class:`~repro.vmachine.faults.FaultPlan` crash event
+    may name a whole program (``rank="program:<name>"``) and is expanded
+    to that program's global ranks here.
     """
     if not specs:
         raise ValueError("need at least one program")
@@ -138,13 +139,18 @@ def run_programs(
         _env_truthy("REPRO_COPY_ON_SEND") if copy_on_send is None
         else copy_on_send
     )
+    observe_flag = (
+        _env_truthy("REPRO_OBSERVE") if observe is None else observe
+    )
     for p in processes:
         detector.register(p.mailbox)
         if recv_timeout_s is not None:
             p.recv_timeout_s = recv_timeout_s
         p.copy_on_send = copy_flag
-        if trace:
+        if trace or observe_flag:
             p.trace = []
+        if observe_flag:
+            p.enable_observability()
 
     # Contiguous global-rank blocks per program.
     blocks: dict[str, list[int]] = {}
@@ -247,6 +253,11 @@ def run_programs(
             stats=[processes[g].stats for g in granks],
             traces=[
                 processes[g].trace if processes[g].trace is not None else []
+                for g in granks
+            ],
+            metrics=[processes[g].metrics.snapshot() for g in granks],
+            spans=[
+                processes[g].spans if processes[g].spans is not None else []
                 for g in granks
             ],
         )

@@ -165,7 +165,7 @@ class Reliability:
 
     @staticmethod
     def _bump(proc, key: str, amount: float = 1) -> None:
-        proc.stats[key] = proc.stats.get(key, 0) + amount
+        proc.metrics.incr(key, amount)
 
     # -- sender side -------------------------------------------------------
 
@@ -197,7 +197,7 @@ class Reliability:
             # The sender's retransmission timer: charged logical wait,
             # exponential backoff — then the retransmit itself goes out as
             # an ordinary (charged, traced) message.
-            proc.charge(cfg.base_rto_s * cfg.backoff ** attempt)
+            proc.charge(cfg.base_rto_s * cfg.backoff ** attempt, term="rto")
             self._bump(proc, "rel_rto_wait_s", cfg.base_rto_s * cfg.backoff ** attempt)
             receipt = endpoint.send(peer, envelope, REL_DATA | tag)
             self._bump(proc, "rel_retransmits")
@@ -246,7 +246,7 @@ class Reliability:
                     pending=proc.mailbox.pending_summary(),
                     last_ack=ch.describe(),
                 )
-            proc.charge(cfg.base_rto_s * cfg.backoff ** attempt)
+            proc.charge(cfg.base_rto_s * cfg.backoff ** attempt, term="rto")
             self._bump(proc, "rel_rto_wait_s", cfg.base_rto_s * cfg.backoff ** attempt)
             receipt = endpoint.send(peer, ack_value, REL_ACK | tag)
             self._bump(proc, "rel_retransmits")

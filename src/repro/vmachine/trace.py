@@ -3,14 +3,28 @@
 Pass ``trace=True`` to :class:`~repro.vmachine.machine.VirtualMachine` (or
 ``repro.vmachine.program.run_programs``) and every rank records a
 :class:`TraceEvent` per message send/receive, with logical timestamps and
-receive wait times.  The helpers here turn those event streams into the
-communication summaries performance work actually uses:
+receive wait times.  Fault injection (:mod:`repro.vmachine.faults`) and
+the fused-plan executor (:mod:`repro.core.plan`) ride the same stream
+with kind-prefixed events (``fault:drop``, ``fault:dup``, ...,
+``plan:fuse``) that are *not* message endpoints — the analysis helpers
+here treat only ``"send"``/``"recv"`` as messages and render everything
+else on its own line form.
+
+The helpers turn event streams into the communication summaries
+performance work actually uses:
 
 - :func:`message_matrix` — bytes (or message counts) per (source,
   destination) rank pair;
-- :func:`rank_activity` — per-rank busy vs. blocked-receiving time;
+- :func:`rank_activity` — per-rank busy vs. blocked-receiving time
+  (non-message kinds are ignored so fault/plan events cannot skew the
+  budgets);
 - :func:`format_timeline` — compact text timeline for debugging
   choreography problems (who waited on whom, when).
+
+Tags are rendered as ``context_block:user_tag`` (see :func:`format_tag`):
+a wire tag is ``context + user_tag`` with one context block per
+communicator, and split communicators derive Cantor-paired block indices
+that do not survive naive low-bit truncation.
 """
 
 from __future__ import annotations
@@ -19,14 +33,30 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["TraceEvent", "message_matrix", "rank_activity", "format_timeline"]
+__all__ = [
+    "TraceEvent",
+    "MESSAGE_KINDS",
+    "format_tag",
+    "message_matrix",
+    "rank_activity",
+    "format_timeline",
+]
+
+#: event kinds that are message endpoints (everything else — ``fault:*``,
+#: ``plan:fuse`` — is an annotation riding the stream)
+MESSAGE_KINDS = ("send", "recv")
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One message endpoint event on one rank."""
+    """One traced event on one rank.
 
-    kind: str       # "send" | "recv"
+    ``"send"``/``"recv"`` are message endpoints; other kinds
+    (``fault:*``, ``plan:fuse``) annotate the stream and must not be
+    counted as traffic.
+    """
+
+    kind: str       # "send" | "recv" | "fault:*" | "plan:fuse" | ...
     time: float     # logical clock after the operation completed
     rank: int       # the rank recording the event
     peer: int       # global rank of the other endpoint
@@ -34,6 +64,24 @@ class TraceEvent:
     nbytes: int
     #: for "recv": logical seconds spent blocked before the message arrived
     wait: float = 0.0
+    #: enclosing span path when the event was recorded ("" outside spans)
+    phase: str = ""
+
+
+def format_tag(tag: int) -> str:
+    """Render a wire tag as ``context_block:user_tag``.
+
+    Wire tags are ``context + user_tag`` where ``context`` is a multiple
+    of :data:`~repro.vmachine.comm.CONTEXT_STRIDE`; split communicators
+    use large Cantor-paired block indices, so truncating with ``& 0xFFFF``
+    aliases distinct communicators.  Negative tags (``ANY_TAG``) render
+    as-is.
+    """
+    from repro.vmachine.comm import CONTEXT_STRIDE
+
+    if tag < 0:
+        return str(tag)
+    return f"{tag // CONTEXT_STRIDE}:{tag % CONTEXT_STRIDE}"
 
 
 def message_matrix(
@@ -41,7 +89,8 @@ def message_matrix(
 ) -> np.ndarray:
     """P x P matrix of traffic from sends: entry [s, d].
 
-    ``what`` is ``"bytes"`` or ``"count"``.
+    ``what`` is ``"bytes"`` or ``"count"``.  Only ``"send"`` endpoints
+    contribute; annotation kinds never count as traffic.
     """
     nprocs = len(traces)
     out = np.zeros((nprocs, nprocs), dtype=np.int64)
@@ -55,7 +104,14 @@ def message_matrix(
 def rank_activity(
     traces: list[list[TraceEvent]], clocks: list[float]
 ) -> list[dict[str, float]]:
-    """Per-rank time budget: total, blocked-in-receive, and busy seconds."""
+    """Per-rank time budget: total, blocked-in-receive, and busy seconds.
+
+    Hardened against mixed streams: only ``"recv"`` events contribute
+    blocked time and only message kinds are tallied as traffic, so
+    ``fault:*`` / ``plan:fuse`` annotations (whatever their fields carry)
+    cannot skew the busy/blocked budgets.  Their count is surfaced
+    separately as ``other_events``.
+    """
     out = []
     for events, total in zip(traces, clocks):
         waited = sum(e.wait for e in events if e.kind == "recv")
@@ -67,6 +123,9 @@ def rank_activity(
                 "messages_sent": float(sum(1 for e in events if e.kind == "send")),
                 "messages_received": float(
                     sum(1 for e in events if e.kind == "recv")
+                ),
+                "other_events": float(
+                    sum(1 for e in events if e.kind not in MESSAGE_KINDS)
                 ),
             }
         )
@@ -80,23 +139,34 @@ def format_timeline(
 
     ``unit`` scales timestamps (default: milliseconds).  Long traces are
     truncated to the first ``limit`` events (communication bugs are
-    almost always visible at the start).
+    almost always visible at the start).  Message endpoints render as
+    directional arrows (``s -> d`` / ``d <- s``); annotation kinds
+    (``fault:*``, ``plan:fuse``) get their own line form — an ``@ rank``
+    marker with the affected peer — instead of a bogus receive arrow.
     """
     merged = sorted(
         (e for events in traces for e in events), key=lambda e: (e.time, e.rank)
     )
     lines = []
     for e in merged[:limit]:
+        tag = format_tag(e.tag)
         if e.kind == "send":
-            arrow = f"{e.rank} -> {e.peer}"
-            extra = ""
-        else:
-            arrow = f"{e.rank} <- {e.peer}"
+            lines.append(
+                f"{e.time / unit:10.3f}  {e.kind:<4} {e.rank} -> {e.peer:<4}  "
+                f"tag={tag:<9} {e.nbytes:>8} B"
+            )
+        elif e.kind == "recv":
             extra = f" (waited {e.wait / unit:.3f})" if e.wait > 0 else ""
-        lines.append(
-            f"{e.time / unit:10.3f}  {e.kind:<4} {arrow:>9}  "
-            f"tag={e.tag & 0xFFFF:<6} {e.nbytes:>8} B{extra}"
-        )
+            lines.append(
+                f"{e.time / unit:10.3f}  {e.kind:<4} {e.rank} <- {e.peer:<4}  "
+                f"tag={tag:<9} {e.nbytes:>8} B{extra}"
+            )
+        else:
+            where = f" [{e.phase}]" if e.phase else ""
+            lines.append(
+                f"{e.time / unit:10.3f}  {e.kind} @ rank {e.rank} "
+                f"(peer {e.peer})  tag={tag} {e.nbytes} B{where}"
+            )
     if len(merged) > limit:
         lines.append(f"... {len(merged) - limit} more events")
     return "\n".join(lines)

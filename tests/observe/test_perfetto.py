@@ -1,0 +1,124 @@
+"""Structural checks on the Chrome/Perfetto trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IndexRegion,
+    SectionRegion,
+    mc_compute_schedule,
+    mc_copy,
+    mc_new_set_of_regions,
+)
+from repro.blockparti import BlockPartiArray
+from repro.chaos import ChaosArray
+from repro.distrib.section import Section
+from repro.observe import chrome_trace, export_chrome_trace, write_chrome_trace
+from repro.vmachine import VirtualMachine
+from repro.vmachine.trace import TraceEvent
+
+N = 8
+PROCS = 4
+
+
+@pytest.fixture(scope="module")
+def observed_result():
+    perm = np.random.default_rng(3).permutation(N * N)
+
+    def spmd(comm):
+        A = BlockPartiArray.from_function(comm, (N, N), lambda i, j: i * N + j)
+        B = ChaosArray.zeros(comm, perm % comm.size)
+        sched = mc_compute_schedule(
+            comm, "blockparti", A,
+            mc_new_set_of_regions(SectionRegion(Section.full((N, N)))),
+            "chaos", B, mc_new_set_of_regions(IndexRegion(perm)),
+        )
+        mc_copy(comm, sched, A, B)
+        return None
+
+    return VirtualMachine(PROCS, observe=True).run(spmd)
+
+
+class TestStructure:
+    def test_document_shape(self, observed_result):
+        doc = export_chrome_trace(observed_result)
+        assert set(doc) >= {"traceEvents", "displayTimeUnit"}
+        assert isinstance(doc["traceEvents"], list)
+        # JSON-serializable as-is (what Perfetto actually loads)
+        json.loads(json.dumps(doc))
+
+    def test_rank_tracks(self, observed_result):
+        doc = export_chrome_trace(observed_result)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        assert names == {f"rank {r}" for r in range(PROCS)}
+
+    def test_spans_become_complete_events(self, observed_result):
+        doc = export_chrome_trace(observed_result)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        nspans = sum(len(s) for s in observed_result.spans)
+        assert len(xs) == nspans > 0
+        for e in xs:
+            assert e["dur"] >= 0 and e["ts"] >= 0
+            assert 0 <= e["pid"] < PROCS
+            assert "path" in e["args"]
+        assert {"schedule:build", "wire", "copy:execute"} <= {
+            e["name"] for e in xs
+        }
+
+    def test_flow_arrows_match_pairwise(self, observed_result):
+        doc = export_chrome_trace(observed_result)
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        nsends = sum(
+            1 for t in observed_result.traces for e in t if e.kind == "send"
+        )
+        nrecvs = sum(
+            1 for t in observed_result.traces for e in t if e.kind == "recv"
+        )
+        assert len(starts) == nsends
+        # buffered sends may outnumber completed receives, never vice versa
+        assert len(finishes) == nrecvs
+        start_ids = {e["id"] for e in starts}
+        assert len(start_ids) == len(starts)  # unique flow ids
+        assert {e["id"] for e in finishes} <= start_ids
+        for e in finishes:
+            assert e["bp"] == "e"
+
+
+class TestDegradation:
+    def test_unmatched_recv_becomes_instant(self):
+        traces = [
+            [],
+            [TraceEvent("recv", 1.0, 1, 0, 5, 64, wait=0.5)],
+        ]
+        doc = chrome_trace(traces)
+        kinds = {e["ph"] for e in doc["traceEvents"]}
+        assert "f" not in kinds and "s" not in kinds
+        (inst,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert inst["name"] == "recv" and inst["args"]["wait_us"] == 0.5e6
+
+    def test_annotation_kinds_become_instants(self):
+        traces = [[TraceEvent("fault:drop", 0.5, 0, 1, 9, 32,
+                              phase="wire/fault:drop")]]
+        doc = chrome_trace(traces)
+        (inst,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert inst["name"] == "fault:drop"
+        assert inst["args"]["phase"] == "wire/fault:drop"
+
+    def test_trace_only_export_without_spans(self, observed_result):
+        doc = chrome_trace(observed_result.traces)  # spans omitted
+        assert not any(e["ph"] == "X" for e in doc["traceEvents"])
+        assert any(e["ph"] == "s" for e in doc["traceEvents"])
+
+
+class TestWriter:
+    def test_write_round_trips(self, observed_result, tmp_path):
+        path = tmp_path / "trace.json"
+        doc = write_chrome_trace(str(path), observed_result)
+        on_disk = json.loads(path.read_text())
+        assert len(on_disk["traceEvents"]) == len(doc["traceEvents"])

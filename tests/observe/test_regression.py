@@ -1,0 +1,128 @@
+"""Benchmark-regression detector tests (observe.regression +
+benchmarks/check_regression.py CLI)."""
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.observe import compare_benchmarks, iter_ms_fields
+
+REPO = Path(__file__).resolve().parent.parent.parent
+CHECKER = REPO / "benchmarks" / "check_regression.py"
+
+BASELINE = {
+    "benchmark": "overlap",
+    "workload": "remap",
+    "results": {
+        "P4": {
+            "nprocs": 4,
+            "ordered_ms": 10.0,
+            "overlap_ms": 8.0,
+            "improvement_pct": 20.0,
+            "identical_destination": True,
+            "messages": {"ordered": 48, "overlap": 48},
+            "nested": {"fence_ms": 1.0},
+        },
+        "P8": {"nprocs": 8, "ordered_ms": 20.0, "overlap_ms": 15.0},
+    },
+}
+
+
+class TestIterMsFields:
+    def test_finds_nested_ms_leaves(self):
+        fields = dict(iter_ms_fields(BASELINE["results"]["P4"]))
+        assert fields == {
+            "ordered_ms": 10.0,
+            "overlap_ms": 8.0,
+            "nested.fence_ms": 1.0,
+        }
+
+    def test_skips_bools_and_non_ms(self):
+        fields = dict(iter_ms_fields({"x_ms": True, "y": 3, "z_pct": 1.0}))
+        assert fields == {}
+
+
+class TestCompare:
+    def test_identical_is_clean(self):
+        regs, drifts = compare_benchmarks(BASELINE, BASELINE)
+        assert regs == [] and drifts == []
+
+    def test_ten_percent_regression_flagged(self):
+        cur = copy.deepcopy(BASELINE)
+        cur["results"]["P4"]["ordered_ms"] *= 1.10
+        regs, _ = compare_benchmarks(BASELINE, cur, threshold_pct=5.0)
+        (r,) = regs
+        assert r.config == "P4" and r.field == "ordered_ms"
+        assert r.pct == pytest.approx(10.0)
+        assert "ordered_ms" in str(r)
+
+    def test_within_threshold_passes(self):
+        cur = copy.deepcopy(BASELINE)
+        cur["results"]["P4"]["ordered_ms"] *= 1.04
+        regs, _ = compare_benchmarks(BASELINE, cur, threshold_pct=5.0)
+        assert regs == []
+
+    def test_improvement_never_flags(self):
+        cur = copy.deepcopy(BASELINE)
+        cur["results"]["P4"]["ordered_ms"] *= 0.5
+        regs, _ = compare_benchmarks(BASELINE, cur, threshold_pct=5.0)
+        assert regs == []
+
+    def test_non_timing_change_is_drift(self):
+        cur = copy.deepcopy(BASELINE)
+        cur["results"]["P4"]["messages"]["ordered"] = 50
+        cur["results"]["P4"]["identical_destination"] = False
+        regs, drifts = compare_benchmarks(BASELINE, cur)
+        assert regs == []
+        assert {(d.config, d.field) for d in drifts} == {
+            ("P4", "messages.ordered"),
+            ("P4", "identical_destination"),
+        }
+
+    def test_missing_and_new_configs_are_drift(self):
+        cur = copy.deepcopy(BASELINE)
+        del cur["results"]["P8"]
+        cur["results"]["P16"] = {"ordered_ms": 1.0}
+        regs, drifts = compare_benchmarks(BASELINE, cur)
+        assert regs == []
+        assert {d.config for d in drifts} == {"P8", "P16"}
+
+
+class TestCheckerCLI:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(CHECKER), *argv],
+            capture_output=True, text=True, cwd=REPO,
+        )
+
+    def test_explicit_pair_detects_regression(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(BASELINE))
+        inflated = copy.deepcopy(BASELINE)
+        inflated["results"]["P8"]["overlap_ms"] *= 1.10
+        cur.write_text(json.dumps(inflated))
+        r = self._run("--baseline", str(base), "--current", str(cur))
+        assert r.returncode == 1
+        assert "REGRESSION" in r.stdout and "overlap_ms" in r.stdout
+
+    def test_explicit_pair_clean(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(BASELINE))
+        r = self._run("--baseline", str(base), "--current", str(base))
+        assert r.returncode == 0, r.stdout + r.stderr
+        assert "OK" in r.stdout
+
+    def test_self_test_mode(self):
+        r = self._run("--self-test", "BENCH_overlap.json")
+        assert r.returncode == 0, r.stdout + r.stderr
+        assert "self-test OK" in r.stdout
+
+    def test_committed_baselines_pass(self):
+        r = self._run("BENCH_overlap.json", "BENCH_fusion.json",
+                      "BENCH_reliability.json")
+        assert r.returncode == 0, r.stdout + r.stderr

@@ -1,0 +1,168 @@
+"""Trace-analysis helpers under mixed event streams.
+
+Regression tests for three historical bugs:
+
+1. ``format_timeline`` pushed every non-``send`` kind through the recv
+   branch, rendering faults as bogus ``rank <- peer`` receive arrows;
+2. tags were truncated with ``& 0xFFFF``, aliasing Cantor-paired context
+   blocks from split communicators;
+3. ``FaultPlan._note`` recorded ``message.dest`` as the event's peer on
+   both endpoints, so a receiver-side fault named *itself* as the peer.
+"""
+
+import numpy as np
+
+from repro.vmachine import VirtualMachine
+from repro.vmachine.comm import CONTEXT_STRIDE
+from repro.vmachine.faults import FaultPlan
+from repro.vmachine.trace import (
+    MESSAGE_KINDS,
+    TraceEvent,
+    format_tag,
+    format_timeline,
+    message_matrix,
+    rank_activity,
+)
+
+TAG = CONTEXT_STRIDE + 7  # context block 1, user tag 7
+
+MIXED = [
+    [  # rank 0
+        TraceEvent("send", 0.001, 0, 1, TAG, 64),
+        TraceEvent("fault:drop", 0.002, 0, 1, TAG, 64,
+                   phase="copy:execute/wire/fault:drop"),
+        TraceEvent("plan:fuse", 0.003, 0, 1, TAG, 128),
+    ],
+    [  # rank 1
+        TraceEvent("recv", 0.004, 1, 0, TAG, 64, wait=0.0025),
+    ],
+]
+
+
+class TestFormatTag:
+    def test_context_block_and_user_tag(self):
+        assert format_tag(TAG) == "1:7"
+        assert format_tag(5 * CONTEXT_STRIDE + 123) == "5:123"
+
+    def test_no_low_bit_aliasing(self):
+        # Two communicators whose contexts collide under `& 0xFFFF`
+        # must render distinctly.
+        a = 3 * CONTEXT_STRIDE + 7
+        b = 4 * CONTEXT_STRIDE + 7
+        assert (a & 0xFFFF) == (b & 0xFFFF)
+        assert format_tag(a) != format_tag(b)
+
+    def test_negative_any_tag(self):
+        assert format_tag(-1) == "-1"
+
+
+class TestFormatTimeline:
+    def test_message_endpoints_render_as_arrows(self):
+        out = format_timeline(MIXED)
+        assert "send 0 -> 1" in out
+        assert "recv 1 <- 0" in out
+        assert "(waited 2.500)" in out  # 0.0025 s rendered in ms
+
+    def test_annotations_get_their_own_line_form(self):
+        out = format_timeline(MIXED)
+        fault_line = next(l for l in out.splitlines() if "fault:drop" in l)
+        # Not a receive arrow...
+        assert "<-" not in fault_line and "->" not in fault_line
+        # ...but an @-rank marker with peer and span context.
+        assert "fault:drop @ rank 0 (peer 1)" in fault_line
+        assert "[copy:execute/wire/fault:drop]" in fault_line
+        fuse_line = next(l for l in out.splitlines() if "plan:fuse" in l)
+        assert "plan:fuse @ rank 0 (peer 1)" in fuse_line
+
+    def test_tags_render_untruncated(self):
+        out = format_timeline(MIXED)
+        assert "tag=1:7" in out
+        assert str(TAG & 0xFFFF) == "7"  # the old truncation loses the block
+
+    def test_limit_truncation(self):
+        out = format_timeline(MIXED, limit=2)
+        assert "... 2 more events" in out
+
+
+class TestRankActivity:
+    def test_mixed_kinds_do_not_skew_budgets(self):
+        acts = rank_activity(MIXED, clocks=[0.003, 0.004])
+        r0, r1 = acts
+        assert r0["messages_sent"] == 1
+        assert r0["messages_received"] == 0
+        assert r0["other_events"] == 2  # fault:drop + plan:fuse
+        assert r0["blocked"] == 0.0  # annotations carry no wait
+        assert r1["blocked"] == 0.0025
+        assert r1["busy"] == 0.004 - 0.0025
+
+    def test_message_kinds_constant(self):
+        assert MESSAGE_KINDS == ("send", "recv")
+
+
+class TestMessageMatrix:
+    def test_annotations_never_count_as_traffic(self):
+        m = message_matrix(MIXED, what="bytes")
+        assert m[0, 1] == 64  # only the send; fault/fuse bytes excluded
+        assert m.sum() == 64
+        c = message_matrix(MIXED, what="count")
+        assert c[0, 1] == 1 and c.sum() == 1
+
+
+class TestFaultPeerLabeling:
+    def _proc(self, rank: int):
+        from repro.vmachine.cost_model import CostModel, IBM_SP2
+        from repro.vmachine.process import Process
+
+        p = Process(rank, 2, CostModel(IBM_SP2))
+        p.trace = []
+        return p
+
+    def _message(self):
+        from repro.vmachine.message import Message
+
+        return Message(source=0, dest=1, tag=TAG, payload=b"x" * 8,
+                       nbytes=8, arrival=0.0)
+
+    def test_sender_side_fault_names_the_destination(self):
+        p = self._proc(0)  # observing rank == message.source
+        FaultPlan._note(p, "fault:drop", self._message())
+        (e,) = p.trace
+        assert (e.rank, e.peer) == (0, 1)
+        assert p.metrics.get("faults_drop") == 1
+
+    def test_receiver_side_fault_names_the_source(self):
+        # Historical bug: peer was message.dest on *both* endpoints, so
+        # a receiver-side event named the observing rank itself.
+        p = self._proc(1)  # observing rank == message.dest
+        FaultPlan._note(p, "fault:dup", self._message())
+        (e,) = p.trace
+        assert (e.rank, e.peer) == (1, 0)
+        assert e.peer != e.rank
+
+    def test_fault_kind_lands_in_span_context(self):
+        p = self._proc(0)
+        with p.span("wire"):
+            FaultPlan._note(p, "fault:drop", self._message())
+        (e,) = p.trace
+        assert e.phase == "wire/fault:drop"
+
+    def test_end_to_end_drop_event(self):
+        from repro.vmachine.faults import FaultRates
+
+        plan = FaultPlan(seed=1, rates=FaultRates(drop=1.0),
+                         classes=("user",))
+
+        def spmd(comm):
+            if comm.rank == 0:
+                comm.send(1, np.zeros(8), tag=3)
+            return comm.rank
+
+        res = VirtualMachine(2, faults=plan, trace=True, observe=True).run(
+            spmd
+        )
+        drops = [e for t in res.traces for e in t if e.kind == "fault:drop"]
+        assert drops
+        for e in drops:
+            assert e.peer != e.rank
+            assert e.phase.endswith("fault:drop")
+        assert res.metrics[0].counters.get("faults_drop", 0) >= 1

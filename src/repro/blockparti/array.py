@@ -6,6 +6,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.dataplane import accept_local, read_flat
 from repro.distrib.cartesian import CartesianDist
 from repro.vmachine.comm import Communicator
 
@@ -39,7 +40,8 @@ class BlockPartiArray:
             )
         self.comm = comm
         self.dist = dist
-        self.local = np.ascontiguousarray(local).reshape(-1)
+        # Zero-copy: any strided ndarray is first-class local storage.
+        self.local = accept_local(local)
 
     # -- collective constructors ---------------------------------------------
 
@@ -121,6 +123,13 @@ class BlockPartiArray:
     @property
     def local_nd(self) -> np.ndarray:
         """Shaped view of the local block."""
+        if self.local.ndim > 1:
+            if self.local.shape != self.local_shape:
+                raise ValueError(
+                    f"strided local storage {self.local.shape} does not "
+                    f"admit a {self.local_shape} view"
+                )
+            return self.local
         return self.local.reshape(self.local_shape)
 
     @property
@@ -139,7 +148,7 @@ class BlockPartiArray:
 
     def gather_global(self) -> np.ndarray | None:
         """Collect the full global array on rank 0 (testing oracle)."""
-        pieces = self.comm.gather((self.comm.rank, self.local.copy()))
+        pieces = self.comm.gather((self.comm.rank, read_flat(self.local).copy()))
         if pieces is None:
             return None
         out = np.zeros(self.global_shape, dtype=self.dtype)

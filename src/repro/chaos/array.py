@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.chaos.translation import TranslationTable
+from repro.core.dataplane import accept_local, read_flat
 from repro.distrib.irregular import IrregularDist
 from repro.vmachine.comm import Communicator
 
@@ -31,7 +32,8 @@ class ChaosArray:
             )
         self.comm = comm
         self.table = table
-        self.local = np.ascontiguousarray(local).reshape(-1)
+        # Zero-copy: any strided ndarray is first-class local storage.
+        self.local = accept_local(local)
 
     # -- collective constructors ------------------------------------------------
 
@@ -91,7 +93,7 @@ class ChaosArray:
 
     def gather_global(self) -> np.ndarray | None:
         """Collect the full array on rank 0 (testing oracle)."""
-        pieces = self.comm.gather((self.comm.rank, self.local.copy()))
+        pieces = self.comm.gather((self.comm.rank, read_flat(self.local).copy()))
         if pieces is None:
             return None
         out = np.zeros(self.size, dtype=self.dtype)

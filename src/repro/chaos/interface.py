@@ -41,6 +41,10 @@ class ChaosAdapter(LibraryAdapter):
             raise TypeError("a local ChaosArray is required for data access")
         return array.local
 
+    def adopt_local(self, array: Any, values: np.ndarray) -> bool:
+        array.local = values
+        return True
+
     def itemsize_of(self, handle: Any) -> int:
         return handle.itemsize
 

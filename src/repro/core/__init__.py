@@ -13,6 +13,10 @@ The pieces map one-to-one onto the paper's section 4:
   (§4.1.3), in both the *cooperation* and *duplication* variants (§5.1);
 - :mod:`repro.core.datamove` — moving data with a schedule (§4.1.4),
   with at most one aggregated message per processor pair;
+- :mod:`repro.core.dataplane` — the compiled data plane: offset
+  sequences lowered once into cached batched move programs
+  (slice / strided-grid / fancy-index) over arbitrarily strided
+  local storage, with receive-side buffer donation;
 - :mod:`repro.core.plan` — the multi-array extension: k schedules
   compiled into a :class:`~repro.core.plan.MovePlan` whose execution
   fuses every pair's k messages into one;
@@ -26,6 +30,12 @@ from repro.core.region import Region, SectionRegion, IndexRegion, MaskRegion
 from repro.core.setofregions import SetOfRegions
 from repro.core.linearization import Linearization
 from repro.core.runs import RunList, copy_runs, group_by_runs
+from repro.core.dataplane import (
+    MoveProgram,
+    accept_local,
+    compile_offsets,
+    copy_compiled,
+)
 from repro.core.wire import FusedBuffer, RunEncoded, SegmentHeader, count_runs
 from repro.core.registry import (
     LibraryAdapter,
@@ -79,6 +89,10 @@ __all__ = [
     "copy_runs",
     "count_runs",
     "group_by_runs",
+    "MoveProgram",
+    "accept_local",
+    "compile_offsets",
+    "copy_compiled",
     "ensure_safe_cast",
     "Region",
     "SectionRegion",

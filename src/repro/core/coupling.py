@@ -144,8 +144,12 @@ class CoupledExchange:
 
     # -- the exchange itself -----------------------------------------------
 
-    def push(self, local_array: Any) -> None:
+    def push(self, local_array: Any, donate: bool = False) -> None:
         """Forward copy: source program sends, destination receives.
+
+        ``donate`` applies on the receiving side only: an eligible
+        message (full-coverage unpack, exact dtype) is adopted as the
+        local array's storage instead of scattered through.
 
         Raises :class:`~repro.vmachine.faults.PeerLostError` within the
         deadline when the peer program has failed.
@@ -160,10 +164,10 @@ class CoupledExchange:
             self._run(
                 "push (receive half)", data_move_recv,
                 self.schedule, local_array, self.universe,
-                policy=self.policy, timeout=self.deadline_s,
+                policy=self.policy, timeout=self.deadline_s, donate=donate,
             )
 
-    def pull(self, local_array: Any) -> None:
+    def pull(self, local_array: Any, donate: bool = False) -> None:
         """Reverse copy along the same (symmetric) schedule."""
         rev = self.schedule.reverse()
         runiverse = self.universe.reversed()
@@ -172,7 +176,7 @@ class CoupledExchange:
             self._run(
                 "pull (receive half)", data_move_recv,
                 rev, local_array, runiverse,
-                policy=self.policy, timeout=self.deadline_s,
+                policy=self.policy, timeout=self.deadline_s, donate=donate,
             )
         else:
             self._run(
@@ -201,7 +205,7 @@ class CoupledExchange:
             self._plans[key] = plan
         return plan
 
-    def push_many(self, local_arrays: Sequence[Any]) -> None:
+    def push_many(self, local_arrays: Sequence[Any], donate: bool = False) -> None:
         """Forward copy of several fields in one fused message per pair.
 
         Equivalent to ``for a in local_arrays: push(a)`` — identical
@@ -221,10 +225,10 @@ class CoupledExchange:
             self._run(
                 "push_many (receive half)", plan_move_recv,
                 plan, local_arrays, self.universe,
-                policy=self.policy, timeout=self.deadline_s,
+                policy=self.policy, timeout=self.deadline_s, donate=donate,
             )
 
-    def pull_many(self, local_arrays: Sequence[Any]) -> None:
+    def pull_many(self, local_arrays: Sequence[Any], donate: bool = False) -> None:
         """Reverse fused copy of several fields (symmetric schedule)."""
         plan = self._plan_for(len(local_arrays), reverse=True)
         runiverse = self.universe.reversed()
@@ -232,7 +236,7 @@ class CoupledExchange:
             self._run(
                 "pull_many (receive half)", plan_move_recv,
                 plan, local_arrays, runiverse,
-                policy=self.policy, timeout=self.deadline_s,
+                policy=self.policy, timeout=self.deadline_s, donate=donate,
             )
         else:
             self._run(

@@ -163,6 +163,7 @@ def data_move_recv(
     universe: Universe,
     policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
     timeout: float | None = None,
+    donate: bool = False,
 ) -> None:
     """Execute the receive half of a schedule (``MC_DataMoveRecv``).
 
@@ -171,6 +172,11 @@ def data_move_recv(
     message's elements are unpacked into ``dst_array`` while later
     messages are still in flight.  Placement depends only on the schedule
     offsets, so completion order never changes the destination data.
+
+    ``donate=True`` lets an eligible received buffer (full-coverage
+    unpack, exact dtype) be adopted directly as the destination array's
+    storage instead of scattered through — the zero-copy receive path.
+    The clock trajectory is identical either way.
 
     ``timeout`` bounds each blocking receive (wall-clock seconds); the
     bare-transport path retries with exponential backoff inside the
@@ -194,7 +200,7 @@ def data_move_recv(
         offsets = schedule.recvs[s]
         _check_piece(buffer, offsets, s)
         with proc.span("unpack"):
-            adapter.unpack(dst_array, offsets, buffer)
+            adapter.unpack(dst_array, offsets, buffer, donate=donate)
 
     if rel is not None:
         endpoint = universe.data_endpoint_to_src()
@@ -269,6 +275,7 @@ def data_move(
     universe: Universe,
     policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
     timeout: float | None = None,
+    donate: bool = False,
 ) -> None:
     """Full copy for processors holding both roles (single program), or a
     convenience wrapper dispatching to the proper half otherwise.
@@ -285,7 +292,7 @@ def data_move(
         data_move_send(schedule, src_array, universe, policy=policy,
                        timeout=timeout, fence=False)
         data_move_recv(schedule, dst_array, universe, policy=policy,
-                       timeout=timeout)
+                       timeout=timeout, donate=donate)
         universe.rel_fence(timeout=timeout)
         return
     if universe.my_src_rank is not None:
@@ -293,4 +300,4 @@ def data_move(
                        timeout=timeout)
     if universe.my_dst_rank is not None:
         data_move_recv(schedule, dst_array, universe, policy=policy,
-                       timeout=timeout)
+                       timeout=timeout, donate=donate)

@@ -235,16 +235,29 @@ def _unpack_fused(
     fused: FusedBuffer,
     s: int,
     universe: Universe,
+    donate: bool = False,
 ) -> None:
     """Scatter one fused message through its unpack program, then return
-    the staging buffer to the sender's arena."""
+    the staging buffer to the sender's arena.
+
+    With ``donate=True`` an eligible segment (full-coverage unpack,
+    exact dtype) is adopted directly as the destination array's storage;
+    the buffer's arena lease is then severed — the bytes belong to the
+    array now and must never be recycled — and :meth:`release` becomes
+    a no-op.
+    """
     _check_fused(program, fused, s)
+    donated = False
     with universe.process.span("unpack"):
         for i, seg in enumerate(program):
             sched = plan.schedules[seg.schedule_id]
-            get_adapter(sched.dst_lib).unpack(
-                dst_arrays[seg.schedule_id], seg.offsets, fused.segment(i)
-            )
+            if get_adapter(sched.dst_lib).unpack(
+                dst_arrays[seg.schedule_id], seg.offsets, fused.segment(i),
+                donate=donate,
+            ):
+                donated = True
+    if donated:
+        fused.sever_lease()
     fused.release()
 
 
@@ -361,13 +374,17 @@ def plan_move_recv(
     universe: Universe,
     policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
     timeout: float | None = None,
+    donate: bool = False,
 ) -> None:
     """Receive half of a fused move: one message per source processor.
 
     Under ``OVERLAP`` all fused receives are posted up front and
     completed in arrival order; each message's segments unpack while
     later messages are in flight.  After a message's last segment is
-    scattered, its staging buffer returns to the sender's arena.
+    scattered, its staging buffer returns to the sender's arena —
+    unless ``donate=True`` let an eligible segment be adopted as the
+    destination's storage, in which case the buffer's lease is severed
+    instead of recycled.
     """
     if universe.my_dst_rank is None:
         raise RuntimeError(
@@ -389,12 +406,12 @@ def plan_move_recv(
                 )
                 remaining.discard(s)
                 _unpack_fused(plan, plan.recv_programs[s], dst_arrays,
-                              fused, s, universe)
+                              fused, s, universe, donate=donate)
             return
         for s in active:
             fused = rel.recv(endpoint, s, TAG_DATA, timeout=timeout)
             _unpack_fused(plan, plan.recv_programs[s], dst_arrays, fused, s,
-                          universe)
+                          universe, donate=donate)
         return
     if policy is ExecutorPolicy.OVERLAP and len(active) > 1:
         requests = [universe.irecv_from_src(s, TAG_DATA) for s in active]
@@ -404,12 +421,12 @@ def plan_move_recv(
             remaining -= 1
             s = active[idx]
             _unpack_fused(plan, plan.recv_programs[s], dst_arrays, fused, s,
-                          universe)
+                          universe, donate=donate)
         return
     for s in active:
         fused = _recv_bounded(universe, s, TAG_DATA, timeout)
         _unpack_fused(plan, plan.recv_programs[s], dst_arrays, fused, s,
-                      universe)
+                      universe, donate=donate)
 
 
 def plan_move(
@@ -419,6 +436,7 @@ def plan_move(
     universe: Universe,
     policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
     timeout: float | None = None,
+    donate: bool = False,
 ) -> None:
     """Full fused move (single program), or role dispatch otherwise.
 
@@ -435,7 +453,7 @@ def plan_move(
         plan_move_send(plan, src_arrays, universe, policy=policy,
                        timeout=timeout, fence=False)
         plan_move_recv(plan, dst_arrays, universe, policy=policy,
-                       timeout=timeout)
+                       timeout=timeout, donate=donate)
         universe.rel_fence(timeout=timeout)
         return
     if universe.my_src_rank is not None:
@@ -443,4 +461,4 @@ def plan_move(
                        timeout=timeout)
     if universe.my_dst_rank is not None:
         plan_move_recv(plan, dst_arrays, universe, policy=policy,
-                       timeout=timeout)
+                       timeout=timeout, donate=donate)

@@ -33,7 +33,8 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.runs import RunList, as_offsets, copy_runs
+from repro.core.dataplane import compile_offsets, copy_compiled
+from repro.core.runs import RunList, as_offsets
 from repro.core.setofregions import SetOfRegions
 from repro.core.region import SectionRegion
 from repro.distrib.base import DistDescriptor, Distribution
@@ -123,7 +124,24 @@ class LibraryAdapter(abc.ABC):
 
     @abc.abstractmethod
     def local_data(self, array: Any) -> np.ndarray:
-        """The rank-local flat storage of a *local* array handle."""
+        """The rank-local storage of a *local* array handle.
+
+        Any strided ndarray is acceptable — 1-D of any step,
+        C-contiguous blocks, or arbitrary non-contiguous layouts
+        (transposed, sliced).  The compiled data plane addresses all of
+        them without a staging copy; flat offsets index the storage in
+        logical (C) order.
+        """
+
+    def adopt_local(self, array: Any, values: np.ndarray) -> bool:
+        """Adopt ``values`` as the array's new local storage (donation).
+
+        Called by :meth:`unpack` when a received buffer may be donated
+        wholesale instead of copied through.  Adapters whose arrays can
+        rebind their storage return True after adopting; the default
+        declines and the caller falls back to a scatter copy.
+        """
+        return False
 
     @abc.abstractmethod
     def itemsize_of(self, handle: Any) -> int:
@@ -189,11 +207,9 @@ class LibraryAdapter(abc.ABC):
         the same simulated time.
         """
         data = self.local_data(array)
-        offsets = as_offsets(offsets)
-        current_process().charge_pack(len(offsets))
-        if isinstance(offsets, RunList):
-            return offsets.gather(data)
-        return data[offsets]
+        prog = compile_offsets(as_offsets(offsets))
+        current_process().charge_pack(prog.n)
+        return prog.gather(data)
 
     def pack_into(
         self, array: Any, offsets: np.ndarray | RunList, out: np.ndarray
@@ -208,37 +224,63 @@ class LibraryAdapter(abc.ABC):
         slots of the source array's element type.  The logical-clock
         charge is identical to :meth:`pack` (same element count), so
         fused and sequential moves cost the same pack time.
+
+        Rejects lossy element-type conversions via
+        :func:`ensure_safe_cast`, exactly like :meth:`unpack` and
+        :meth:`copy_local` — a fused plan must not silently lossy-cast
+        into a leased staging buffer.
         """
         data = self.local_data(array)
-        offsets = as_offsets(offsets)
-        if len(out) != len(offsets):
+        prog = compile_offsets(as_offsets(offsets))
+        if len(out) != prog.n:
             raise ValueError(
                 f"pack_into buffer has {len(out)} slots for "
-                f"{len(offsets)} offsets"
+                f"{prog.n} offsets"
             )
-        current_process().charge_pack(len(offsets))
-        if isinstance(offsets, RunList):
-            offsets.gather(data, out=out)
-        else:
-            out[...] = data[offsets]
+        if prog.n:
+            ensure_safe_cast(data.dtype, out.dtype)
+        current_process().charge_pack(prog.n)
+        prog.gather(data, out=out)
 
-    def unpack(self, array: Any, offsets: np.ndarray | RunList, values: np.ndarray) -> None:
+    def unpack(
+        self,
+        array: Any,
+        offsets: np.ndarray | RunList,
+        values: np.ndarray,
+        donate: bool = False,
+    ) -> bool:
         """Scatter buffer ``values`` into local elements at ``offsets``.
 
         Rejects lossy element-type conversions via :func:`ensure_safe_cast`
-        (shared with the direct local-copy path).  Run-compressed offsets
-        scatter as slice stores.
+        (shared with the direct local-copy path).  Compiled offsets
+        scatter as one batched store.
+
+        With ``donate=True`` and a program that overwrites the entire
+        local storage in order (``[0, size)`` ascending, exact dtype
+        match, 1-D writable buffer), the received buffer is *adopted* as
+        the array's storage instead of being copied through — the
+        zero-copy receive path.  Returns True when the buffer was
+        donated (the caller must then stop reusing/releasing it); the
+        logical-clock charge is identical either way.
         """
         data = self.local_data(array)
-        offsets = as_offsets(offsets)
+        prog = compile_offsets(as_offsets(offsets))
         values = np.asarray(values)
-        if len(offsets):
+        if prog.n:
             ensure_safe_cast(values.dtype, data.dtype)
-        current_process().charge_pack(len(offsets))
-        if isinstance(offsets, RunList):
-            offsets.scatter(data, values)
-        else:
-            data[offsets] = values
+        current_process().charge_pack(prog.n)
+        if (
+            donate
+            and values.ndim == 1
+            and values.size == prog.n
+            and values.dtype == data.dtype
+            and values.flags.writeable
+            and prog.is_full_span(data.size)
+            and self.adopt_local(array, values)
+        ):
+            return True
+        prog.scatter(data, values)
+        return False
 
     def copy_local(
         self,
@@ -259,11 +301,12 @@ class LibraryAdapter(abc.ABC):
         """
         src_data = (src_adapter or self).local_data(src_array)
         dst_data = self.local_data(dst_array)
-        src_offsets = as_offsets(src_offsets)
-        if len(src_offsets):
+        src_prog = compile_offsets(as_offsets(src_offsets))
+        dst_prog = compile_offsets(as_offsets(dst_offsets))
+        if src_prog.n:
             ensure_safe_cast(src_data.dtype, dst_data.dtype)
-        current_process().charge_pack(len(src_offsets))
-        copy_runs(src_data, src_offsets, dst_data, dst_offsets)
+        current_process().charge_pack(src_prog.n)
+        copy_compiled(src_prog, src_data, dst_prog, dst_data)
 
     # -- duplication-method support ----------------------------------------------
 

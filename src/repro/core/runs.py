@@ -41,6 +41,9 @@ __all__ = ["RunList", "run_starts", "group_by_runs", "copy_runs", "as_offsets"]
 _EMPTY_I64 = np.zeros(0, dtype=np.int64)
 _EMPTY_RUNS = np.zeros((0, 3), dtype=np.int64)
 
+#: sentinel distinguishing "never classified" from "classified: not a grid"
+_UNSET = object()
+
 #: per-run wire cost in bytes: (start, step, count) as three int64
 RUN_WIRE_BYTES = 24
 #: fixed wire envelope of a run-encoded sequence
@@ -74,6 +77,84 @@ def _run_slice(start: int, step: int, count: int) -> slice:
     return slice(start, stop, step)
 
 
+def _coalesce_runs(runs: np.ndarray) -> np.ndarray:
+    """Vectorized merge of greedy runs that continue one progression.
+
+    Four ``np.diff``-based passes over the run table (never over the
+    elements): (1) a singleton bracketing a row jump prepends to the
+    following longer run when its gap equals that run's step, (2) a
+    singleton continuing the preceding longer run appends to it, (3)
+    chains of singletons with a constant gap fuse into one run, (4)
+    adjacent longer runs continuing one arithmetic progression fuse.
+    The expansion is preserved exactly; only the partition may differ
+    from a sequential merge in corner cases (either table is valid).
+    """
+    starts = runs[:, 0].astype(np.int64, copy=True)
+    steps = runs[:, 1].astype(np.int64, copy=True)
+    counts = runs[:, 2].astype(np.int64, copy=True)
+
+    # Pass 1: singleton before a longer run whose step matches the gap.
+    single = counts == 1
+    absorb = single[:-1] & ~single[1:] & (starts[1:] - starts[:-1] == steps[1:])
+    if absorb.any():
+        idx = np.flatnonzero(absorb)
+        starts[idx + 1] = starts[idx]
+        counts[idx + 1] += 1
+        keep = np.ones(len(starts), dtype=bool)
+        keep[idx] = False
+        starts, steps, counts = starts[keep], steps[keep], counts[keep]
+        single = counts == 1
+
+    # Pass 2: singleton continuing the preceding longer run.
+    ends = starts + steps * (counts - 1)
+    absorb = single[1:] & ~single[:-1] & (starts[1:] - ends[:-1] == steps[:-1])
+    if absorb.any():
+        idx = np.flatnonzero(absorb) + 1
+        counts[idx - 1] += 1
+        keep = np.ones(len(starts), dtype=bool)
+        keep[idx] = False
+        starts, steps, counts = starts[keep], steps[keep], counts[keep]
+        single = counts == 1
+
+    # Pass 3: constant-gap singleton chains (greedy split on values,
+    # matching run_starts).
+    n = len(starts)
+    link = np.zeros(n, dtype=bool)
+    link[1:] = single[1:] & single[:-1]
+    if link.any():
+        gaps = np.zeros(n, dtype=np.int64)
+        gaps[1:] = starts[1:] - starts[:-1]
+        brk = ~link
+        if n >= 3:
+            brk[2:] |= link[1:-1] & (gaps[2:] != gaps[1:-1])
+        first = np.flatnonzero(brk)
+        gcounts = np.diff(np.append(first, n))
+        merged_steps = np.where(
+            gcounts > 1, gaps[np.minimum(first + 1, n - 1)], steps[first]
+        )
+        counts = np.add.reduceat(counts, first)
+        starts = starts[first]
+        steps = merged_steps
+
+    # Pass 4: adjacent longer runs continuing the same progression.
+    n = len(starts)
+    if n >= 2:
+        ends = starts + steps * (counts - 1)
+        join = np.zeros(n, dtype=bool)
+        join[1:] = (
+            (counts[1:] > 1) & (counts[:-1] > 1)
+            & (steps[1:] == steps[:-1])
+            & (starts[1:] - ends[:-1] == steps[:-1])
+        )
+        if join.any():
+            first = np.flatnonzero(~join)
+            counts = np.add.reduceat(counts, first)
+            starts = starts[first]
+            steps = steps[first]
+
+    return np.column_stack([starts, steps, counts])
+
+
 class RunList:
     """An immutable int64 offset sequence stored as arithmetic runs.
 
@@ -84,7 +165,7 @@ class RunList:
     expansions returned by :meth:`dense` are read-only views).
     """
 
-    __slots__ = ("_runs", "_dense", "_n", "_nruns", "_canon")
+    __slots__ = ("_runs", "_dense", "_n", "_nruns", "_canon", "_grid", "_program")
 
     def __init__(self, runs, dense, n: int, nruns: int):
         # Private: use from_dense / from_runs / empty.
@@ -93,6 +174,8 @@ class RunList:
         self._n = int(n)
         self._nruns = int(nruns)
         self._canon = None  # lazy executor-side canonical run table
+        self._grid = _UNSET  # lazy uniform-grid classification of _canon
+        self._program = None  # lazy compiled MoveProgram (repro.core.dataplane)
 
     # -- constructors -------------------------------------------------------
 
@@ -299,35 +382,18 @@ class RunList:
         The greedy splitter is within 2x of optimal but brackets every
         row jump of a 2-D section with a singleton run; merging adjacent
         runs that continue the same arithmetic progression recovers the
-        optimal partition (fewer loop iterations, and regular section
-        moves become a uniform grid).  Wire/clock accounting never sees
-        this table — ``nruns``/``nbytes`` keep the greedy counts.
+        optimal partition (regular section moves become a uniform grid).
+        The merge itself is vectorized (``np.diff``-based passes; see
+        :func:`_coalesce_runs`) — no per-run Python loop even at build
+        time.  Wire/clock accounting never sees this table —
+        ``nruns``/``nbytes`` keep the greedy counts.
         """
         if self._canon is None:
             runs = self._runs
             if runs is None or len(runs) < 2:
                 self._canon = runs
             else:
-                out: list[list[int]] = []
-                for s, st, c in runs.tolist():
-                    if out:
-                        ps, pst, pc = out[-1]
-                        if pc == 1:
-                            d = s - ps
-                            if c == 1:
-                                out[-1] = [ps, d, 2]
-                                continue
-                            if d == st:
-                                out[-1] = [ps, st, c + 1]
-                                continue
-                        else:
-                            if s - (ps + pst * (pc - 1)) == pst and (
-                                c == 1 or st == pst
-                            ):
-                                out[-1] = [ps, pst, pc + c]
-                                continue
-                    out.append([s, st, c])
-                self._canon = np.asarray(out, dtype=np.int64).reshape(-1, 3)
+                self._canon = _coalesce_runs(runs)
         return self._canon
 
     def _uniform_grid(self):
@@ -337,7 +403,13 @@ class RunList:
         This is exactly a strided section of a row-major array (Multiblock
         Parti's strided-block descriptor) and executes as one strided-view
         copy.  Returns ``None`` for anything else.
+
+        The classification is cached alongside ``_canon`` — steady-state
+        plan loops replay the answer without re-analysis.
         """
+        if self._grid is not _UNSET:
+            return self._grid
+        self._grid = None
         runs = self._exec_runs()
         if runs is None or len(runs) < 2:
             return None
@@ -349,24 +421,18 @@ class RunList:
         rowstep = int(starts[1] - starts[0])
         if rowstep <= 0 or not (np.diff(starts) == rowstep).all():
             return None
-        return int(starts[0]), rowstep, step, len(runs), count
-
-    def _grid_view(self, data: np.ndarray, grid) -> "np.ndarray | None":
-        """Strided (nrows, count) view of ``data`` covering the grid."""
-        start0, rowstep, step, nrows, count = grid
-        last = start0 + (nrows - 1) * rowstep + (count - 1) * step
-        if data.ndim != 1 or last >= len(data):
-            return None
-        st = data.strides[0]
-        return np.lib.stride_tricks.as_strided(
-            data[start0:], shape=(nrows, count), strides=(rowstep * st, step * st)
-        )
+        self._grid = (int(starts[0]), rowstep, step, len(runs), count)
+        return self._grid
 
     def gather(self, data: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """``data[self]`` — slice copies per run, fancy indexing fallback.
+        """``data[self]`` executed through the compiled move program.
 
-        A uniform run grid (the regular 2-D section move) is gathered in
-        one vectorized strided-view copy instead of a per-run loop.
+        One batched NumPy operation: a basic-slice copy for a single
+        run, strided-view block copies for (piecewise-)uniform grids, a
+        single fancy-index gather through the cached dense index vector
+        for irregular sequences.  ``data`` may be any strided ndarray —
+        1-D views of any step, C-contiguous blocks, or arbitrary
+        non-contiguous layouts (addressed through cached coordinates).
 
         ``out``, when given, receives the gathered elements in place (it
         must be 1-D, length ``len(self)``, dtype-compatible) and is
@@ -374,66 +440,23 @@ class RunList:
         pooled staging buffer this way, with zero intermediate
         allocation.
         """
-        if out is not None and len(out) != self._n:
-            raise ValueError(
-                f"gather out buffer has {len(out)} slots for {self._n} elements"
-            )
-        if self._runs is None:
-            if out is None:
-                return data[self._dense]
-            out[...] = data[self._dense]
-            return out
-        grid = self._uniform_grid()
-        if grid is not None:
-            view = self._grid_view(data, grid)
-            if view is not None:
-                if out is None:
-                    out = np.empty(grid[3] * grid[4], dtype=data.dtype)
-                out.reshape(grid[3], grid[4])[...] = view
-                return out
-        if out is None:
-            out = np.empty(self._n, dtype=data.dtype)
-        pos = 0
-        for start, step, count in self._exec_runs().tolist():
-            if step == 0:
-                out[pos : pos + count] = data[start]
-            elif step == 1:
-                out[pos : pos + count] = data[start : start + count]
-            else:
-                out[pos : pos + count] = data[_run_slice(start, step, count)]
-            pos += count
-        return out
+        from repro.core.dataplane import compile_offsets
+
+        return compile_offsets(self).gather(data, out=out)
 
     def scatter(self, data: np.ndarray, values: np.ndarray) -> None:
-        """``data[self] = values`` — slice stores per run.
+        """``data[self] = values`` executed through the compiled program.
 
         Matches NumPy scatter semantics for repeated offsets (the last
         occurrence wins), though valid schedules never repeat a
-        destination slot.
+        destination slot.  Interleaved grids (rows closer than one row's
+        extent) never take the strided-view store — every such program
+        is marked scatter-unsafe at compile time and runs as a fancy
+        scatter instead.
         """
-        if self._runs is None:
-            data[self._dense] = values
-            return
-        values = np.asarray(values)
-        scalar = values.ndim == 0
-        grid = self._uniform_grid()
-        # Writable strided-view store; rows must not interleave so every
-        # target element is written exactly once (gather has no such need).
-        if grid is not None and grid[1] >= grid[4] * grid[2]:
-            view = self._grid_view(data, grid)
-            if view is not None:
-                view[...] = values if scalar else values.reshape(grid[3], grid[4])
-                return
-        pos = 0
-        for start, step, count in self._exec_runs().tolist():
-            chunk = values if scalar else values[pos : pos + count]
-            if step == 0:
-                data[start] = chunk if scalar else chunk[-1]
-            elif step == 1:
-                data[start : start + count] = chunk
-            else:
-                data[_run_slice(start, step, count)] = chunk
-            pos += count
+        from repro.core.dataplane import compile_offsets
+
+        compile_offsets(self).scatter(data, values)
 
 
 def as_offsets(offsets) -> "RunList | np.ndarray":
@@ -466,71 +489,26 @@ def group_by_runs(keys: np.ndarray, values: np.ndarray) -> dict[int, "RunList"]:
     }
 
 
-def _aligned_segments(a: RunList, b: RunList):
-    """Yield ``(a_start, a_step, b_start, b_step, count)`` over the common
-    refinement of two equal-length compressed run partitions."""
-    a_runs = a.runs.tolist()
-    b_runs = b.runs.tolist()
-    ia = ib = 0
-    oa = ob = 0  # progress within the current run on each side
-    while ia < len(a_runs) and ib < len(b_runs):
-        a_start, a_step, a_count = a_runs[ia]
-        b_start, b_step, b_count = b_runs[ib]
-        take = min(a_count - oa, b_count - ob)
-        yield (a_start + a_step * oa, a_step, b_start + b_step * ob, b_step, take)
-        oa += take
-        ob += take
-        if oa == a_count:
-            ia += 1
-            oa = 0
-        if ob == b_count:
-            ib += 1
-            ob = 0
-
-
 def copy_runs(
     src_data: np.ndarray,
     src_offsets,
     dst_data: np.ndarray,
     dst_offsets,
 ) -> None:
-    """``dst_data[dst_offsets] = src_data[src_offsets]`` with run fast paths.
+    """``dst_data[dst_offsets] = src_data[src_offsets]``, compiled.
 
-    When both sides are compressed RunLists the copy runs as aligned
-    slice-to-slice stores over the common run refinement — no
-    intermediate buffer, memcpy speed for stride-1 runs.  Any dense side
-    falls back to NumPy fancy indexing (the Chaos-style irregular path).
+    Both sides lower to cached move programs and the copy executes as
+    aligned direct stores — slice-to-slice for single runs, strided
+    view-to-view for matched grids — with a single fancy-to-fancy
+    assignment through the cached index vectors for everything else
+    (the Chaos-style irregular path).  No staging buffer in any case,
+    and either data side may be an arbitrarily strided ndarray.
     """
+    from repro.core.dataplane import compile_offsets, copy_compiled
+
     src_offsets = as_offsets(src_offsets)
     dst_offsets = as_offsets(dst_offsets)
-    if len(src_offsets) != len(dst_offsets):
-        raise ValueError(
-            f"copy sides differ in length: {len(src_offsets)} vs {len(dst_offsets)}"
-        )
-    if (
-        isinstance(src_offsets, RunList)
-        and isinstance(dst_offsets, RunList)
-        and src_offsets.is_compressed
-        and dst_offsets.is_compressed
-    ):
-        for s0, sstep, d0, dstep, count in _aligned_segments(src_offsets, dst_offsets):
-            if sstep == 0:
-                chunk = src_data[s0]
-                if dstep == 0:
-                    dst_data[d0] = chunk
-                elif count == 1:
-                    dst_data[d0] = chunk
-                else:
-                    dst_data[_run_slice(d0, dstep, count) if dstep != 1
-                             else slice(d0, d0 + count)] = chunk
-                continue
-            src_sl = slice(s0, s0 + count) if sstep == 1 else _run_slice(s0, sstep, count)
-            if dstep == 0:
-                # All writes land on one slot: the last source element wins.
-                dst_data[d0] = src_data[s0 + sstep * (count - 1)]
-            elif dstep == 1:
-                dst_data[d0 : d0 + count] = src_data[src_sl]
-            else:
-                dst_data[_run_slice(d0, dstep, count)] = src_data[src_sl]
-        return
-    dst_data[np.asarray(dst_offsets)] = src_data[np.asarray(src_offsets)]
+    copy_compiled(
+        compile_offsets(src_offsets), src_data,
+        compile_offsets(dst_offsets), dst_data,
+    )

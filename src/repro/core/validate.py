@@ -76,7 +76,7 @@ def validate_schedule(
         if not 0 <= d < schedule.dst_size:
             problems.append(f"send destination {d} out of range")
         if src_array is not None and len(offs):
-            n = len(get_adapter(schedule.src_lib).local_data(src_array))
+            n = get_adapter(schedule.src_lib).local_data(src_array).size
             if offs.min() < 0 or offs.max() >= n:
                 problems.append(
                     f"send offsets to {d} outside local storage [0,{n})"
@@ -85,7 +85,7 @@ def validate_schedule(
         if not 0 <= s < schedule.src_size:
             problems.append(f"receive source {s} out of range")
         if dst_array is not None and len(offs):
-            n = len(get_adapter(schedule.dst_lib).local_data(dst_array))
+            n = get_adapter(schedule.dst_lib).local_data(dst_array).size
             if offs.min() < 0 or offs.max() >= n:
                 problems.append(
                     f"recv offsets from {s} outside local storage [0,{n})"

@@ -19,6 +19,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.dataplane import accept_local, read_flat
 from repro.distrib.cartesian import (
     BLOCK,
     BLOCK_CYCLIC,
@@ -98,7 +99,10 @@ class HPFArray:
             )
         self.comm = comm
         self.dist = dist
-        self.local = np.ascontiguousarray(local).reshape(-1)
+        # Zero-copy: any strided ndarray (transposed, sliced,
+        # non-contiguous) is first-class local storage; the compiled
+        # data plane addresses it in place in logical (C) order.
+        self.local = accept_local(local)
 
     # -- collective constructors ------------------------------------------------
 
@@ -164,6 +168,13 @@ class HPFArray:
 
     @property
     def local_nd(self) -> np.ndarray:
+        if self.local.ndim > 1:
+            if self.local.shape != self.local_shape:
+                raise ValueError(
+                    f"strided local storage {self.local.shape} does not "
+                    f"admit a {self.local_shape} view"
+                )
+            return self.local
         return self.local.reshape(self.local_shape)
 
     @property
@@ -182,7 +193,7 @@ class HPFArray:
 
     def gather_global(self) -> np.ndarray | None:
         """Collect the full global array on rank 0 (testing oracle)."""
-        pieces = self.comm.gather((self.comm.rank, self.local.copy()))
+        pieces = self.comm.gather((self.comm.rank, read_flat(self.local).copy()))
         if pieces is None:
             return None
         out = np.zeros(int(np.prod(self.global_shape)), dtype=self.dtype)

@@ -44,6 +44,10 @@ class HPFAdapter(LibraryAdapter):
             raise TypeError("a local HPFArray is required for data access")
         return array.local
 
+    def adopt_local(self, array: Any, values: np.ndarray) -> bool:
+        array.local = values
+        return True
+
     def itemsize_of(self, handle: Any) -> int:
         return handle.itemsize
 

@@ -12,6 +12,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.dataplane import accept_local, read_flat, write_flat
 from repro.distrib.cartesian import BLOCK, CYCLIC, CartesianDist, DimDist
 from repro.distrib.base import Distribution
 from repro.distrib.irregular import IrregularDist
@@ -36,7 +37,8 @@ class DistributedCollection:
             )
         self.comm = comm
         self.dist = dist
-        self.local = np.ascontiguousarray(local).reshape(-1)
+        # Zero-copy: any strided ndarray is first-class local storage.
+        self.local = accept_local(local)
 
     @classmethod
     def create(
@@ -99,20 +101,20 @@ class DistributedCollection:
     def apply(self, fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
               flops_per_elem: float = 1.0) -> None:
         """Element-parallel method invocation: ``e = fn(global_index, e)``."""
-        self.local[:] = fn(self.my_globals(), self.local)
+        write_flat(self.local, fn(self.my_globals(), read_flat(self.local)))
         current_process().charge_flops(flops_per_elem * self.local.size)
 
     def reduce(self, op: Callable[[float, float], float], initial: float = 0.0) -> float:
         """Collection-wide reduction (collective, returns on every rank)."""
         import functools
 
-        local_val = functools.reduce(op, self.local.tolist(), initial)
+        local_val = functools.reduce(op, read_flat(self.local).tolist(), initial)
         current_process().charge_flops(self.local.size)
         return self.comm.allreduce(local_val, op)
 
     def gather_global(self) -> np.ndarray | None:
         """Collect all elements on rank 0 (testing oracle)."""
-        pieces = self.comm.gather((self.comm.rank, self.local.copy()))
+        pieces = self.comm.gather((self.comm.rank, read_flat(self.local).copy()))
         if pieces is None:
             return None
         out = np.zeros(self.size, dtype=self.dtype)

@@ -42,6 +42,10 @@ class PCxxAdapter(LibraryAdapter):
             raise TypeError("a local DistributedCollection is required")
         return array.local
 
+    def adopt_local(self, array: Any, values: np.ndarray) -> bool:
+        array.local = values
+        return True
+
     def itemsize_of(self, handle: Any) -> int:
         return handle.itemsize
 

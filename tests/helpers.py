@@ -53,3 +53,52 @@ def index_sor(indices: np.ndarray) -> SetOfRegions:
 
 def both_methods():
     return [ScheduleMethod.COOPERATION, ScheduleMethod.DUPLICATION]
+
+
+def layouts_of(values: np.ndarray):
+    """(label, array) pairs whose flat logical (C) order equals ``values``.
+
+    Covers the layout matrix of the compiled data plane: contiguous 1-D,
+    reversed and strided 1-D views, and C-contiguous / transposed /
+    column-sliced 2-D shapes (the last two have no zero-copy 1-D view).
+    """
+    n = values.size
+    out = [("contiguous", values.copy())]
+
+    rev_buf = np.empty(n, dtype=values.dtype)
+    rev = rev_buf[::-1]
+    rev[:] = values
+    out.append(("reversed-view", rev))
+
+    hole_buf = np.zeros(2 * n, dtype=values.dtype)
+    strided = hole_buf[::2]
+    strided[:] = values
+    out.append(("strided-view", strided))
+
+    for r in range(2, n):
+        if n % r == 0:
+            c = n // r
+            break
+    else:
+        return out
+    out.append(("c-contig-2d", values.copy().reshape(r, c)))
+
+    tr = np.empty((c, r), dtype=values.dtype).T
+    tr[...] = values.reshape(r, c)
+    out.append(("transposed-2d", tr))
+
+    wide = np.zeros((r, 2 * c), dtype=values.dtype)
+    sl = wide[:, ::2]
+    sl[...] = values.reshape(r, c)
+    out.append(("sliced-2d", sl))
+    return out
+
+
+def strided_local(values: np.ndarray, label: str) -> np.ndarray:
+    """The one layout named ``label`` from :func:`layouts_of`.
+
+    Sizes with no 2-D factorization (primes, < 4 elements) have no 2-D
+    layouts; those labels fall back to contiguous storage.
+    """
+    table = dict(layouts_of(values))
+    return table.get(label, table["contiguous"])

@@ -305,6 +305,53 @@ def cmd_profile(args) -> int:
     return 0 if worst < 1e-9 else 1
 
 
+def cmd_serve(args) -> int:
+    """Run the multi-tenant coupling service against a demo object server."""
+    from repro.apps.service_demo import run_service_demo
+
+    report, server_summary, _ = run_service_demo(
+        tenants=args.tenants,
+        gateway_procs=args.gateway,
+        server_procs=args.server,
+        size=args.size,
+        shapes=args.shapes,
+        iterations=args.iters,
+        policy=args.policy,
+        reliability=args.reliability,
+        max_queue_depth=args.queue_depth,
+        max_inflight_per_tenant=args.inflight,
+    )
+    ok = sum(1 for t in report.tenants if t.ok)
+    shed = sum(t.ops_shed for t in report.tenants)
+    lat = sorted(x for t in report.tenants for x in t.latencies)
+    c = report.cache
+    print(
+        f"{ok}/{len(report.tenants)} tenants ok over {report.rounds} rounds "
+        f"({shed} submissions shed, slot high water "
+        f"{report.slot_high_water})"
+    )
+    if lat:
+        p50 = lat[len(lat) // 2] * 1e6
+        p99 = lat[min(len(lat) - 1, int(len(lat) * 0.99))] * 1e6
+        print(f"op latency p50 {p50:.0f} us, p99 {p99:.0f} us "
+              f"({len(lat)} resolved ops)")
+    print(
+        f"gateway cache: {c['schedule_hits']} schedule hits / "
+        f"{c['schedule_misses']} misses, {c['plan_hits']} plan hits / "
+        f"{c['plan_misses']} misses, {c['halves_lowered']} lowered halves"
+    )
+    s = report.server_counters
+    if s:
+        print(
+            f"server cache:  {s.get('schedule_hits', 0)} schedule hits / "
+            f"{s.get('schedule_misses', 0)} misses, "
+            f"{s.get('plan_hits', 0)} plan hits / "
+            f"{s.get('plan_misses', 0)} misses"
+        )
+    print(f"server: {server_summary.get('ops_served', 0)} ops served")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -358,6 +405,26 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--policy", choices=("ordered", "overlap"),
                    default="ordered")
 
+    p = sub.add_parser(
+        "serve",
+        help="multi-tenant coupling service demo (sessions, shared caches)",
+    )
+    p.add_argument("--tenants", type=int, default=16)
+    p.add_argument("--gateway", type=int, default=2)
+    p.add_argument("--server", type=int, default=3)
+    p.add_argument("--size", type=int, default=64)
+    p.add_argument("--shapes", type=int, default=1,
+                   help="distinct array signatures (shape classes); tenants "
+                        "are assigned round-robin, so shapes=1 makes every "
+                        "bind after the first a shared-cache hit")
+    p.add_argument("--iters", type=int, default=2,
+                   help="push/compute/pull iterations per tenant")
+    p.add_argument("--policy", choices=("ordered", "overlap"),
+                   default="ordered")
+    p.add_argument("--reliability", action="store_true")
+    p.add_argument("--queue-depth", type=int, default=1024)
+    p.add_argument("--inflight", type=int, default=8)
+
     args = parser.parse_args(argv)
     return {
         "info": cmd_info,
@@ -367,6 +434,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan-summary": cmd_plan_summary,
         "trace": cmd_trace,
         "profile": cmd_profile,
+        "serve": cmd_serve,
     }[args.command](args)
 
 

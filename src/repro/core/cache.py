@@ -125,6 +125,20 @@ class ScheduleCache:
     def plan_count(self) -> int:
         return len(self._plans)
 
+    def snapshot(self) -> dict[str, int]:
+        """Immutable copy of the counters (same shape as
+        ``repro.service.ServiceCache.snapshot``)."""
+        return {
+            "schedule_hits": self.hits,
+            "schedule_misses": self.misses,
+            "schedule_evictions": self.evictions,
+            "schedule_entries": len(self._store),
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "plan_invalidations": self.plan_invalidations,
+            "plan_entries": len(self._plans),
+        }
+
     def get_or_build(
         self,
         src_lib: str,

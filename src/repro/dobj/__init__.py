@@ -24,7 +24,7 @@ See ``examples/image_server.py`` for the satellite-image-database
 scenario from the paper's introduction, rebuilt on this layer.
 """
 
-from repro.dobj.protocol import BoundArray, Request, Reply
+from repro.dobj.protocol import BoundArray, Request, Reply, SlotTable
 from repro.dobj.server import ParallelObject, serve_objects
 from repro.dobj.client import Broker, RemoteError, RemoteObject, connect
 
@@ -32,6 +32,7 @@ __all__ = [
     "BoundArray",
     "Request",
     "Reply",
+    "SlotTable",
     "ParallelObject",
     "serve_objects",
     "Broker",

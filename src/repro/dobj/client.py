@@ -38,6 +38,19 @@ class Broker:
         """Proxy for the server's object ``name`` (no round trip)."""
         return RemoteObject(self, name)
 
+    def unbind(self, binding: BoundArray) -> None:
+        """Release ``binding``'s server-side slot (collective).
+
+        The slot becomes reusable by the next ``bind`` on both ends, so a
+        client cycling through bindings keeps the server's table bounded.
+        Equivalent to ``binding.close()``.
+        """
+        if binding.closed:
+            return
+        self._transact(Request(kind="unbind", binding=binding.binding_id))
+        binding.closed = True
+        self._bindings -= 1
+
     def shutdown(self) -> None:
         """Stop the server's dispatch loop (collective)."""
         self._transact(Request(kind="shutdown"))
@@ -119,17 +132,20 @@ class RemoteObject:
             local_lib, None, None,  # destination lives in the server
             method=ScheduleMethod.COOPERATION,
         )
+        self.broker._bindings += 1
         return BoundArray(
             binding_id=reply.binding,
             obj=self.name,
             attr=attr,
             exchange=CoupledExchange(universe, sched),
             local_array=local_array,
+            owner=self.broker,
         )
 
     def push(self, binding: BoundArray, local_array: Any | None = None) -> None:
         """Copy the client's array into the object's array (collective)."""
         ctx = self.broker.ctx
+        _check_open(binding, "push")
         if ctx.rank == 0:
             self.broker._ic.send(
                 0, Request(kind="push", binding=binding.binding_id), TAG_CONTROL
@@ -140,6 +156,7 @@ class RemoteObject:
     def pull(self, binding: BoundArray, local_array: Any | None = None) -> None:
         """Copy the object's array back into the client's (collective)."""
         ctx = self.broker.ctx
+        _check_open(binding, "pull")
         if ctx.rank == 0:
             self.broker._ic.send(
                 0, Request(kind="pull", binding=binding.binding_id), TAG_CONTROL
@@ -155,6 +172,15 @@ class RemoteObject:
         reply = comm.bcast(reply, root=0)
         if not reply.ok:
             raise RemoteError(reply.error)
+
+
+def _check_open(binding: BoundArray, op: str) -> None:
+    if binding.closed:
+        raise RuntimeError(
+            f"cannot {op} on closed binding {binding.binding_id} "
+            f"({binding.obj}.{binding.attr}): the server-side slot has "
+            "been released"
+        )
 
 
 def connect(ctx: ProgramContext, server: str) -> Broker:

@@ -6,14 +6,22 @@ server program (every server rank participates in every operation — the
 methods are SPMD), and a :class:`Reply` returns.  Bulk data never rides
 this channel: array arguments/results go through Meta-Chaos schedules
 referenced by binding id.
+
+Binding ids are *slots*: the server assigns the lowest free slot at
+``bind`` time and ``unbind`` returns it to the free list, so long-lived
+clients that cycle through bindings reuse a bounded table instead of
+growing it without limit.  Both sides run the same :class:`SlotTable`
+discipline, which keeps their id assignment in lockstep without shipping
+tables around.
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Request", "Reply", "BoundArray", "TAG_CONTROL"]
+__all__ = ["Request", "Reply", "BoundArray", "SlotTable", "TAG_CONTROL"]
 
 TAG_CONTROL = (1 << 21) + 100
 
@@ -22,17 +30,26 @@ TAG_CONTROL = (1 << 21) + 100
 class Request:
     """One client -> server control message."""
 
-    kind: str            # "call" | "bind" | "push" | "pull" | "shutdown"
+    kind: str            # "call" | "bind" | "push" | "pull" | "unbind" | "shutdown"
     obj: str = ""        # target object name
     method: str = ""     # for "call": SPMD method name
     args: tuple = ()     # for "call": scalar (picklable, replicated) args
     attr: str = ""       # for "bind": exported array attribute
-    binding: int = -1    # for "push"/"pull": binding id
+    binding: int = -1    # for "push"/"pull"/"unbind": binding slot
 
     @property
     def nbytes(self) -> int:
-        # Control messages are small and fixed-cost on the wire.
-        return 64 + 16 * len(self.args)
+        # Fixed control envelope plus the *real* pickled size of the
+        # arguments: a client shipping a large replicated tuple pays for
+        # it in the cost model instead of a flat 16-bytes-per-arg
+        # underestimate.  Cached — Request is frozen, so the size is too.
+        cached = self.__dict__.get("_nbytes")
+        if cached is None:
+            cached = 64
+            if self.args:
+                cached += len(pickle.dumps(self.args, protocol=4))
+            object.__setattr__(self, "_nbytes", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -49,6 +66,75 @@ class Reply:
         return 64
 
 
+class SlotTable:
+    """Lowest-free-slot id allocator with deterministic reuse.
+
+    Used on both ends of the protocol: because the server assigns slots
+    in request order and frees them in ``unbind`` order, a client (or the
+    coupling service's gateway) running the same discipline over the same
+    op stream mirrors the server's table exactly.
+    """
+
+    def __init__(self) -> None:
+        self._free: list[int] = []
+        self._next = 0
+        #: largest number of simultaneously live slots ever observed
+        self.high_water = 0
+
+    def acquire(self) -> int:
+        if self._free:
+            # Lowest slot first: deterministic and keeps the table dense.
+            slot = self._free.pop(0)
+        else:
+            slot = self._next
+            self._next += 1
+        self.high_water = max(self.high_water, self.live)
+        return slot
+
+    def release(self, slot: int) -> None:
+        if not 0 <= slot < self._next or slot in self._free:
+            raise KeyError(f"slot {slot} is not live")
+        # Insertion keeps the free list sorted so acquire() pops the
+        # lowest slot without a scan.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid] < slot:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, slot)
+
+    def preview(self, k: int) -> list[int]:
+        """The ``k`` slot ids the next ``k`` :meth:`acquire` calls would
+        return, without mutating the table.
+
+        The coupling service's bind negotiation answers clients *before*
+        the collective phase in which both programs actually acquire the
+        slots, so the server previews its assignment to put authoritative
+        ids on the wire while keeping all mutation in one ordered phase.
+        """
+        out = self._free[:k]
+        n = self._next
+        while len(out) < k:
+            out.append(n)
+            n += 1
+        return out
+
+    @property
+    def live(self) -> int:
+        """Number of slots currently allocated."""
+        return self._next - len(self._free)
+
+    @property
+    def capacity(self) -> int:
+        """Size of the underlying table (live + free slots)."""
+        return self._next
+
+    def is_live(self, slot: int) -> bool:
+        return 0 <= slot < self._next and slot not in self._free
+
+
 @dataclass
 class BoundArray:
     """One established client<->server bulk-data path.
@@ -58,6 +144,11 @@ class BoundArray:
     exported array.  The stored Meta-Chaos schedule (client = source) is
     symmetric, so the same binding serves ``push`` (client -> object) and
     ``pull`` (object -> client).
+
+    ``close()`` releases the server-side binding slot (collective over
+    the client program) so long-lived clients can cycle through bindings
+    without growing the server's table; closed bindings refuse further
+    transfers.
     """
 
     binding_id: int
@@ -65,3 +156,17 @@ class BoundArray:
     attr: str
     exchange: Any  # CoupledExchange
     local_array: Any = field(default=None)
+    #: set on client-side bindings so close() can reach the broker
+    owner: Any = field(default=None, repr=False, compare=False)
+    closed: bool = field(default=False, compare=False)
+
+    def close(self) -> None:
+        """Release the server-side slot (collective; client-side only)."""
+        if self.closed:
+            return
+        if self.owner is None:
+            raise RuntimeError(
+                "this BoundArray has no owning broker (server-side bindings "
+                "are closed by the client's unbind request)"
+            )
+        self.owner.unbind(self)

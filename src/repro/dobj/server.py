@@ -14,7 +14,7 @@ import abc
 
 from repro.core.coupling import CoupledExchange, coupled_universe
 from repro.core.schedule import ScheduleMethod
-from repro.dobj.protocol import TAG_CONTROL, BoundArray, Reply
+from repro.dobj.protocol import TAG_CONTROL, BoundArray, Reply, SlotTable
 from repro.vmachine.program import ProgramContext
 
 __all__ = ["ParallelObject", "serve_objects"]
@@ -49,11 +49,13 @@ def serve_objects(
     """Run the object-server dispatch loop until the client shuts it down.
 
     Collective over the server program.  Returns the number of requests
-    served (for monitoring/tests).
+    served (for monitoring/tests) — the terminating ``shutdown`` request
+    is not counted as served work.
     """
     comm = ctx.comm
     ic = ctx.peer(client)
-    bindings: list[BoundArray] = []
+    slots = SlotTable()
+    bindings: dict[int, BoundArray] = {}
     served = 0
 
     while True:
@@ -61,21 +63,27 @@ def serve_objects(
         if comm.rank == 0:
             request = ic.recv(0, TAG_CONTROL)
         request = comm.bcast(request, root=0)
-        served += 1
 
         if request.kind == "shutdown":
             _reply(comm, ic, Reply(ok=True))
             return served
+        served += 1
 
-        try:
-            if request.kind == "oneway":
-                # Fire-and-forget invocation (CORBA 'oneway'): execute but
-                # never reply — the client is already gone.
+        if request.kind == "oneway":
+            # Fire-and-forget invocation (CORBA 'oneway'): execute but
+            # *never* reply, success or failure — the client is already
+            # gone, and an unsolicited Reply would sit in its mailbox and
+            # desynchronize every later request/reply pairing on the
+            # control channel.  Failures are counted, not reported.
+            try:
                 obj = _lookup(objects, request.obj)
                 if obj._callable(request.method):
                     getattr(obj, request.method)(*request.args)
-                continue
+            except Exception:  # noqa: BLE001 - deliberately silent
+                comm.process.metrics.incr("dobj_oneway_errors")
+            continue
 
+        try:
             if request.kind == "call":
                 obj = _lookup(objects, request.obj)
                 if not obj._callable(request.method):
@@ -94,27 +102,31 @@ def serve_objects(
                 # that bailed out).
                 obj = _lookup(objects, request.obj)
                 lib, array, sor = obj.export_array(request.attr)
-                binding_id = len(bindings)
+                binding_id = slots.acquire()
                 _reply(comm, ic, Reply(ok=True, binding=binding_id))
                 universe = coupled_universe(ctx, client, "dst")
                 sched = _bind_schedule(universe, lib, array, sor)
-                bindings.append(
-                    BoundArray(
-                        binding_id=binding_id,
-                        obj=request.obj,
-                        attr=request.attr,
-                        exchange=CoupledExchange(universe, sched),
-                        local_array=array,
-                    )
+                bindings[binding_id] = BoundArray(
+                    binding_id=binding_id,
+                    obj=request.obj,
+                    attr=request.attr,
+                    exchange=CoupledExchange(universe, sched),
+                    local_array=array,
                 )
 
+            elif request.kind == "unbind":
+                b = _binding(bindings, request.binding)
+                del bindings[b.binding_id]
+                slots.release(b.binding_id)
+                _reply(comm, ic, Reply(ok=True))
+
             elif request.kind == "push":
-                b = bindings[request.binding]
+                b = _binding(bindings, request.binding)
                 b.exchange.push(b.local_array)
                 _reply(comm, ic, Reply(ok=True))
 
             elif request.kind == "pull":
-                b = bindings[request.binding]
+                b = _binding(bindings, request.binding)
                 b.exchange.pull(b.local_array)
                 _reply(comm, ic, Reply(ok=True))
 
@@ -142,6 +154,16 @@ def _bind_schedule(universe, lib, array, sor):
         lib, array, sor,
         method=ScheduleMethod.COOPERATION,
     )
+
+
+def _binding(bindings: dict[int, BoundArray], slot: int) -> BoundArray:
+    try:
+        return bindings[slot]
+    except KeyError:
+        raise KeyError(
+            f"binding {slot} is not live (unbound or never bound); "
+            f"live bindings: {sorted(bindings)}"
+        ) from None
 
 
 def _lookup(objects: dict[str, ParallelObject], name: str) -> ParallelObject:

@@ -5,8 +5,10 @@ observability state accumulates.  It carries two kinds of data:
 
 **Counters** (``counters``: name → number) — the event tallies that used
 to grow ad hoc inside ``proc.stats`` (``messages_sent``, ``faults_drop``,
-``plan_fused_messages``, ``arena_hits``, ``rel_retransmits``, ...).  They
-are always on: bumping a counter is a dict update, free of logical time.
+``plan_fused_messages``, ``arena_hits``, ``rel_retransmits``, and the
+coupling service's ``svc_*`` family — ``svc_rounds``, ``svc_admitted``,
+``svc_oneway_errors``, ``svc_tenants_evicted``, ...).  They are always
+on: bumping a counter is a dict update, free of logical time.
 
 **Cost terms** (``terms``: (phase, term) → logical seconds) — every
 logical-clock advance attributed to the analytical cost-model term that

@@ -1,0 +1,112 @@
+"""Admission control and bounded backpressure for the coupling service.
+
+Two limits protect the collective dispatch loop from unbounded queue
+growth under overload, both enforced at *submission* time (before an
+operation ever enters a session queue):
+
+- the **queue-depth watermark**: total queued-but-undispatched operations
+  across all sessions may never exceed ``max_queue_depth``;
+- the **per-tenant in-flight cap**: one tenant may never have more than
+  ``max_inflight_per_tenant`` submitted-but-unresolved operations.
+
+A submission over either limit is *shed*: the session's future resolves
+immediately with ``Reply(ok=False, error="busy")`` and the session API
+raises :class:`ServiceBusyError` — the tenant retries (with backoff) or
+gives up, but the service's memory and latency stay bounded and no
+session can wedge the dispatch loop.  Sheds are counted per limit and
+surfaced through the rank's metrics (``svc_shed_*``).
+
+System-generated lifecycle operations (eviction disconnects) bypass
+admission: reclaiming a dead tenant's slots must never be refused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdmissionControl", "AdmissionDecision", "ServiceBusyError"]
+
+BUSY = "busy"
+
+
+class ServiceBusyError(RuntimeError):
+    """The service shed this operation under overload; retry later."""
+
+    def __init__(self, reason: str):
+        super().__init__(f"service busy: {reason}")
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    admitted: bool
+    reason: str = ""
+
+
+class AdmissionControl:
+    """Watermark + per-tenant cap enforcement with shed accounting."""
+
+    def __init__(
+        self,
+        max_queue_depth: int,
+        max_inflight_per_tenant: int,
+        metrics=None,
+    ):
+        if max_queue_depth < 1 or max_inflight_per_tenant < 1:
+            raise ValueError("admission limits must be positive")
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_per_tenant = max_inflight_per_tenant
+        self.metrics = metrics
+        #: total queued-but-undispatched ops across every session
+        self.queued = 0
+        #: largest queue depth ever observed (bounded by the watermark)
+        self.queue_high_water = 0
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_tenant_cap = 0
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.incr(name)
+
+    def try_admit(self, tenant_inflight: int) -> AdmissionDecision:
+        """Admit one submission (and account for it) or shed it."""
+        if tenant_inflight >= self.max_inflight_per_tenant:
+            self.shed_tenant_cap += 1
+            self._count("svc_shed_tenant_cap")
+            return AdmissionDecision(
+                False,
+                f"tenant in-flight cap ({self.max_inflight_per_tenant}) reached",
+            )
+        if self.queued >= self.max_queue_depth:
+            self.shed_queue_full += 1
+            self._count("svc_shed_queue_full")
+            return AdmissionDecision(
+                False,
+                f"queue-depth watermark ({self.max_queue_depth}) reached",
+            )
+        self.queued += 1
+        self.queue_high_water = max(self.queue_high_water, self.queued)
+        self.admitted += 1
+        self._count("svc_admitted")
+        return AdmissionDecision(True)
+
+    def enqueue_system(self) -> None:
+        """Account a system lifecycle op (bypasses the limits)."""
+        self.queued += 1
+        self.queue_high_water = max(self.queue_high_water, self.queued)
+
+    def dispatched(self, n: int) -> None:
+        """``n`` queued ops left the queues for a batch round."""
+        if n > self.queued:
+            raise ValueError(f"dispatched {n} ops but only {self.queued} queued")
+        self.queued -= n
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_tenant_cap": self.shed_tenant_cap,
+            "queue_high_water": self.queue_high_water,
+            "queued": self.queued,
+        }

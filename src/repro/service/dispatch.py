@@ -1,0 +1,414 @@
+"""Collective round execution on the gateway program's ranks.
+
+One dispatch *round* is the unit of collective work: the gateway's rank 0
+seals a batch (at most one operation per tenant session), negotiates the
+bind phase with the server, and broadcasts a :class:`Round` to the other
+gateway ranks; every gateway rank then executes the identical round
+through :func:`execute_round` while the server program executes its
+mirror image — so the collective calls (schedule builds, fused moves,
+gathers) line up pairwise without any per-rank coordination beyond the
+one broadcast.
+
+Execution order within a round is canonical and shared with the server:
+
+1. **slot acquisition** — granted binds acquire slots in batch order
+   (before any unbind frees one, so both programs' slot tables stay in
+   lockstep with the ids the server previewed into the grants);
+2. **batch order** — creates, calls (server-side), binds (collective
+   schedule build when the negotiation said so, shared-cache lookup
+   otherwise), unbinds, disconnects, gathers;
+3. **all pushes**, fused into one :class:`~repro.core.plan.MovePlan`
+   message per processor pair when a round carries several;
+4. **all pulls**, likewise (over the reversed universe).
+
+The at-most-one-op-per-tenant rule makes every operation in a round
+independent, which is what makes this order safe to impose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.datamove import data_move_recv, data_move_send
+from repro.core.plan import plan_move_recv, plan_move_send
+from repro.core.policy import ExecutorPolicy
+from repro.core.schedule import CommSchedule, ScheduleMethod, build_schedule
+from repro.core.universe import TwoProgramUniverse, Universe
+from repro.dobj.protocol import Reply, SlotTable
+from repro.service.cache import ServiceCache, array_signature, bind_key
+from repro.service.protocol import (
+    PULL,
+    PUSH,
+    BindGrant,
+    BindOp,
+    CreateOp,
+    DisconnectOp,
+    GatherOp,
+    MoveOp,
+    ServiceConfig,
+    UnbindOp,
+)
+from repro.service.session import make_sor, materialize_array
+from repro.vmachine.faults import PeerLostError, RankLostError
+
+__all__ = [
+    "Round",
+    "Shutdown",
+    "GatewayState",
+    "GatewayBinding",
+    "ProtocolError",
+    "execute_round",
+    "gateway_follower_loop",
+    "guard_peer",
+]
+
+
+class ProtocolError(RuntimeError):
+    """The two programs' mirrored state diverged — a service bug, raised
+    loudly instead of letting a desynchronized collective hang."""
+
+
+@dataclass(frozen=True)
+class Round:
+    """One dispatch round, broadcast from the gateway's rank 0.
+
+    ``ops`` is the full sealed batch **including** gateway-local
+    operations (creates, gathers); ``grants`` are the server's bind
+    verdicts, aligned with the round's :class:`BindOp` entries in batch
+    order (empty when the round carries no binds).
+    """
+
+    seq: int
+    ops: tuple = ()
+    grants: tuple = ()
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Terminal broadcast: the follower loops return."""
+
+    reason: str = ""
+
+
+@dataclass
+class GatewayBinding:
+    """One rank's record of an established tenant binding."""
+
+    slot: int
+    tenant: int
+    key: tuple                 # schedule-cache key (embeds the signature)
+    schedule: CommSchedule
+    array_ref: tuple           # (tenant, array_name)
+    lib: str
+
+
+@dataclass
+class GatewayState:
+    """Per-rank gateway state, identical in shape on every gateway rank.
+
+    All mutation happens inside :func:`execute_round`, driven by the
+    broadcast op stream — which is what keeps the replicas (and the
+    server's mirror tables) consistent without shipping state.
+    """
+
+    ctx: Any
+    server: str
+    config: ServiceConfig
+    universe: TwoProgramUniverse
+    cache: ServiceCache
+    policy: ExecutorPolicy
+    slots: SlotTable = field(default_factory=SlotTable)
+    bindings: dict[int, GatewayBinding] = field(default_factory=dict)
+    #: (tenant, name) -> (spec, array, set-of-regions)
+    arrays: dict[tuple, tuple] = field(default_factory=dict)
+    rounds: int = 0
+
+    @property
+    def comm(self):
+        return self.ctx.comm
+
+    @property
+    def proc(self):
+        return self.ctx.comm.process
+
+    def signature_of(self, tenant: int, name: str) -> tuple:
+        """Canonical content key of one tenant array (rank-local)."""
+        spec, array, sor = self._array(tenant, name)
+        return array_signature(spec.lib, array, sor)
+
+    def _array(self, tenant: int, name: str) -> tuple:
+        try:
+            return self.arrays[(tenant, name)]
+        except KeyError:
+            raise KeyError(
+                f"tenant {tenant} has no materialized array {name!r}"
+            ) from None
+
+
+def make_gateway_state(ctx, server: str, config: ServiceConfig) -> GatewayState:
+    """Build one rank's gateway state (collective-free)."""
+    from repro.core.coupling import coupled_universe
+
+    universe = coupled_universe(ctx, server, "src")
+    if config.reliability:
+        universe.enable_reliability()
+    metrics = ctx.comm.process.metrics
+    cache = ServiceCache(
+        schedule_maxsize=config.schedule_cache_size,
+        plan_maxsize=config.plan_cache_size,
+        metrics=metrics,
+    )
+    return GatewayState(
+        ctx=ctx,
+        server=server,
+        config=config,
+        universe=universe,
+        cache=cache,
+        policy=ExecutorPolicy.coerce(config.policy),
+    )
+
+
+# ---------------------------------------------------------------------------
+# peer-failure translation
+# ---------------------------------------------------------------------------
+
+
+def guard_peer(universe: Universe, deadline_s, direction: str, fn, *args, **kwargs):
+    """Run one collective phase, upgrading transport-level failures
+    (:class:`~repro.vmachine.faults.RankLostError`, ``TimeoutError``) to
+    :class:`~repro.vmachine.faults.PeerLostError` naming the peer program
+    — the service must report *which coupled program* died, and must do
+    so within the deadline instead of wedging every tenant session."""
+    try:
+        return fn(*args, **kwargs)
+    except PeerLostError:
+        raise
+    except (RankLostError, TimeoutError) as exc:
+        raise peer_lost(universe, deadline_s, exc, direction) from exc
+
+
+def peer_lost(
+    universe: Universe, deadline_s, exc: BaseException, direction: str
+) -> PeerLostError:
+    proc = universe.process
+    if isinstance(exc, RankLostError):
+        return PeerLostError(
+            exc.rank,
+            exc.lost_rank,
+            f"{direction}: {exc.reason}",
+            peer_program=universe.peer_program,
+            pending=exc.pending,
+            last_ack=exc.last_ack,
+        )
+    rel = universe.reliability
+    return PeerLostError(
+        proc.rank,
+        -1,
+        f"{direction} exceeded the {deadline_s}s service deadline: {exc}",
+        peer_program=universe.peer_program,
+        pending=proc.mailbox.pending_summary(),
+        last_ack=rel.describe() if rel is not None else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# round execution (collective over the gateway program)
+# ---------------------------------------------------------------------------
+
+
+def execute_round(state: GatewayState, rnd: Round) -> dict[int, Reply]:
+    """Execute one round on this gateway rank (collective).
+
+    Returns the replies of the *gateway-local* operations (creates and
+    gathers), keyed by op index — meaningful on rank 0, where the
+    dispatcher pairs them with the server's :class:`BatchReply` to
+    resolve tenant futures.
+    """
+    state.rounds += 1
+    state.proc.metrics.incr("svc_rounds")
+    local: dict[int, Reply] = {}
+
+    # Phase 1: slot acquisition for granted binds, in batch order.  Runs
+    # before any unbind in the same round frees a slot, matching the
+    # server's preview-time view of its table.
+    grant_of: dict[int, BindGrant] = {}
+    grants = iter(rnd.grants)
+    for i, op in enumerate(rnd.ops):
+        if isinstance(op, BindOp):
+            grant = next(grants)
+            grant_of[i] = grant
+            if grant.ok:
+                slot = state.slots.acquire()
+                if slot != grant.slot:
+                    raise ProtocolError(
+                        f"slot tables diverged: gateway acquired {slot}, "
+                        f"server granted {grant.slot}"
+                    )
+
+    # Phase 2: batch order.
+    pushes: list[MoveOp] = []
+    pulls: list[MoveOp] = []
+    for i, op in enumerate(rnd.ops):
+        if isinstance(op, CreateOp):
+            sor = make_sor(op.spec.region, op.spec.n)
+            array = materialize_array(op.spec, state.comm)
+            state.arrays[(op.tenant, op.name)] = (op.spec, array, sor)
+            local[i] = Reply(ok=True)
+
+        elif isinstance(op, GatherOp):
+            _, array, _ = state._array(op.tenant, op.name)
+            value = array.gather_global()  # collective over the gateway
+            local[i] = Reply(ok=True, value=value)
+
+        elif isinstance(op, BindOp):
+            _execute_bind(state, op, grant_of[i])
+
+        elif isinstance(op, UnbindOp):
+            binding = state.bindings.pop(op.slot, None)
+            if binding is not None:
+                state.slots.release(op.slot)
+
+        elif isinstance(op, DisconnectOp):
+            _disconnect_tenant(state, op.tenant)
+
+        elif isinstance(op, MoveOp):
+            # A move on a slot this round's mirror no longer holds is
+            # skipped on *both* programs (the server replies an error);
+            # liveness is decided from replicated state, so the skip
+            # decision is identical everywhere.
+            if op.slot in state.bindings:
+                (pushes if op.direction == PUSH else pulls).append(op)
+
+        # CallOp / ShutdownOp execute on the server only.
+
+    # Phases 3-4: fused bulk transfers.
+    _execute_moves(state, pushes, PUSH)
+    _execute_moves(state, pulls, PULL)
+    return local
+
+
+def _execute_bind(state: GatewayState, op: BindOp, grant: BindGrant) -> None:
+    if not grant.ok:
+        return
+    spec, array, sor = state._array(op.tenant, op.array_name)
+    key = bind_key(op.obj, op.attr, op.signature)
+
+    def build():
+        sched = guard_peer(
+            state.universe, state.config.deadline_s, "bind (schedule build)",
+            build_schedule,
+            state.universe,
+            spec.lib, array, sor,
+            spec.lib, None, None,  # destination side lives in the server
+            method=ScheduleMethod.COOPERATION,
+            policy=state.policy,
+        )
+        state.cache.store_schedule(key, sched)
+        return sched
+
+    if grant.need_build:
+        state.cache.note_build(key)
+        sched = build()
+    else:
+        sched = state.cache.lookup_schedule(key)
+        if sched is None:
+            # Evicted between the negotiation's peek and this lookup —
+            # possible when the cache holds fewer entries than one
+            # round's distinct keys.  Both caches are deterministic
+            # replicas of the same op stream, so the server reaches the
+            # identical conclusion and joins this collective rebuild.
+            sched = build()
+    state.bindings[grant.slot] = GatewayBinding(
+        slot=grant.slot,
+        tenant=op.tenant,
+        key=key,
+        schedule=sched,
+        array_ref=(op.tenant, op.array_name),
+        lib=spec.lib,
+    )
+
+
+def _disconnect_tenant(state: GatewayState, tenant: int) -> None:
+    for slot in sorted(
+        s for s, b in state.bindings.items() if b.tenant == tenant
+    ):
+        del state.bindings[slot]
+        state.slots.release(slot)
+    for ref in [r for r in state.arrays if r[0] == tenant]:
+        del state.arrays[ref]
+
+
+def _execute_moves(
+    state: GatewayState, ops: list[MoveOp], direction: str
+) -> None:
+    """One direction's transfers for a round, fused across tenants.
+
+    ``k >= 2`` independent moves compile (or fetch from the shared plan
+    cache) one :class:`~repro.core.plan.MovePlan` — one message per
+    gateway/server processor pair for the *whole group*, which is where
+    multi-tenant batching pays: the per-pair latency is amortized over
+    every tenant in the round.  A single move keeps the plain
+    ``data_move`` path so its logical clock matches the one-client
+    protocol exactly.
+    """
+    if not ops:
+        return
+    bindings = [state.bindings[op.slot] for op in ops]
+    arrays = [state.arrays[b.array_ref][1] for b in bindings]
+    keys = [b.key for b in bindings]
+    deadline = state.config.deadline_s
+    state.proc.metrics.incr("svc_moves", len(ops))
+    if direction == PUSH:
+        # Gateway is the forward-schedule source: send half.
+        if len(ops) == 1:
+            guard_peer(
+                state.universe, deadline, "push (send half)",
+                data_move_send, bindings[0].schedule, arrays[0],
+                state.universe, policy=state.policy, timeout=deadline,
+            )
+            return
+        plan = state.cache.plan_for(
+            PUSH, keys, [b.schedule for b in bindings]
+        )
+        guard_peer(
+            state.universe, deadline, "fused push (send half)",
+            plan_move_send, plan, arrays, state.universe,
+            policy=state.policy, timeout=deadline,
+        )
+        return
+    runiverse = state.universe.reversed()
+    if len(ops) == 1:
+        guard_peer(
+            runiverse, deadline, "pull (receive half)",
+            data_move_recv, bindings[0].schedule.reverse(), arrays[0],
+            runiverse, policy=state.policy, timeout=deadline,
+        )
+        return
+    plan = state.cache.plan_for(
+        PULL, keys, lambda: [b.schedule.reverse() for b in bindings]
+    )
+    guard_peer(
+        runiverse, deadline, "fused pull (receive half)",
+        plan_move_recv, plan, arrays, runiverse,
+        policy=state.policy, timeout=deadline,
+    )
+
+
+def gateway_follower_loop(state: GatewayState) -> None:
+    """Ranks >= 1 of the gateway: execute broadcast rounds until shutdown.
+
+    A peer loss raised mid-round ends the loop gracefully — rank 0 makes
+    the same observation at the same collective point and stops
+    broadcasting, so returning (rather than crashing the rank) is what
+    keeps "no wedged sessions" true on every rank.
+    """
+    while True:
+        msg = state.comm.bcast(None, root=0)
+        if isinstance(msg, Shutdown):
+            return
+        try:
+            execute_round(state, msg)
+        except PeerLostError:
+            state.proc.metrics.incr("svc_peer_lost")
+            return

@@ -69,6 +69,10 @@ class TestCache:
             assert s2 is s1
             assert comm.process.stats["messages_sent"] == m0  # no collective
             assert cache.hits == 1 and cache.misses == 1
+            snap = cache.snapshot()
+            assert snap["schedule_hits"] == 1
+            assert snap["schedule_misses"] == 1
+            assert snap["schedule_entries"] == 1
             return comm.process.clock - t0
 
         elapsed = run_spmd(4, spmd).values[0]

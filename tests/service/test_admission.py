@@ -1,0 +1,93 @@
+"""Unit tests of the service's admission control (pure, no VM)."""
+
+import pytest
+
+from repro.service import AdmissionControl, ServiceBusyError
+
+
+class TestLimits:
+    def test_rejects_nonpositive_limits(self):
+        with pytest.raises(ValueError):
+            AdmissionControl(0, 1)
+        with pytest.raises(ValueError):
+            AdmissionControl(1, 0)
+
+    def test_tenant_cap_checked_before_watermark(self):
+        ac = AdmissionControl(max_queue_depth=100, max_inflight_per_tenant=2)
+        assert ac.try_admit(0).admitted
+        assert ac.try_admit(1).admitted
+        d = ac.try_admit(2)
+        assert not d.admitted and "in-flight cap" in d.reason
+        assert ac.shed_tenant_cap == 1 and ac.shed_queue_full == 0
+
+    def test_watermark_sheds(self):
+        ac = AdmissionControl(max_queue_depth=3, max_inflight_per_tenant=100)
+        for _ in range(3):
+            assert ac.try_admit(0).admitted
+        d = ac.try_admit(0)
+        assert not d.admitted and "watermark" in d.reason
+        assert ac.shed_queue_full == 1
+        assert ac.queue_high_water == 3  # never exceeds the watermark
+
+    def test_dispatch_returns_credit(self):
+        ac = AdmissionControl(max_queue_depth=2, max_inflight_per_tenant=10)
+        ac.try_admit(0)
+        ac.try_admit(0)
+        assert not ac.try_admit(0).admitted
+        ac.dispatched(2)
+        assert ac.try_admit(0).admitted
+        assert ac.queued == 1
+
+    def test_dispatch_overdraw_raises(self):
+        ac = AdmissionControl(2, 2)
+        ac.try_admit(0)
+        with pytest.raises(ValueError):
+            ac.dispatched(2)
+
+    def test_system_ops_bypass_limits(self):
+        ac = AdmissionControl(max_queue_depth=1, max_inflight_per_tenant=1)
+        assert ac.try_admit(0).admitted
+        assert not ac.try_admit(0).admitted
+        ac.enqueue_system()  # never refused
+        assert ac.queued == 2
+        assert ac.queue_high_water == 2
+
+    def test_snapshot(self):
+        ac = AdmissionControl(4, 2)
+        ac.try_admit(0)
+        ac.try_admit(2)  # shed: tenant cap
+        snap = ac.snapshot()
+        assert snap == {
+            "admitted": 1,
+            "shed_queue_full": 0,
+            "shed_tenant_cap": 1,
+            "queue_high_water": 1,
+            "queued": 1,
+        }
+
+
+class _Metrics:
+    def __init__(self):
+        self.counts = {}
+
+    def incr(self, name, amount=1):
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+
+class TestMetricsMirror:
+    def test_counters_mirrored(self):
+        m = _Metrics()
+        ac = AdmissionControl(1, 1, metrics=m)
+        ac.try_admit(0)
+        ac.try_admit(1)   # tenant cap
+        ac.try_admit(0)   # queue full
+        assert m.counts["svc_admitted"] == 1
+        assert m.counts["svc_shed_tenant_cap"] == 1
+        assert m.counts["svc_shed_queue_full"] == 1
+
+
+class TestBusyError:
+    def test_reason_carried(self):
+        exc = ServiceBusyError("queue-depth watermark (8) reached")
+        assert "busy" in str(exc)
+        assert exc.reason.startswith("queue-depth")

@@ -1,0 +1,232 @@
+"""Unit and in-VM tests of the shared cross-tenant cache hierarchy."""
+
+import numpy as np
+import pytest
+
+import repro.blockparti  # noqa: F401 - registers the adapter
+import repro.hpf  # noqa: F401
+from repro.blockparti import BlockPartiArray
+from repro.core import (
+    ScheduleMethod,
+    SectionRegion,
+    mc_compute_schedule,
+    mc_new_set_of_regions,
+)
+from repro.distrib.section import Section
+from repro.dobj.protocol import SlotTable
+from repro.service import ServiceCache, array_signature, bind_key
+from repro.vmachine import VirtualMachine
+
+
+def key(i):
+    return ("bind", "obj", "attr", ("lib", f"sig{i}"))
+
+
+class TestScheduleLayer:
+    def test_miss_then_hit(self):
+        c = ServiceCache()
+        assert c.lookup_schedule(key(0)) is None
+        c.store_schedule(key(0), "sched0")
+        assert c.lookup_schedule(key(0)) == "sched0"
+        assert c.counters["schedule_misses"] == 1
+        assert c.counters["schedule_hits"] == 1
+
+    def test_peek_moves_no_counters(self):
+        c = ServiceCache()
+        assert not c.peek_schedule(key(0))
+        c.store_schedule(key(0), "s")
+        assert c.peek_schedule(key(0))
+        assert c.counters["schedule_hits"] == 0
+        assert c.counters["schedule_misses"] == 0
+
+    def test_lru_eviction_order(self):
+        c = ServiceCache(schedule_maxsize=2)
+        c.store_schedule(key(0), "a")
+        c.store_schedule(key(1), "b")
+        c.lookup_schedule(key(0))          # refresh key 0
+        c.store_schedule(key(2), "c")      # evicts key 1, not key 0
+        assert c.peek_schedule(key(0))
+        assert not c.peek_schedule(key(1))
+        assert c.counters["schedule_evictions"] == 1
+
+    def test_note_build_counts_forced_rebuild(self):
+        c = ServiceCache()
+        c.note_build(key(0))               # plain cold miss
+        assert c.counters["schedule_forced_rebuilds"] == 0
+        c.store_schedule(key(0), "s")
+        c.note_build(key(0))               # held it, peer missed: forced
+        assert c.counters["schedule_forced_rebuilds"] == 1
+        assert c.counters["schedule_misses"] == 2
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceCache(schedule_maxsize=0)
+        with pytest.raises(ValueError):
+            ServiceCache(plan_maxsize=-1)
+
+    def test_eviction_invalidates_plans_over_member(self):
+        c = ServiceCache(schedule_maxsize=1)
+        c.store_schedule(key(0), "a")
+        # Plant a fake plan entry keyed over member key(0).
+        c._plans[("push", (key(0),))] = "plan"
+        c.store_schedule(key(1), "b")      # evicts key(0)
+        assert ("push", (key(0),)) not in c._plans
+        assert c.counters["plan_invalidations"] == 1
+
+
+class TestMetricsMirror:
+    def test_counters_land_in_registry(self):
+        class Reg:
+            def __init__(self):
+                self.counts = {}
+
+            def incr(self, name, amount=1):
+                self.counts[name] = self.counts.get(name, 0) + amount
+
+        reg = Reg()
+        c = ServiceCache(metrics=reg)
+        c.lookup_schedule(key(0))
+        c.store_schedule(key(0), "s")
+        c.lookup_schedule(key(0))
+        assert reg.counts["svc_cache_schedule_misses"] == 1
+        assert reg.counts["svc_cache_schedule_hits"] == 1
+
+
+def _schedules_in_vm(nprocs=2, n=12):
+    """Build two real same-universe schedules (full and strided copies)."""
+
+    def spmd(comm):
+        src = BlockPartiArray.from_global(comm, np.arange(n, dtype=float))
+        dst = BlockPartiArray.from_global(comm, np.zeros(n))
+        full = mc_new_set_of_regions(SectionRegion(Section.full((n,))))
+        half = mc_new_set_of_regions(
+            SectionRegion(Section((0,), (n,), (2,)))
+        )
+        s1 = mc_compute_schedule(
+            comm, "blockparti", src, full, "blockparti", dst, full,
+            ScheduleMethod.COOPERATION,
+        )
+        s2 = mc_compute_schedule(
+            comm, "blockparti", src, half, "blockparti", dst, half,
+            ScheduleMethod.COOPERATION,
+        )
+        return src, s1, s2
+
+    return spmd
+
+
+class TestPlanLayer:
+    def test_plan_for_compiles_once_per_key(self):
+        calls = []
+
+        def run(comm):
+            src, s1, s2 = _schedules_in_vm()(comm)
+            c = ServiceCache()
+            c.store_schedule(key(1), s1)
+            c.store_schedule(key(2), s2)
+
+            def lazy():
+                calls.append(1)
+                return [s1, s2]
+
+            p1 = c.plan_for("push", [key(1), key(2)], lazy)
+            p2 = c.plan_for("push", [key(1), key(2)], lazy)
+            assert p1 is p2
+            # Different direction or member order is a different plan.
+            p3 = c.plan_for("pull", [key(1), key(2)], [s1, s2])
+            p4 = c.plan_for("push", [key(2), key(1)], [s2, s1])
+            assert p3 is not p1 and p4 is not p1
+            return (
+                c.counters["plan_hits"],
+                c.counters["plan_misses"],
+                c.plan_count,
+            )
+
+        res = VirtualMachine(2).run(run)
+        hits, misses, entries = res.values[0]
+        assert (hits, misses, entries) == (1, 3, 3)
+        # The lazy schedule thunk ran only on the miss.
+        assert len(calls) == 2  # one per rank, not one per lookup
+
+    def test_plan_maxsize_evicts(self):
+        def run(comm):
+            _, s1, s2 = _schedules_in_vm()(comm)
+            c = ServiceCache(plan_maxsize=1)
+            c.store_schedule(key(1), s1)
+            c.store_schedule(key(2), s2)
+            c.plan_for("push", [key(1)], [s1])
+            c.plan_for("push", [key(2)], [s2])
+            return c.counters["plan_evictions"], c.plan_count
+
+        res = VirtualMachine(2).run(run)
+        assert res.values[0] == (1, 1)
+
+    def test_program_stats_tracks_lowered_halves(self):
+        from repro.core import mc_copy
+
+        def run(comm):
+            src, s1, _ = _schedules_in_vm()(comm)
+            dst = BlockPartiArray.from_global(
+                comm, np.zeros(src.global_shape)
+            )
+            c = ServiceCache()
+            c.store_schedule(key(1), s1)
+            before = c.program_stats()
+            mc_copy(comm, s1, src, dst)  # lowers the halves it executes
+            after = c.program_stats()
+            return before, after
+
+        res = VirtualMachine(2).run(run)
+        before, after = res.values[0]
+        assert before["halves_lowered"] == 0
+        assert after["halves_lowered"] > 0
+        assert after["halves_lowered"] <= after["halves"]
+
+
+class TestArraySignature:
+    def test_signature_content_keyed(self):
+        def run(comm):
+            a = BlockPartiArray.from_global(comm, np.zeros(16))
+            b = BlockPartiArray.from_global(comm, np.ones(16))
+            c = BlockPartiArray.from_global(comm, np.zeros(20))
+            full16 = mc_new_set_of_regions(
+                SectionRegion(Section.full((16,)))
+            )
+            full16b = mc_new_set_of_regions(
+                SectionRegion(Section.full((16,)))
+            )
+            full20 = mc_new_set_of_regions(
+                SectionRegion(Section.full((20,)))
+            )
+            sa = array_signature("blockparti", a, full16)
+            sb = array_signature("blockparti", b, full16b)
+            sc = array_signature("blockparti", c, full20)
+            return sa == sb, sa == sc, sa
+
+        res = VirtualMachine(2).run(run)
+        same, different, sig = res.values[0]
+        assert same            # values don't matter, layout does
+        assert not different   # size does
+        # Every rank computes the identical signature.
+        assert all(v[2] == sig for v in res.values)
+
+    def test_bind_key_embeds_signature(self):
+        k = bind_key("vec", "v", ("blockparti", "d", "s", "<f8"))
+        assert k[0] == "bind" and k[1] == "vec" and k[2] == "v"
+
+
+class TestSlotPreview:
+    def test_preview_matches_acquire_sequence(self):
+        t = SlotTable()
+        for _ in range(4):
+            t.acquire()
+        t.release(1)
+        t.release(3)
+        assert t.preview(3) == [1, 3, 4]
+        assert [t.acquire() for _ in range(3)] == [1, 3, 4]
+
+    def test_preview_does_not_mutate(self):
+        t = SlotTable()
+        assert t.preview(2) == [0, 1]
+        assert t.preview(2) == [0, 1]
+        assert t.capacity == 0

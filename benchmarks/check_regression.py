@@ -44,13 +44,38 @@ from repro.observe.regression import (  # noqa: E402
 )
 
 
+class BenchFileError(Exception):
+    """A benchmark JSON is missing or malformed (user-facing message)."""
+
+
 def _load(path: str | Path) -> dict:
-    with open(path, encoding="utf-8") as f:
-        return json.load(f)
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        raise BenchFileError(
+            f"{path}: no such benchmark file — run the matching "
+            "benchmarks/bench_*.py driver to generate it"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise BenchFileError(
+            f"{path}: malformed benchmark JSON ({exc}) — regenerate it "
+            "with the matching benchmarks/bench_*.py driver"
+        ) from None
+    except OSError as exc:
+        raise BenchFileError(f"{path}: cannot read benchmark file: {exc}") \
+            from None
+    if not isinstance(data, dict):
+        raise BenchFileError(
+            f"{path}: expected a JSON object with a 'results' mapping, "
+            f"got {type(data).__name__}"
+        )
+    return data
 
 
 def _load_committed(path: str) -> dict | None:
-    """The committed (HEAD) copy of ``path``, or None if unavailable."""
+    """The committed (HEAD) copy of ``path``, or None when the file is
+    not tracked at HEAD (a *new* trajectory)."""
     repo_root = Path(__file__).resolve().parent.parent
     rel = Path(path).resolve().relative_to(repo_root)
     try:
@@ -62,7 +87,12 @@ def _load_committed(path: str) -> dict | None:
         ).stdout
     except (subprocess.CalledProcessError, FileNotFoundError):
         return None
-    return json.loads(out)
+    try:
+        return json.loads(out)
+    except json.JSONDecodeError as exc:
+        raise BenchFileError(
+            f"{path}: the committed copy at HEAD is malformed JSON ({exc})"
+        ) from None
 
 
 def _report(name: str, baseline: dict, current: dict, threshold: float) -> bool:
@@ -141,29 +171,40 @@ def main(argv: list[str] | None = None) -> int:
     if args.self_test:
         if not args.files:
             parser.error("--self-test needs at least one FILE")
-        return max(_self_test(f, args.threshold) for f in args.files)
+        try:
+            return max(_self_test(f, args.threshold) for f in args.files)
+        except BenchFileError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if (args.baseline is None) != (args.current is None):
         parser.error("--baseline and --current go together")
 
     failed = False
-    if args.baseline is not None:
-        failed |= _report(
-            f"{args.baseline} -> {args.current}",
-            _load(args.baseline), _load(args.current), args.threshold,
-        )
-    elif not args.files:
-        parser.error("give FILE(s) to check against HEAD, or "
-                     "--baseline/--current")
+    try:
+        if args.baseline is not None:
+            failed |= _report(
+                f"{args.baseline} -> {args.current}",
+                _load(args.baseline), _load(args.current), args.threshold,
+            )
+        elif not args.files:
+            parser.error("give FILE(s) to check against HEAD, or "
+                         "--baseline/--current")
 
-    for path in args.files:
-        committed = _load_committed(path)
-        if committed is None:
-            print(f"{path}: no committed baseline at HEAD; skipping",
-                  file=sys.stderr)
-            continue
-        failed |= _report(f"{path} (vs HEAD)", committed, _load(path),
-                          args.threshold)
+        for path in args.files:
+            committed = _load_committed(path)
+            current = _load(path)
+            if committed is None:
+                # A trajectory with no committed ancestor is *new*, not a
+                # regression: note it and pass.
+                print(f"{path}: new trajectory (nothing committed at "
+                      "HEAD); nothing to compare — OK")
+                continue
+            failed |= _report(f"{path} (vs HEAD)", committed, current,
+                              args.threshold)
+    except BenchFileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 1 if failed else 0
 
 

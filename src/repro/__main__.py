@@ -352,6 +352,18 @@ def cmd_serve(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_record(args) -> int:
+    from repro.replay.cli import cmd_record as run
+
+    return run(args)
+
+
+def cmd_replay(args) -> int:
+    from repro.replay.cli import cmd_replay as run
+
+    return run(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -425,6 +437,22 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--queue-depth", type=int, default=1024)
     p.add_argument("--inflight", type=int, default=8)
 
+    from repro.replay.cli import add_record_args, add_replay_args
+
+    p = sub.add_parser(
+        "record",
+        help="run a named workload under the recorder; write a sealed "
+             "replay artifact",
+    )
+    add_record_args(p)
+
+    p = sub.add_parser(
+        "replay",
+        help="verify and re-execute a recorded run (all ranks, or one "
+             "rank in isolation with --rank)",
+    )
+    add_replay_args(p)
+
     args = parser.parse_args(argv)
     return {
         "info": cmd_info,
@@ -435,6 +463,8 @@ def main(argv: list[str] | None = None) -> int:
         "trace": cmd_trace,
         "profile": cmd_profile,
         "serve": cmd_serve,
+        "record": cmd_record,
+        "replay": cmd_replay,
     }[args.command](args)
 
 

@@ -92,12 +92,19 @@ def run_service_demo(
     schedule_cache_size: int | None = None,
     plan_cache_size: int | None = None,
     fault_plan=None,
+    recorder=None,
 ) -> tuple[ServiceReport, dict, object]:
     """Run the demo fleet; returns (gateway report, server summary,
     coupled VM result — for metrics and the deterministic logical clock).
 
     ``shapes`` distinct vector lengths (``size``, ``size+8``, ...) are
     served; tenant *i* uses shape class ``i % shapes``.
+
+    ``recorder`` records the whole fleet's message provenance (see
+    :mod:`repro.replay`), making a wedged tenant session inspectable
+    after the fact.  Caveat: gateway ranks schedule tenant coroutines on
+    wall-clock-driven asyncio batching, so they are recordable and
+    diffable but not *isolation-replayable*; server ranks are.
     """
     shapes = max(1, min(shapes, tenants))
     sizes = [size + 8 * i for i in range(shapes)]
@@ -132,6 +139,7 @@ def run_service_demo(
             ProgramSpec("server", server_procs, server),
         ],
         faults=fault_plan,
+        recorder=recorder,
     )
     report = result["gateway"].values[0]
     summary = result["server"].values[0]

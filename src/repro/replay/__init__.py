@@ -1,0 +1,72 @@
+"""Deterministic record/replay of whole virtual-machine runs.
+
+The virtual machine is deterministic by construction (logical clocks,
+seeded fault draws, fixed thread-per-rank protocols), which makes a much
+stronger debugging primitive than "attach a debugger" possible: record a
+run's complete provenance once, then *prove* any later run identical —
+or pinpoint where it is not.
+
+- :class:`~repro.replay.recorder.Recorder` — captures seeds, fault-plan
+  draw schedules, the full per-channel message log (headers + payload
+  digests, optionally payloads), probe outcomes, ``REPRO_*`` env, config
+  and final clock/value digests into one sealed, versioned artifact.
+  Recording charges zero logical-clock time.
+- :func:`~repro.replay.replayer.replay_full` — re-execute all ranks and
+  assert byte-identical clocks/logs/traces/destination digests.
+- :func:`~repro.replay.replayer.replay_rank` — re-execute ONE rank with
+  its peers served from the recorded log (debug a P=64 chaos failure on
+  a laptop).
+- :func:`~repro.replay.artifact.verify_artifact` — tamper detection
+  localized to ``(rank, channel, seq)``.
+- :func:`~repro.replay.divergence.diff_bodies` — the replay-divergence
+  checker backing the CI guard.
+
+CLI: ``python -m repro record|replay``.  Env knob: ``REPRO_RECORD=1``
+auto-records any run into an in-memory artifact.
+"""
+
+from repro.replay.artifact import (
+    IntegrityViolation,
+    ReplayFormatError,
+    faultplan_from_dict,
+    faultplan_to_dict,
+    load_artifact,
+    save_artifact,
+    verify_artifact,
+)
+from repro.replay.divergence import Divergence, ReplayReport, diff_bodies
+from repro.replay.fingerprint import (
+    env_fingerprint,
+    payload_digest,
+    plan_fingerprint,
+    replay_handle,
+)
+from repro.replay.recorder import Recorder
+from repro.replay.replayer import (
+    ReplayLogExhausted,
+    recorded_env,
+    replay_full,
+    replay_rank,
+)
+
+__all__ = [
+    "Recorder",
+    "replay_full",
+    "replay_rank",
+    "recorded_env",
+    "ReplayLogExhausted",
+    "Divergence",
+    "ReplayReport",
+    "diff_bodies",
+    "IntegrityViolation",
+    "ReplayFormatError",
+    "load_artifact",
+    "save_artifact",
+    "verify_artifact",
+    "faultplan_to_dict",
+    "faultplan_from_dict",
+    "payload_digest",
+    "plan_fingerprint",
+    "env_fingerprint",
+    "replay_handle",
+]

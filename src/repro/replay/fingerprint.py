@@ -1,0 +1,156 @@
+"""Content digests and run fingerprints for record/replay.
+
+Everything here is *canonical*: the same logical content always hashes to
+the same hex string, across interpreter runs (no salted ``hash()``),
+across NumPy memory layouts (arrays are digested in C order), and across
+the padding garbage of pooled staging buffers (fused wire buffers are
+digested segment by segment, never through their raw backing storage,
+whose alignment gaps are uninitialized ``np.empty`` bytes).
+
+These digests are the atoms of the replay artifact: every recorded wire
+message carries one, so a single corrupted byte — in a replayed run *or*
+in the artifact file itself — is localized to ``(rank, channel, seq)``
+instead of surfacing as "something differed".
+
+This module deliberately imports nothing from :mod:`repro.vmachine`, so
+the machine layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "payload_digest",
+    "values_digest",
+    "env_snapshot",
+    "env_fingerprint",
+    "plan_fingerprint",
+    "replay_handle",
+]
+
+#: hex digits kept per digest — 64 bits of sha256, plenty for corruption
+#: detection while keeping artifacts compact
+DIGEST_LEN = 16
+
+
+def _feed(h, obj: Any) -> None:
+    """Feed one payload object into a hash, canonically and type-tagged."""
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, int):
+        h.update(b"I" + str(obj).encode())
+    elif isinstance(obj, float):
+        h.update(b"F" + repr(obj).encode())
+    elif isinstance(obj, str):
+        h.update(b"S" + obj.encode("utf-8"))
+    elif isinstance(obj, (bytes, bytearray, memoryview)):
+        h.update(b"Y")
+        h.update(bytes(obj))
+    elif isinstance(obj, np.ndarray):
+        h.update(b"A" + np.dtype(obj.dtype).str.encode()
+                 + repr(obj.shape).encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, np.generic):
+        h.update(b"G" + np.dtype(obj.dtype).str.encode() + obj.tobytes())
+    elif isinstance(obj, (tuple, list)):
+        h.update(b"T" if isinstance(obj, tuple) else b"L")
+        h.update(str(len(obj)).encode())
+        for item in obj:
+            _feed(h, item)
+    elif isinstance(obj, dict):
+        h.update(b"D" + str(len(obj)).encode())
+        for k, v in obj.items():
+            _feed(h, k)
+            _feed(h, v)
+    elif hasattr(obj, "headers") and hasattr(obj, "segment"):
+        # Fused wire buffer (duck-typed to avoid importing repro.core):
+        # digest the self-describing headers and each segment's dtype view.
+        # Never touch the raw backing store — its alignment padding and
+        # arena size-class tail are uninitialized bytes.
+        headers = obj.headers
+        h.update(b"W" + str(len(headers)).encode())
+        for i, hd in enumerate(headers):
+            h.update(repr(hd).encode())
+            _feed(h, obj.segment(i))
+    else:
+        # Opaque runtime object (RunEncoded, descriptors, dataclasses).
+        # pickle is deterministic for the acyclic, slot/dataclass payloads
+        # this transport carries; anything unpicklable degrades to repr.
+        h.update(b"P")
+        try:
+            h.update(pickle.dumps(obj, protocol=4))
+        except Exception:
+            h.update(f"{type(obj).__name__}:{obj!r}".encode())
+
+
+def payload_digest(payload: Any) -> str:
+    """Canonical content digest of one message payload (hex string)."""
+    h = hashlib.sha256()
+    _feed(h, payload)
+    return h.hexdigest()[:DIGEST_LEN]
+
+
+def values_digest(value: Any) -> str:
+    """Digest of one rank's SPMD return value (same canonical form)."""
+    return payload_digest(value)
+
+
+def env_snapshot() -> dict[str, str]:
+    """The ``REPRO_*`` environment knobs, sorted by name."""
+    return {
+        k: v for k, v in sorted(os.environ.items()) if k.startswith("REPRO_")
+    }
+
+
+def env_fingerprint(env: dict[str, str] | None = None) -> str:
+    """Stable digest of the ``REPRO_*`` environment."""
+    snap = env_snapshot() if env is None else dict(sorted(env.items()))
+    h = hashlib.sha256()
+    for k, v in snap.items():
+        h.update(k.encode() + b"=" + v.encode() + b"\x00")
+    return h.hexdigest()[:DIGEST_LEN]
+
+
+def plan_fingerprint(plan_dict: dict | None) -> str | None:
+    """Stable digest of a serialized fault plan (None when faults off)."""
+    if plan_dict is None:
+        return None
+    h = hashlib.sha256()
+    _feed(h, plan_dict)
+    return h.hexdigest()[:DIGEST_LEN]
+
+
+def replay_handle(
+    nprocs: int,
+    profile_name: str,
+    fault_plan_dict: dict | None,
+    programs: list[tuple[str, int]] | None = None,
+) -> dict:
+    """The compact fingerprint attached to every run result.
+
+    Even when recording is off, this rides along on
+    :class:`~repro.vmachine.machine.SPMDResult` (and on
+    :class:`~repro.vmachine.machine.SPMDError`), so a failure report
+    carries everything needed to re-create the run's provenance: fault
+    seed, fault-plan fingerprint, and the ``REPRO_*`` environment.
+    """
+    env = env_snapshot()
+    handle = {
+        "nprocs": nprocs,
+        "profile": profile_name,
+        "seed": None if fault_plan_dict is None else fault_plan_dict["seed"],
+        "fault_plan": plan_fingerprint(fault_plan_dict),
+        "env": env,
+        "env_fingerprint": env_fingerprint(env),
+    }
+    if programs is not None:
+        handle["programs"] = [[name, n] for name, n in programs]
+    return handle

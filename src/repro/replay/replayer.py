@@ -1,0 +1,421 @@
+"""Replay engines: full-fidelity re-execution and single-rank isolation.
+
+Full-fidelity (:func:`replay_full`) re-runs the *entire* machine — same
+workload, same fault plan (per-channel draw streams re-derive from the
+recorded seed), same ``REPRO_*`` environment — records the re-run, and
+structurally diffs the two artifacts.  The virtual machine is
+deterministic by construction, so the diff must be empty; anything else
+is localized to ``(rank, channel, seq)`` by
+:func:`repro.replay.divergence.diff_bodies`.
+
+Single-rank isolation (:func:`replay_rank`) re-executes ONE rank of a
+recorded run — e.g. the one interesting rank of a P=64 chaos failure —
+with its peers *served from the log*:
+
+- the rank's mailbox is replaced by a :class:`_LogMailbox` that answers
+  every ``receive``/``receive_any_of`` with the next *consumed* message
+  from the recorded stream (payloads were captured on the recv side, so
+  the rank computes on real bytes), and answers every ``probe`` with the
+  recorded outcome stream;
+- outbound messages fall into a sink (the fault plan still rules on
+  them, so send receipts and crash/slowdown draws re-derive exactly).
+
+Serving probes from the recorded *outcome stream* — rather than from
+what happens to sit in the log — is load-bearing: the reliability layer
+drains acks and backlog through ``while probe(...)`` loops, and a probe
+that could see a logged-but-future message would consume it early,
+shifting every subsequent clock.  Faithful re-execution makes the i-th
+receive call consume the i-th recorded message (mailbox matching is
+per-channel FIFO and ``receive_any_of`` picks the minimum
+``(arrival, source, tag)`` — the very message the real run consumed), so
+log-order service is exact, not approximate.
+
+Ranks driven by wall-clock-dependent code (the service gateway's asyncio
+batch sealing) are *not* isolation-replayable — their control flow is
+not a function of the message log.  Server ranks and every SPMD compute
+rank are.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from collections import deque
+
+from repro.replay.artifact import (
+    decode_payload,
+    faultplan_from_dict,
+)
+from repro.replay.divergence import Divergence, ReplayReport, diff_bodies
+from repro.replay.recorder import Recorder
+from repro.vmachine.comm import CONTEXT_STRIDE, Communicator, InterComm
+from repro.vmachine.cost_model import ALPHA_FARM_ATM, CostModel, IBM_SP2
+from repro.vmachine.machine import SPMDError, VirtualMachine
+from repro.vmachine.message import Mailbox, Message
+from repro.vmachine.process import Process
+from repro.vmachine.program import ProgramContext, run_programs
+
+__all__ = [
+    "ReplayLogExhausted",
+    "replay_full",
+    "replay_rank",
+    "recorded_env",
+]
+
+#: machine profiles addressable by their recorded name
+_PROFILES = {IBM_SP2.name: IBM_SP2, ALPHA_FARM_ATM.name: ALPHA_FARM_ATM}
+
+
+class ReplayLogExhausted(RuntimeError):
+    """An isolation-replayed rank diverged from its recorded log.
+
+    Deliberately NOT a :class:`~repro.vmachine.faults.RankLostError`
+    subclass: the coupling layer's degradation paths catch rank-loss and
+    downgrade it to peer-loss handling, which would silently absorb a
+    replay divergence instead of surfacing it.
+    """
+
+
+def _profile(name: str):
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine profile {name!r}; known: {sorted(_PROFILES)}"
+        ) from None
+
+
+@contextlib.contextmanager
+def recorded_env(env: dict[str, str]):
+    """Temporarily install the recorded ``REPRO_*`` environment.
+
+    Existing ``REPRO_*`` variables are cleared first (absence is part of
+    the recorded state), and everything is restored on exit.
+    """
+    saved = {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+    try:
+        for k in saved:
+            del os.environ[k]
+        os.environ.update(env)
+        yield
+    finally:
+        for k in list(os.environ):
+            if k.startswith("REPRO_"):
+                del os.environ[k]
+        os.environ.update(saved)
+
+
+def _resolve_workload(body: dict, fn=None, args=(), kwargs=None, specs=None):
+    """Workload to re-execute: explicit fn/specs win; otherwise the
+    artifact's self-described workload is rebuilt from its parameters."""
+    kind = body["kind"]
+    if kind == "vm" and fn is not None:
+        return fn, args, dict(kwargs or {}), None
+    if kind == "programs" and specs is not None:
+        return None, (), {}, specs
+    wl = body["config"].get("workload")
+    if wl is None:
+        raise ValueError(
+            "artifact does not name a workload; pass fn= (kind 'vm') or "
+            "specs= (kind 'programs') to re-execute it"
+        )
+    from repro.replay.workloads import build_workload
+
+    plan = build_workload(wl["name"], wl["params"])
+    return plan.get("fn"), plan.get("args", ()), plan.get("kwargs", {}), \
+        plan.get("specs")
+
+
+# -- full-fidelity replay ---------------------------------------------------
+
+
+def replay_full(
+    artifact: dict,
+    fn=None,
+    args: tuple = (),
+    kwargs: dict | None = None,
+    specs=None,
+) -> ReplayReport:
+    """Re-execute every rank of a recorded run and diff against the log.
+
+    Returns a :class:`ReplayReport`; ``report.identical`` asserts
+    byte-identical clocks, message logs (headers + payload digests),
+    probe streams, traces and per-rank value digests.
+    """
+    body = artifact["body"]
+    config = body["config"]
+    fn, args, kwargs, specs = _resolve_workload(body, fn, args, kwargs, specs)
+    plan = faultplan_from_dict(body["fault_plan"])
+    profile = _profile(config["profile"])
+    rec = Recorder(payloads=False, note="replay of recorded run")
+
+    with recorded_env(body["env"]):
+        error: BaseException | None = None
+        if body["kind"] == "vm":
+            vm = VirtualMachine(
+                config["nprocs"],
+                profile=profile,
+                recv_timeout_s=config["recv_timeout_s"],
+                copy_on_send=config["copy_on_send"],
+                observe=config["observe"],
+                faults=plan,
+                recorder=rec,
+            )
+            try:
+                vm.run(fn, *args, **kwargs)
+            except SPMDError as exc:
+                error = exc  # a recorded failure must re-fail identically
+        else:
+            try:
+                run_programs(
+                    specs,
+                    profile=profile,
+                    recv_timeout_s=config["recv_timeout_s"],
+                    copy_on_send=config["copy_on_send"],
+                    observe=config["observe"],
+                    faults=plan,
+                    recorder=rec,
+                )
+            except SPMDError as exc:
+                error = exc
+
+    replayed = rec.artifact["body"]
+    report = ReplayReport(mode="full", ranks_compared=config["nprocs"])
+    report.divergences = diff_bodies(body, replayed)
+    if (body["error"] is None) != (error is None):
+        report.divergences.append(Divergence(
+            "error", None, None, None, "outcome",
+            body["error"], None if error is None else str(error)[:200],
+        ))
+    return report
+
+
+# -- single-rank isolation replay -------------------------------------------
+
+
+class _SinkBox:
+    """Destination for the replayed rank's outbound messages: peers are
+    not executing, so sends (and fault-plan held-message flushes) vanish."""
+
+    def deliver(self, message) -> None:
+        pass
+
+    def deliver_many(self, messages) -> None:
+        pass
+
+    def wake(self) -> None:
+        pass
+
+
+class _LogMailbox(Mailbox):
+    """Mailbox that serves one rank from its recorded streams.
+
+    ``receive``/``receive_any_of`` hand out recorded messages in
+    *consumption order* (pattern-checked against the caller's request);
+    ``probe`` replays the recorded outcome stream; inbound delivery is a
+    no-op (self-sends are already in the recv log).  Never blocks.
+    """
+
+    def __init__(self, rank: int, recvs: list, probes: str):
+        super().__init__(rank)
+        self._log: deque[Message] = deque()
+        for recd in recvs:
+            encoded = recd[8] if len(recd) > 8 else None
+            if encoded is None:
+                raise ReplayLogExhausted(
+                    f"rank {rank}: recv seq {recd[0]} from {recd[1]} has no "
+                    "captured payload — record with payloads=True "
+                    "(CLI: --payloads) for isolation replay"
+                )
+            self._log.append(Message(
+                source=recd[1], dest=rank, tag=recd[2],
+                payload=decode_payload(encoded),
+                arrival=recd[4], nbytes=recd[3],
+            ))
+        self._probes = probes
+        self._probe_cursor = 0
+
+    # -- log service -------------------------------------------------------
+
+    def _next(self, what: str) -> Message:
+        if not self._log:
+            raise ReplayLogExhausted(
+                f"rank {self.rank}: {what} beyond the recorded log "
+                "(the replayed execution consumed more messages than the "
+                "original run — divergence)"
+            )
+        return self._log.popleft()
+
+    def deliver(self, message) -> None:
+        pass
+
+    def deliver_many(self, messages) -> None:
+        pass
+
+    def receive(self, source, tag, timeout=None, tag_range=None, context=""):
+        msg = self._next(f"receive(source={source}, tag={tag})")
+        if not msg.matches(source, tag, tag_range):
+            raise ReplayLogExhausted(
+                f"rank {self.rank}: receive(source={source}, tag={tag}) "
+                f"does not match the next recorded message "
+                f"(source={msg.source}, tag={msg.tag}) — divergence"
+            )
+        return msg
+
+    def receive_any_of(self, patterns, timeout=None, context=None):
+        msg = self._next(f"receive_any_of({len(patterns)} patterns)")
+        for k, (source, tag, tag_range) in enumerate(patterns):
+            if msg.matches(source, tag, tag_range):
+                return k, msg
+        raise ReplayLogExhausted(
+            f"rank {self.rank}: no pattern of receive_any_of matches the "
+            f"next recorded message (source={msg.source}, tag={msg.tag}) "
+            "— divergence"
+        )
+
+    def probe(self, source, tag, tag_range=None) -> bool:
+        i = self._probe_cursor
+        if i >= len(self._probes):
+            raise ReplayLogExhausted(
+                f"rank {self.rank}: probe #{i} beyond the recorded outcome "
+                "stream — divergence"
+            )
+        self._probe_cursor = i + 1
+        return self._probes[i] == "1"
+
+
+def _programs_topology(config: dict):
+    """Replicate :func:`run_programs`' deterministic rank/context math
+    from the recorded ``[[name, nprocs], ...]`` list."""
+    programs = config["programs"]
+    blocks: dict[str, list[int]] = {}
+    base = 0
+    for name, n in programs:
+        blocks[name] = list(range(base, base + n))
+        base += n
+    contexts = {
+        name: (i + 1) * CONTEXT_STRIDE for i, (name, _) in enumerate(programs)
+    }
+    pair_contexts: dict[tuple[str, str], int] = {}
+    next_ctx = (len(programs) + 1) * CONTEXT_STRIDE
+    for i, (a, _) in enumerate(programs):
+        for b, _n in programs[i + 1:]:
+            pair_contexts[(a, b)] = next_ctx
+            pair_contexts[(b, a)] = next_ctx
+            next_ctx += CONTEXT_STRIDE
+    return blocks, contexts, pair_contexts
+
+
+def replay_rank(
+    artifact: dict,
+    rank: int,
+    fn=None,
+    args: tuple = (),
+    kwargs: dict | None = None,
+    specs=None,
+) -> ReplayReport:
+    """Re-execute ONE rank of a recorded run, peers served from the log.
+
+    Requires an artifact recorded with payload capture.  The rank's
+    sends, trace, probes, final clock and value digest are re-derived by
+    real execution and diffed against the recording; its receives come
+    from the log (bytes as originally consumed) and so compare
+    trivially — a divergence therefore always points at this rank's own
+    behaviour.
+    """
+    body = artifact["body"]
+    config = body["config"]
+    total = config["nprocs"]
+    if not 0 <= rank < total:
+        raise ValueError(f"rank {rank} out of range for nprocs={total}")
+    if not body["payloads"]:
+        raise ValueError(
+            "artifact was recorded without payload capture; isolation "
+            "replay needs `payloads=True` at record time (CLI: --payloads)"
+        )
+    fn, args, kwargs, specs = _resolve_workload(body, fn, args, kwargs, specs)
+    plan = faultplan_from_dict(body["fault_plan"])
+    profile = _profile(config["profile"])
+    entry = body["ranks"][rank]
+
+    proc = Process(rank, total, CostModel(profile))
+    proc.mailbox = _LogMailbox(rank, entry["recvs"], entry["probes"])
+    proc.trace = []
+    if config["recv_timeout_s"] is not None:
+        proc.recv_timeout_s = config["recv_timeout_s"]
+    proc.copy_on_send = bool(config["copy_on_send"])
+    if config["observe"]:
+        proc.enable_observability()
+    if plan is not None:
+        proc.faults = plan
+        proc.slowdown = plan.slowdown_for(rank)
+    rec = Recorder(payloads=False, note=f"isolation replay of rank {rank}")
+    proc.recorder = rec.rank_recorder(rank)
+
+    sink = _SinkBox()
+    router = {r: sink for r in range(total)}
+    router[rank] = proc.mailbox
+
+    result: dict = {"value": None, "error": None}
+
+    def worker() -> None:
+        proc.bind()
+        try:
+            with recorded_env(body["env"]):
+                if body["kind"] == "vm":
+                    comm = Communicator(
+                        proc, list(range(total)), router, context=0,
+                        contention=profile.contention_factor(total),
+                    )
+                    result["value"] = fn(comm, *args, **kwargs)
+                else:
+                    blocks, contexts, pair_contexts = (
+                        _programs_topology(config)
+                    )
+                    spec = next(
+                        s for s in specs if rank in blocks[s.name]
+                    )
+                    comm = Communicator(
+                        proc, blocks[spec.name], router,
+                        context=contexts[spec.name],
+                        contention=profile.contention_factor(spec.nprocs),
+                    )
+                    intercomms = {
+                        other.name: InterComm(
+                            proc, blocks[spec.name], blocks[other.name],
+                            router,
+                            context=pair_contexts[(spec.name, other.name)],
+                            contention=profile.contention_factor(spec.nprocs),
+                        )
+                        for other in specs
+                        if other.name != spec.name
+                    }
+                    ctx = ProgramContext(spec.name, comm, intercomms)
+                    result["value"] = spec.fn(ctx, *spec.args, **spec.kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported in the diff
+            result["error"] = exc
+        finally:
+            proc.unbind()
+
+    t = threading.Thread(target=worker, name=f"replay-{rank}", daemon=True)
+    t.start()
+    t.join()
+
+    replayed_entry = rec.rank_recorder(rank).entry(
+        proc.clock, proc.trace, result["value"]
+    )
+    replayed_body = dict(body)
+    replayed_ranks = list(body["ranks"])
+    replayed_ranks[rank] = replayed_entry
+    replayed_body["ranks"] = replayed_ranks
+
+    report = ReplayReport(mode="isolate", ranks_compared=1)
+    report.divergences = diff_bodies(body, replayed_body, ranks=[rank])
+    err = result["error"]
+    if err is not None and body["error"] is None:
+        report.divergences.append(Divergence(
+            "error", rank, None, None, "outcome",
+            None, f"{type(err).__name__}: {err}",
+        ))
+    return report

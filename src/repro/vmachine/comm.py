@@ -83,6 +83,25 @@ def _account_recv(proc, msg: Message, wire_tag: int) -> None:
                            wire_tag, msg.nbytes, wait,
                            phase=proc.phase_path)
             )
+        rec = proc.recorder
+        if rec is not None:
+            rec.on_recv(msg, wire_tag, wait, proc.clock)
+
+
+def _probe(proc, source_global: int, wire_tag: int, tag_range=None) -> bool:
+    """Mailbox probe with its outcome recorded (when recording).
+
+    Probe outcomes are part of a run's provenance: the reliability layer
+    drains acks/backlog through ``while probe(...)`` loops, so a
+    single-rank isolation replay must answer each probe exactly as the
+    original run did — by consulting the recorded outcome stream, not
+    the log's future contents.
+    """
+    hit = proc.mailbox.probe(source_global, wire_tag, tag_range=tag_range)
+    rec = proc.recorder
+    if rec is not None:
+        rec.on_probe(hit)
+    return hit
 
 
 class _Endpoint:
@@ -165,10 +184,20 @@ class _Endpoint:
                 arrival=arrival,
                 nbytes=nbytes,
             )
+            rec = proc.recorder
+            if rec is not None:
+                # Digest before delivery: the receiver may unpack a fused
+                # buffer and recycle its staging arena the moment
+                # ``deliver`` returns (zero-copy transport).
+                rec.pre_send(message)
             if plan is not None:
-                return plan.apply(proc, mailbox, message)
-            mailbox.deliver(message)
-            return OK_RECEIPT
+                receipt = plan.apply(proc, mailbox, message)
+            else:
+                mailbox.deliver(message)
+                receipt = OK_RECEIPT
+            if rec is not None:
+                rec.on_send(message, receipt, proc.clock)
+            return receipt
 
     def _flush_held(self, dest_global: int) -> int:
         """Deliver fault-plan-held (reordered) messages toward a peer."""
@@ -242,8 +271,8 @@ class Request:
         if self._done:
             return True
         ep = self._endpoint
-        return ep.process.mailbox.probe(
-            self._source_global, ep._wire_tag(self._tag),
+        return _probe(
+            ep.process, self._source_global, ep._wire_tag(self._tag),
             tag_range=ep._tag_range(self._tag),
         )
 
@@ -389,8 +418,8 @@ class Communicator(_Endpoint):
         ANY_TAG probes are confined to this communicator's context block.
         """
         self._check_rank(source)
-        return self.process.mailbox.probe(
-            self.members[source], self._wire_tag(tag),
+        return _probe(
+            self.process, self.members[source], self._wire_tag(tag),
             tag_range=self._tag_range(tag),
         )
 
@@ -713,7 +742,7 @@ class InterComm(_Endpoint):
         """Non-blocking, zero-cost test for a pending remote-group message."""
         if not 0 <= source_remote < self.remote_size:
             raise ValueError(f"remote rank {source_remote} out of range")
-        return self.process.mailbox.probe(
-            self.remote_members[source_remote], self._wire_tag(tag),
-            tag_range=self._tag_range(tag),
+        return _probe(
+            self.process, self.remote_members[source_remote],
+            self._wire_tag(tag), tag_range=self._tag_range(tag),
         )

@@ -86,6 +86,10 @@ class SPMDResult:
     metrics: list = field(default_factory=list)
     #: per-rank closed-span logs (populated when the run observed)
     spans: list[list] = field(default_factory=list)
+    #: replay handle — nprocs/profile/fault seed/plan fingerprint/env
+    #: snapshot — attached to every run (recording or not), so a failure
+    #: report always carries enough provenance to re-create the run
+    replay: dict = field(default_factory=dict)
 
     @property
     def elapsed_ms(self) -> float:
@@ -132,6 +136,15 @@ class VirtualMachine:
         to the ``REPRO_OBSERVE`` environment variable.  Zero-cost to the
         logical clocks: every published table is byte-identical with
         observability on or off (guarded in CI).
+    recorder:
+        Optional :class:`~repro.replay.recorder.Recorder`; when present,
+        every rank's message log, probe outcomes, trace and final clock
+        are captured into a sealed replay artifact
+        (``recorder.artifact`` after the run).  Implies tracing.  Like
+        observability, recording charges zero logical-clock time — the
+        published tables stay byte-identical with recording on (guarded
+        in CI).  Defaults to a fresh in-memory recorder when the
+        ``REPRO_RECORD`` environment variable is truthy.
     """
 
     def __init__(
@@ -144,6 +157,7 @@ class VirtualMachine:
         copy_on_send: bool | None = None,
         faults: FaultPlan | None = None,
         observe: bool | None = None,
+        recorder=None,
     ):
         if nprocs < 1:
             raise ValueError("need at least one virtual processor")
@@ -162,6 +176,11 @@ class VirtualMachine:
         self.observe = (
             _env_truthy("REPRO_OBSERVE") if observe is None else observe
         )
+        if recorder is None and _env_truthy("REPRO_RECORD"):
+            from repro.replay.recorder import Recorder
+
+            recorder = Recorder()
+        self.recorder = recorder
 
     def _configure(self, proc: Process) -> None:
         """Apply machine-level transport settings to one process."""
@@ -173,6 +192,38 @@ class VirtualMachine:
             proc.slowdown = self.faults.slowdown_for(proc.rank)
         if self.observe:
             proc.enable_observability()
+
+    def _provenance(self) -> tuple[dict, dict | None]:
+        """Replay handle + serialized fault plan (function-level imports:
+        repro.replay sits above the machine layer)."""
+        from repro.replay.artifact import faultplan_to_dict
+        from repro.replay.fingerprint import replay_handle
+
+        plan_dict = faultplan_to_dict(self.faults)
+        return replay_handle(self.nprocs, self.profile.name, plan_dict), plan_dict
+
+    def _finalize_recording(
+        self, plan_dict, processes, values, error=None
+    ) -> None:
+        if self.recorder is None:
+            return
+        self.recorder.finalize(
+            kind="vm",
+            config={
+                "nprocs": self.nprocs,
+                "profile": self.profile.name,
+                "programs": None,
+                "recv_timeout_s": self.recv_timeout_s,
+                "copy_on_send": self.copy_on_send,
+                "observe": bool(self.observe),
+                "workload": None,
+            },
+            fault_plan_dict=plan_dict,
+            clocks=[p.clock for p in processes],
+            traces=[p.trace if p.trace is not None else [] for p in processes],
+            values=values,
+            error=error,
+        )
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> SPMDResult:
         """Run ``fn(comm, *args, **kwargs)`` on every rank and collect results.
@@ -188,8 +239,10 @@ class VirtualMachine:
             router[p.rank] = p.mailbox
             detector.register(p.mailbox)
             self._configure(p)
-            if self.trace or self.observe:
+            if self.trace or self.observe or self.recorder is not None:
                 p.trace = []
+            if self.recorder is not None:
+                p.recorder = self.recorder.rank_recorder(p.rank)
 
         members = list(range(self.nprocs))
         contention = self.profile.contention_factor(self.nprocs)
@@ -231,9 +284,14 @@ class VirtualMachine:
         for t in threads:
             t.join()
 
+        handle, plan_dict = self._provenance()
+
         if errors:
             errors.sort(key=lambda e: e.rank)
-            raise SPMDError(errors)
+            err = SPMDError(errors)
+            err.replay_handle = handle
+            self._finalize_recording(plan_dict, processes, values, error=err)
+            raise err
 
         # A correct SPMD program consumes every message it sends; leftovers
         # mean mismatched sends/receives (a silent protocol bug).
@@ -244,7 +302,7 @@ class VirtualMachine:
                 if p.mailbox.pending()
             }
             if leaked:
-                raise SPMDError(
+                err = SPMDError(
                     [
                         RankError(
                             rank,
@@ -255,7 +313,13 @@ class VirtualMachine:
                         for rank, n in sorted(leaked.items())
                     ]
                 )
+                err.replay_handle = handle
+                self._finalize_recording(
+                    plan_dict, processes, values, error=err
+                )
+                raise err
 
+        self._finalize_recording(plan_dict, processes, values)
         return SPMDResult(
             values=values,
             clocks=[p.clock for p in processes],
@@ -264,4 +328,5 @@ class VirtualMachine:
             traces=[p.trace if p.trace is not None else [] for p in processes],
             metrics=[p.metrics.snapshot() for p in processes],
             spans=[p.spans if p.spans is not None else [] for p in processes],
+            replay=handle,
         )

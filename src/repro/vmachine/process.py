@@ -94,6 +94,9 @@ class Process:
         self.slowdown: float = 1.0
         #: installed FaultPlan (None = perfectly reliable transport)
         self.faults = None
+        #: attached RankRecorder (None = not recording); hooks are plain
+        #: appends on this rank's own thread and charge zero clock time
+        self.recorder = None
         #: pooled pack/unpack staging buffers (counters mirror into
         #: ``self.metrics``; see :class:`~repro.vmachine.message.PackArena`)
         self.arena = PackArena(self.metrics)

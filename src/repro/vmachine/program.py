@@ -111,6 +111,7 @@ def run_programs(
     copy_on_send: bool | None = None,
     faults: FaultPlan | None = None,
     observe: bool | None = None,
+    recorder=None,
 ) -> CoupledResult:
     """Run several programs concurrently on disjoint processor sets.
 
@@ -118,11 +119,13 @@ def run_programs(
     network uses the same cost profile as the intra-program network (on the
     SP2 both are the switch; on the Alpha farm both are the ATM fabric).
 
-    ``recv_timeout_s``, ``copy_on_send``, ``faults`` and ``observe``
-    mirror the :class:`~repro.vmachine.machine.VirtualMachine`
+    ``recv_timeout_s``, ``copy_on_send``, ``faults``, ``observe`` and
+    ``recorder`` mirror the :class:`~repro.vmachine.machine.VirtualMachine`
     parameters; a :class:`~repro.vmachine.faults.FaultPlan` crash event
     may name a whole program (``rank="program:<name>"``) and is expanded
-    to that program's global ranks here.
+    to that program's global ranks here.  Recorded artifacts index ranks
+    *globally* (spec-order blocks), which is also how the single-rank
+    isolation replayer addresses them.
     """
     if not specs:
         raise ValueError("need at least one program")
@@ -142,15 +145,21 @@ def run_programs(
     observe_flag = (
         _env_truthy("REPRO_OBSERVE") if observe is None else observe
     )
+    if recorder is None and _env_truthy("REPRO_RECORD"):
+        from repro.replay.recorder import Recorder
+
+        recorder = Recorder()
     for p in processes:
         detector.register(p.mailbox)
         if recv_timeout_s is not None:
             p.recv_timeout_s = recv_timeout_s
         p.copy_on_send = copy_flag
-        if trace or observe_flag:
+        if trace or observe_flag or recorder is not None:
             p.trace = []
         if observe_flag:
             p.enable_observability()
+        if recorder is not None:
+            p.recorder = recorder.rank_recorder(p.rank)
 
     # Contiguous global-rank blocks per program.
     blocks: dict[str, list[int]] = {}
@@ -239,9 +248,51 @@ def run_programs(
     for t in threads:
         t.join()
 
+    # Replay provenance: global-rank-ordered views (spec-order blocks).
+    def _global_values() -> list[Any]:
+        flat: list[Any] = [None] * total
+        for spec in specs:
+            for local_rank, grank in enumerate(blocks[spec.name]):
+                flat[grank] = values[spec.name][local_rank]
+        return flat
+
+    def _finalize_recording(error=None) -> None:
+        if recorder is None:
+            return
+        recorder.finalize(
+            kind="programs",
+            config={
+                "nprocs": total,
+                "profile": profile.name,
+                "programs": [[s.name, s.nprocs] for s in specs],
+                "recv_timeout_s": recv_timeout_s,
+                "copy_on_send": copy_flag,
+                "observe": bool(observe_flag),
+                "workload": None,
+            },
+            fault_plan_dict=faultplan_to_dict(faults),
+            clocks=[p.clock for p in processes],
+            traces=[p.trace if p.trace is not None else [] for p in processes],
+            values=_global_values(),
+            error=error,
+        )
+
+    from repro.replay.artifact import faultplan_to_dict
+    from repro.replay.fingerprint import replay_handle
+
+    handle = replay_handle(
+        total, profile.name, faultplan_to_dict(faults),
+        programs=[(s.name, s.nprocs) for s in specs],
+    )
+
     if errors:
         errors.sort(key=lambda e: e.rank)
-        raise SPMDError(errors)
+        err = SPMDError(errors)
+        err.replay_handle = handle
+        _finalize_recording(error=err)
+        raise err
+
+    _finalize_recording()
 
     results: dict[str, SPMDResult] = {}
     for spec in specs:
@@ -260,5 +311,6 @@ def run_programs(
                 processes[g].spans if processes[g].spans is not None else []
                 for g in granks
             ],
+            replay=handle,
         )
     return CoupledResult(programs=results)

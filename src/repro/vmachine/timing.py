@@ -82,7 +82,11 @@ def merge_timings(reports: list[TimingReport], how: str = "max") -> TimingReport
     keys: set[str] = set()
     for r in reports:
         keys.update(r.phases)
-    for key in keys:
+    # Sorted, not raw set order: string-set iteration is salted per
+    # interpreter (PYTHONHASHSEED), and the merged dict's insertion order
+    # leaks into serialized reports — replay-divergence checking demands
+    # bit-stable output for identical inputs.
+    for key in sorted(keys):
         values = [r.phases.get(key, 0.0) for r in reports]
         if how == "max":
             merged.phases[key] = max(values)

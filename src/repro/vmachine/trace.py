@@ -37,6 +37,8 @@ __all__ = [
     "TraceEvent",
     "MESSAGE_KINDS",
     "format_tag",
+    "event_to_tuple",
+    "event_from_tuple",
     "message_matrix",
     "rank_activity",
     "format_timeline",
@@ -66,6 +68,23 @@ class TraceEvent:
     wait: float = 0.0
     #: enclosing span path when the event was recorded ("" outside spans)
     phase: str = ""
+
+
+def event_to_tuple(e: TraceEvent) -> list:
+    """Flatten a :class:`TraceEvent` for JSON serialization.
+
+    Field order is fixed — ``[kind, time, rank, peer, tag, nbytes, wait,
+    phase]`` — and every field round-trips exactly through JSON (floats
+    via shortest-repr, arbitrary-size tag ints natively), so serialized
+    traces compare byte-for-byte across record and replay.
+    """
+    return [e.kind, e.time, e.rank, e.peer, e.tag, e.nbytes, e.wait, e.phase]
+
+
+def event_from_tuple(t: list | tuple) -> TraceEvent:
+    """Inverse of :func:`event_to_tuple` (works for every event kind)."""
+    kind, time, rank, peer, tag, nbytes, wait, phase = t
+    return TraceEvent(kind, time, rank, peer, tag, nbytes, wait, phase)
 
 
 def format_tag(tag: int) -> str:

@@ -126,3 +126,55 @@ class TestCheckerCLI:
         r = self._run("BENCH_overlap.json", "BENCH_fusion.json",
                       "BENCH_reliability.json")
         assert r.returncode == 0, r.stdout + r.stderr
+
+
+class TestCheckerErrorHandling:
+    """Missing/malformed inputs fail with a message, not a traceback."""
+
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(CHECKER), *argv],
+            capture_output=True, text=True, cwd=REPO,
+        )
+
+    def test_missing_file_is_clear_error(self, tmp_path):
+        r = self._run("--baseline", str(tmp_path / "gone.json"),
+                      "--current", str(tmp_path / "gone.json"))
+        assert r.returncode == 2
+        assert "no such benchmark file" in r.stderr
+        assert "bench_" in r.stderr  # tells the user how to regenerate
+        assert "Traceback" not in r.stderr
+
+    def test_malformed_json_is_clear_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        r = self._run("--baseline", str(bad), "--current", str(bad))
+        assert r.returncode == 2
+        assert "malformed benchmark JSON" in r.stderr
+        assert "Traceback" not in r.stderr
+
+    def test_non_object_json_is_clear_error(self, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        r = self._run("--baseline", str(bad), "--current", str(bad))
+        assert r.returncode == 2
+        assert "expected a JSON object" in r.stderr
+
+    def test_missing_self_test_file_is_clear_error(self, tmp_path):
+        r = self._run("--self-test", str(tmp_path / "gone.json"))
+        assert r.returncode == 2
+        assert "no such benchmark file" in r.stderr
+        assert "Traceback" not in r.stderr
+
+    def test_new_trajectory_passes_with_note(self):
+        # A file with no committed ancestor must live inside the repo for
+        # the HEAD lookup; clean it up afterwards.
+        fresh = REPO / "BENCH_test_new_trajectory.json"
+        fresh.write_text(json.dumps(BASELINE))
+        try:
+            r = self._run(fresh.name)
+            assert r.returncode == 0, r.stdout + r.stderr
+            assert "new trajectory" in r.stdout
+            assert "OK" in r.stdout
+        finally:
+            fresh.unlink()

@@ -1,0 +1,240 @@
+"""Artifact format: serialization round trips, sealing, tamper localization."""
+
+import base64
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.replay.artifact import (
+    IntegrityViolation,
+    ReplayFormatError,
+    checksum_ok,
+    decode_payload,
+    decode_receipt,
+    encode_payload,
+    encode_receipt,
+    faultplan_from_dict,
+    faultplan_to_dict,
+    load_artifact,
+    save_artifact,
+    seal_body,
+    verify_artifact,
+)
+from repro.replay.fingerprint import payload_digest
+from repro.vmachine.faults import (
+    CrashEvent,
+    DeliveryReceipt,
+    FaultPlan,
+    FaultRates,
+    FaultRule,
+    OK_RECEIPT,
+)
+from repro.vmachine.trace import TraceEvent, event_from_tuple, event_to_tuple
+
+#: every event kind the runtime emits (messages, fault annotations from
+#: the chaos layer, fused-plan executor marks) — all must round-trip
+ALL_KINDS = [
+    "send", "recv",
+    "fault:drop", "fault:dup", "fault:hold", "fault:delay", "fault:corrupt",
+    "plan:fuse",
+]
+
+
+class TestTraceEventRoundTrip:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_round_trip_every_kind(self, kind):
+        e = TraceEvent(kind, 0.0123456789012345, 3, 7, (5 << 32) + 17,
+                       4096, wait=0.25, phase="push/wire")
+        assert event_from_tuple(event_to_tuple(e)) == e
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_round_trip_through_json(self, kind):
+        e = TraceEvent(kind, 1.5e-5, 0, 15, (1 << 32) + (1 << 24) + 3,
+                       80, wait=0.0, phase="")
+        t = json.loads(json.dumps(event_to_tuple(e)))
+        assert event_from_tuple(t) == e
+
+    def test_huge_wire_tags_survive_json_exactly(self):
+        # Split communicators Cantor-pair context blocks: tags far beyond
+        # 2**53 must not lose bits (JSON ints are exact in Python).
+        tag = (1 << 20) * (1 << 32) + 123456789
+        e = TraceEvent("send", 0.0, 0, 1, tag, 8)
+        assert event_from_tuple(json.loads(json.dumps(event_to_tuple(e)))).tag == tag
+
+    def test_default_fields(self):
+        e = TraceEvent("send", 1.0, 0, 1, 5, 64)
+        got = event_from_tuple(event_to_tuple(e))
+        assert got.wait == 0.0 and got.phase == ""
+
+
+def _receipt_fields(r):
+    return (r.delivered, r.dropped, r.corrupted, r.held, r.duplicated,
+            r.delay_s)
+
+
+class TestReceiptCodec:
+    def test_ok_receipt_is_compact(self):
+        assert encode_receipt(OK_RECEIPT) == "ok"
+        assert decode_receipt("ok") is OK_RECEIPT
+
+    def test_faulted_receipt_round_trips(self):
+        r = DeliveryReceipt(delivered=2, dropped=False, corrupted=False,
+                            held=True, duplicated=1, delay_s=0.125)
+        got = decode_receipt(json.loads(json.dumps(encode_receipt(r))))
+        assert _receipt_fields(got) == _receipt_fields(r)
+
+    def test_dropped_receipt_round_trips(self):
+        r = DeliveryReceipt(delivered=0, dropped=True, corrupted=False,
+                            held=False, duplicated=0, delay_s=0.0)
+        assert _receipt_fields(decode_receipt(encode_receipt(r))) == \
+            _receipt_fields(r)
+
+
+class TestFaultPlanCodec:
+    def _plan(self):
+        return FaultPlan(
+            seed=42,
+            rules=[
+                FaultRule(
+                    rates=FaultRates(drop=0.1, dup=0.05, reorder=0.2,
+                                     delay=0.15, corrupt=0.01,
+                                     delay_range_s=(1e-4, 5e-3)),
+                    src=1, dst=None, classes=("data", "user"),
+                ),
+            ],
+            slowdown={2: 1.5, 0: 2.0},
+            crashes=[CrashEvent(rank=3, after_sends=10)],
+        )
+
+    def test_round_trip_is_stable(self):
+        d = faultplan_to_dict(self._plan())
+        d2 = faultplan_to_dict(faultplan_from_dict(json.loads(json.dumps(d))))
+        assert d == d2
+
+    def test_none_passes_through(self):
+        assert faultplan_to_dict(None) is None
+        assert faultplan_from_dict(None) is None
+
+    def test_reconstructed_plan_draws_identically(self):
+        a, b = self._plan(), faultplan_from_dict(faultplan_to_dict(self._plan()))
+        # Same per-channel RNG streams: the draw schedule re-derives from
+        # the seed, which is the whole record/replay contract for faults.
+        assert a.seed == b.seed
+        ra = a._channel_rng(0, 1) if hasattr(a, "_channel_rng") else None
+        if ra is not None:
+            rb = b._channel_rng(0, 1)
+            assert [ra.random() for _ in range(8)] == [rb.random() for _ in range(8)]
+
+
+class TestPayloadCodec:
+    def test_ndarray_round_trip(self):
+        x = np.arange(12, dtype=np.float64).reshape(3, 4)[:, ::2]
+        y = decode_payload(encode_payload(x))
+        np.testing.assert_array_equal(x, y)
+        assert payload_digest(x) == payload_digest(y)
+
+    def test_tuple_payload_round_trip(self):
+        x = (3, "hdr", np.arange(5))
+        y = decode_payload(encode_payload(x))
+        assert y[0] == 3 and y[1] == "hdr"
+        np.testing.assert_array_equal(x[2], y[2])
+
+    def test_unpicklable_returns_none(self):
+        assert encode_payload(lambda: None) is None
+
+
+def _tiny_artifact(payload=b"hello-world"):
+    digest = payload_digest(payload)
+    body = {
+        "version": 1, "kind": "vm", "payloads": True, "note": "",
+        "config": {"nprocs": 2, "profile": "IBM-SP2/MPL", "programs": None,
+                   "recv_timeout_s": None, "copy_on_send": False,
+                   "observe": False, "workload": None},
+        "env": {}, "env_fingerprint": "x", "fault_plan": None,
+        "ranks": [
+            {"sends": [[0, 1, 5, 11, 1e-5, digest, "ok"]], "recvs": [],
+             "probes": "", "trace": [], "clock": 1e-5, "value": "aa"},
+            {"sends": [],
+             "recvs": [[0, 0, 5, 11, 1e-5, 2e-5, 0.0, digest,
+                        encode_payload(payload)]],
+             "probes": "01", "trace": [], "clock": 2e-5, "value": "bb"},
+        ],
+        "error": None,
+    }
+    return seal_body(body)
+
+
+class TestEnvelope:
+    def test_save_load_json(self, tmp_path):
+        art = _tiny_artifact()
+        p = save_artifact(art, str(tmp_path / "a.json"))
+        assert load_artifact(p) == art
+
+    def test_save_load_gzip(self, tmp_path):
+        art = _tiny_artifact()
+        p = save_artifact(art, str(tmp_path / "a.json.gz"))
+        assert load_artifact(p) == art
+
+    def test_checksum_detects_any_body_change(self):
+        art = _tiny_artifact()
+        assert checksum_ok(art)
+        mutated = copy.deepcopy(art)
+        mutated["body"]["ranks"][0]["clock"] = 9.0
+        assert not checksum_ok(mutated)
+
+    def test_non_artifact_rejected(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text("{\"hello\": 1}")
+        with pytest.raises(ReplayFormatError):
+            load_artifact(str(p))
+
+    def test_garbage_rejected(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text("not json at all")
+        with pytest.raises(ReplayFormatError):
+            load_artifact(str(p))
+
+    def test_unknown_version_rejected(self, tmp_path):
+        art = _tiny_artifact()
+        art["body"]["version"] = 99
+        p = save_artifact(art, str(tmp_path / "v.json"))
+        with pytest.raises(ReplayFormatError, match="version"):
+            load_artifact(p)
+
+
+class TestTamperLocalization:
+    def test_clean_artifact_verifies(self):
+        assert verify_artifact(_tiny_artifact()) == []
+
+    def test_single_byte_payload_flip_is_localized(self):
+        art = _tiny_artifact(payload=np.arange(64, dtype=np.float64))
+        rec = art["body"]["ranks"][1]["recvs"][0]
+        raw = bytearray(base64.b64decode(rec[8]))
+        # Flip one byte inside the array data (past the pickle header) so
+        # the payload still unpickles but its content digest changes.
+        raw[-8] ^= 0x01
+        rec[8] = base64.b64encode(bytes(raw)).decode()
+        violations = verify_artifact(art)
+        kinds = {v.kind for v in violations}
+        assert "checksum" in kinds  # envelope notices *something* changed
+        payload_v = [v for v in violations if v.kind == "payload"]
+        assert payload_v, "payload damage was not localized"
+        v = payload_v[0]
+        # Localization: the exact rank, directed channel and sequence
+        # number of the damaged record.
+        assert v.rank == 1 and v.channel == (0, 1) and v.seq == 0
+        assert "digest" in v.detail or "decode" in v.detail
+        assert "channel 0 -> 1" in str(v)
+
+    def test_header_tamper_hits_checksum(self):
+        art = _tiny_artifact()
+        art["body"]["ranks"][0]["sends"][0][3] = 99999  # nbytes
+        violations = verify_artifact(art)
+        assert any(v.kind == "checksum" for v in violations)
+
+    def test_violation_str_mentions_location(self):
+        v = IntegrityViolation("payload", 3, (1, 3), 7, "digest mismatch")
+        s = str(v)
+        assert "rank 3" in s and "1 -> 3" in s and "seq 7" in s

@@ -26,12 +26,10 @@ regression tracking).
 """
 
 import functools
-import json
-from pathlib import Path
 
 import numpy as np
 
-from common import check_shape, print_header, record
+from common import check_shape, grid_sweep, print_header, record, write_trajectory
 from repro.blockparti import BlockPartiArray
 from repro.core import (
     ExecutorPolicy,
@@ -47,7 +45,6 @@ from repro.vmachine import ALPHA_FARM_ATM, IBM_SP2, VirtualMachine
 N = 256                      # global array is N x N doubles
 PROC_COUNTS = (8, 16)
 PROFILES = (IBM_SP2, ALPHA_FARM_ATM)
-REPO_ROOT = Path(__file__).parent.parent
 
 
 def _skewed_sors(n: int, nprocs: int):
@@ -104,45 +101,43 @@ def run_ablation():
         f"Ablation: latency-hiding executor — rotated injection + wait-any "
         f"completion ({N}x{N} doubles, even->odd skewed scatter)"
     )
-    results = {}
-    for profile in PROFILES:
-        for nprocs in PROC_COUNTS:
-            t_ord, d_ord, s_ord = run_copy(nprocs, profile, ExecutorPolicy.ORDERED)
-            t_ovl, d_ovl, s_ovl = run_copy(nprocs, profile, ExecutorPolicy.OVERLAP)
-            identical = all(
-                np.array_equal(a, b) for a, b in zip(d_ord, d_ovl)
-            )
-            improvement = 1.0 - t_ovl / t_ord
-            key = f"{profile.name}/P{nprocs}"
-            results[key] = {
-                "profile": profile.name,
-                "nprocs": nprocs,
-                "ordered_ms": t_ord * 1e3,
-                "overlap_ms": t_ovl * 1e3,
-                "improvement_pct": improvement * 100.0,
-                "identical_destination": bool(identical),
-                "messages": {"ordered": s_ord["messages"], "overlap": s_ovl["messages"]},
-                "bytes": {"ordered": s_ord["bytes"], "overlap": s_ovl["bytes"]},
-            }
-            print(
-                f"  {profile.name:<20} P={nprocs:<3} "
-                f"ordered {t_ord * 1e3:8.3f} ms   overlap {t_ovl * 1e3:8.3f} ms   "
-                f"({improvement * 100:5.1f}% faster)"
-            )
-            check_shape(
-                identical,
-                f"{key}: destination data identical under both policies",
-            )
-            check_shape(
-                s_ord == s_ovl,
-                f"{key}: identical message and byte counts "
-                f"({int(s_ord['messages'])} msgs, {int(s_ord['bytes'])} bytes)",
-            )
-            check_shape(
-                improvement > 0,
-                f"{key}: overlap reduces logical elapsed time "
-                f"({improvement * 100:.1f}%)",
-            )
+    def cell(profile, nprocs):
+        t_ord, d_ord, s_ord = run_copy(nprocs, profile, ExecutorPolicy.ORDERED)
+        t_ovl, d_ovl, s_ovl = run_copy(nprocs, profile, ExecutorPolicy.OVERLAP)
+        identical = all(
+            np.array_equal(a, b) for a, b in zip(d_ord, d_ovl)
+        )
+        improvement = 1.0 - t_ovl / t_ord
+        key = f"{profile.name}/P{nprocs}"
+        print(
+            f"  {profile.name:<20} P={nprocs:<3} "
+            f"ordered {t_ord * 1e3:8.3f} ms   overlap {t_ovl * 1e3:8.3f} ms   "
+            f"({improvement * 100:5.1f}% faster)"
+        )
+        check_shape(
+            identical,
+            f"{key}: destination data identical under both policies",
+        )
+        check_shape(
+            s_ord == s_ovl,
+            f"{key}: identical message and byte counts "
+            f"({int(s_ord['messages'])} msgs, {int(s_ord['bytes'])} bytes)",
+        )
+        check_shape(
+            improvement > 0,
+            f"{key}: overlap reduces logical elapsed time "
+            f"({improvement * 100:.1f}%)",
+        )
+        return {
+            "ordered_ms": t_ord * 1e3,
+            "overlap_ms": t_ovl * 1e3,
+            "improvement_pct": improvement * 100.0,
+            "identical_destination": bool(identical),
+            "messages": {"ordered": s_ord["messages"], "overlap": s_ovl["messages"]},
+            "bytes": {"ordered": s_ord["bytes"], "overlap": s_ovl["bytes"]},
+        }
+
+    results = grid_sweep(cell, PROFILES, PROC_COUNTS)
 
     sp2_16 = results[f"{IBM_SP2.name}/P16"]
     check_shape(
@@ -152,17 +147,15 @@ def run_ablation():
     )
 
     record("ablation_overlap", results)
-    trajectory = {
-        "benchmark": "overlap_executor_ablation",
-        "workload": {
+    write_trajectory(
+        "overlap",
+        "overlap_executor_ablation",
+        {
             "array": [N, N],
             "pattern": "even-rank row blocks scattered across all odd-rank "
                        "blocks (IndexRegion permutation)",
         },
-        "results": results,
-    }
-    (REPO_ROOT / "BENCH_overlap.json").write_text(
-        json.dumps(trajectory, indent=2) + "\n"
+        results,
     )
     return results
 

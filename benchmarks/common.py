@@ -76,8 +76,53 @@ def matvec(nclient: int, nserver: int, nvectors: int) -> MatvecTimings:
 
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 _current_experiment: list = []
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive-grid machinery (shared by the ablation benches and
+# bench_autotune): sweep a cell function over profiles x processor counts
+# and persist the machine-readable trajectory at the repo root.
+# ---------------------------------------------------------------------------
+
+
+def grid_sweep(cell, profiles, proc_counts) -> dict:
+    """Run ``cell(profile, nprocs)`` over the full grid.
+
+    ``cell`` returns a dict of JSON-friendly numbers for one grid point;
+    the sweep keys it as ``"<profile>/P<nprocs>"`` (the shape
+    ``check_regression.py`` diffs) and stamps ``profile``/``nprocs`` in
+    if the cell didn't.
+    """
+    results = {}
+    for profile in profiles:
+        for nprocs in proc_counts:
+            row = cell(profile, nprocs)
+            row.setdefault("profile", profile.name)
+            row.setdefault("nprocs", nprocs)
+            results[f"{profile.name}/P{nprocs}"] = row
+    return results
+
+
+def write_trajectory(name: str, benchmark: str, workload, results) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root.
+
+    The committed trajectory files share one shape — ``{"benchmark",
+    "workload", "results"}`` with ``*_ms`` leaves under ``results`` —
+    which is exactly what ``check_regression.py`` walks.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(
+            {"benchmark": benchmark, "workload": workload, "results": results},
+            indent=2,
+            default=_jsonify,
+        )
+        + "\n"
+    )
+    return path
 
 
 def print_header(title: str) -> None:

@@ -1,5 +1,11 @@
 """Command-line interface: quick demos and experiment drivers.
 
+Every subcommand lives in one registration table (``COMMANDS``): a
+``(name, help, configure, run)`` row per command, rendered consistently
+by ``python -m repro --help``.  Adding a command means adding one row —
+the parser wiring and the dispatch share the same table, so the help
+text and the dispatcher can never drift apart.
+
 ::
 
     python -m repro info                       # machine profiles & libraries
@@ -9,12 +15,15 @@
     python -m repro plan-summary --procs 4 --arrays 3
     python -m repro trace --procs 4 --out trace.json   # Perfetto/chrome://tracing
     python -m repro profile --procs 4                  # cost-term attribution
+    python -m repro autotune --elems 65536 --procs 8 --reuse 50 --validate 3
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
+from typing import Callable
 
 
 def cmd_info(args) -> int:
@@ -364,63 +373,128 @@ def cmd_replay(args) -> int:
     return run(args)
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Meta-Chaos reproduction (IPPS 1997) — demos and drivers",
+def cmd_autotune(args) -> int:
+    """Search the mapping space analytically; optionally validate winners."""
+    from repro.autotune import (
+        CostModel,
+        DistSpec,
+        WorkloadSpec,
+        calibrate,
+        search_mapping,
+        validate_top,
     )
-    sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="profiles and registered libraries")
+    def parse_dist(text: str | None) -> DistSpec | None:
+        if text is None:
+            return None
+        if text.startswith("cyclic(") and text.endswith(")"):
+            return DistSpec("block_cyclic", block=int(text[7:-1]))
+        if text.startswith("irregular"):
+            seed = int(text[10:-1]) if "(" in text else 11
+            return DistSpec("irregular", seed=seed)
+        return DistSpec(text)
 
-    p = sub.add_parser("demo", help="cross-library copy demo (Parti -> Chaos)")
-    p.add_argument("--procs", type=int, default=4)
-    p.add_argument("--size", type=int, default=32)
+    workload = WorkloadSpec(
+        name="cli",
+        nelems=args.elems,
+        nprocs=args.procs,
+        pattern=args.pattern,
+        seed=args.seed,
+        narrays=args.arrays,
+        reuse=args.reuse,
+    )
+    model = CostModel(workload.profile)
+    space_kwargs = dict(
+        fixed_src=parse_dist(args.fix_src),
+        fixed_dst=parse_dist(args.fix_dst),
+    )
+    result = search_mapping(workload, model=model, **space_kwargs)
+    if args.calibrate:
+        model = calibrate(
+            workload, [p.mapping for p in result.ranked[: args.top]], model
+        )
+        result = search_mapping(workload, model=model, **space_kwargs)
+        cal = model.coefficients.as_dict()
+        print("calibrated coefficients: "
+              + ", ".join(f"{t}={v:.3g}" for t, v in cal.items()))
+    print(
+        f"searched {result.evaluated + result.pruned} mapping points "
+        f"({result.pruned} pruned) in {result.search_wall_s * 1e3:.1f} ms "
+        f"wall — n={workload.nelems}, P={workload.nprocs}, "
+        f"pattern={workload.pattern}, reuse={workload.reuse}"
+    )
+    print(f"{'predicted':>11}  {'build':>9}  {'move':>9}  mapping")
+    for row in result.table(args.top):
+        print(
+            f"{row['predicted_total_ms']:>9.3f} ms  "
+            f"{row['predicted_build_ms']:>6.3f} ms  "
+            f"{row['predicted_move_ms']:>6.3f} ms  {row['mapping']}"
+        )
+    if args.validate > 0:
+        pairs = validate_top(workload, result, top=args.validate)
+        print(f"\nvalidated top {len(pairs)} under observe=True:")
+        best_measured = min(m.total_s for _, m in pairs)
+        for pred, meas in pairs:
+            err = abs(pred.total_s - meas.total_s) / meas.total_s
+            print(
+                f"  {pred.mapping.label()}: predicted "
+                f"{pred.total_s * 1e3:.3f} ms, measured "
+                f"{meas.total_s * 1e3:.3f} ms ({err:.1%} error)"
+            )
+        chosen = pairs[0][1].total_s
+        gap = (chosen - best_measured) / best_measured
+        print(f"  auto-chosen mapping within {gap:.1%} of the measured best")
+        return 0 if gap <= 0.05 else 1
+    return 0
 
-    p = sub.add_parser("coupled", help="coupled-mesh application (paper §5.1)")
-    p.add_argument("--procs", type=int, default=4)
-    p.add_argument("--size", type=int, default=64)
+
+# -- registration table ------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Command:
+    """One subcommand: its name, one-line help, arguments, and runner."""
+
+    name: str
+    help: str
+    run: Callable
+    configure: Callable[[argparse.ArgumentParser], None] | None = None
+
+
+def _std(p: argparse.ArgumentParser, procs: int = 4, size: int = 16,
+         policy: bool = False) -> None:
+    p.add_argument("--procs", type=int, default=procs)
+    p.add_argument("--size", type=int, default=size)
+    if policy:
+        p.add_argument("--policy", choices=("ordered", "overlap", "auto"),
+                       default="ordered")
+
+
+def _configure_coupled(p):
+    _std(p, size=64)
     p.add_argument("--steps", type=int, default=2)
     p.add_argument("--remap", choices=("mc-coop", "mc-dup", "chaos"),
                    default="mc-coop")
 
-    p = sub.add_parser("matvec", help="client/server matvec (paper §5.4)")
+
+def _configure_matvec(p):
     p.add_argument("--client", type=int, default=1)
     p.add_argument("--server", type=int, default=8)
     p.add_argument("--vectors", type=int, default=1)
     p.add_argument("--size", type=int, default=512)
 
-    p = sub.add_parser(
-        "plan-summary",
-        help="per-pair message/byte/segment table of a fused MovePlan",
-    )
-    p.add_argument("--procs", type=int, default=4)
-    p.add_argument("--size", type=int, default=16)
+
+def _configure_plan_summary(p):
+    _std(p)
     p.add_argument("--arrays", type=int, default=3)
 
-    p = sub.add_parser(
-        "trace",
-        help="export a Chrome/Perfetto trace of an observed demo run",
-    )
-    p.add_argument("--procs", type=int, default=4)
-    p.add_argument("--size", type=int, default=16)
-    p.add_argument("--policy", choices=("ordered", "overlap"),
-                   default="ordered")
+
+def _configure_trace(p):
+    _std(p, policy=True)
     p.add_argument("--out", default="trace.json")
 
-    p = sub.add_parser(
-        "profile",
-        help="per-rank cost-term attribution of an observed demo run",
-    )
-    p.add_argument("--procs", type=int, default=4)
-    p.add_argument("--size", type=int, default=16)
-    p.add_argument("--policy", choices=("ordered", "overlap"),
-                   default="ordered")
 
-    p = sub.add_parser(
-        "serve",
-        help="multi-tenant coupling service demo (sessions, shared caches)",
-    )
+def _configure_serve(p):
     p.add_argument("--tenants", type=int, default=16)
     p.add_argument("--gateway", type=int, default=2)
     p.add_argument("--server", type=int, default=3)
@@ -437,35 +511,86 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--queue-depth", type=int, default=1024)
     p.add_argument("--inflight", type=int, default=8)
 
+
+def _configure_autotune(p):
+    p.add_argument("--elems", type=int, default=65536,
+                   help="elements moved per schedule")
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--pattern", choices=("permute", "identity", "section"),
+                   default="permute")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--arrays", type=int, default=1,
+                   help="same-shaped fields per timestep (fusion candidates)")
+    p.add_argument("--reuse", type=int, default=1,
+                   help="data moves amortizing one schedule build")
+    p.add_argument("--top", type=int, default=5,
+                   help="ranked mapping points to print")
+    p.add_argument("--validate", type=int, default=0, metavar="N",
+                   help="execute the top N candidates under observe=True "
+                        "and report predicted vs measured")
+    p.add_argument("--calibrate", action="store_true",
+                   help="refit per-term build coefficients from measured "
+                        "runs of the top candidates, then re-search")
+    p.add_argument("--fix-src", metavar="DIST",
+                   help="pin the source distribution (block, cyclic, "
+                        "cyclic(K), irregular[(SEED)])")
+    p.add_argument("--fix-dst", metavar="DIST",
+                   help="pin the destination distribution")
+
+
+def _record_replay_configures():
     from repro.replay.cli import add_record_args, add_replay_args
 
-    p = sub.add_parser(
-        "record",
-        help="run a named workload under the recorder; write a sealed "
-             "replay artifact",
-    )
-    add_record_args(p)
+    return add_record_args, add_replay_args
 
-    p = sub.add_parser(
-        "replay",
-        help="verify and re-execute a recorded run (all ranks, or one "
-             "rank in isolation with --rank)",
-    )
-    add_replay_args(p)
 
+COMMANDS: tuple[Command, ...] = (
+    Command("info", "machine profiles and registered libraries", cmd_info),
+    Command("demo", "cross-library copy demo (Parti -> Chaos)", cmd_demo,
+            lambda p: _std(p, size=32)),
+    Command("coupled", "coupled-mesh application (paper §5.1)", cmd_coupled,
+            _configure_coupled),
+    Command("matvec", "client/server matvec (paper §5.4)", cmd_matvec,
+            _configure_matvec),
+    Command("plan-summary",
+            "per-pair message/byte/segment table of a fused MovePlan",
+            cmd_plan_summary, _configure_plan_summary),
+    Command("trace", "export a Chrome/Perfetto trace of an observed demo run",
+            cmd_trace, _configure_trace),
+    Command("profile", "per-rank cost-term attribution of an observed run",
+            cmd_profile, lambda p: _std(p, policy=True)),
+    Command("serve",
+            "multi-tenant coupling service demo (sessions, shared caches)",
+            cmd_serve, _configure_serve),
+    Command("record",
+            "run a named workload under the recorder; write a sealed "
+            "replay artifact",
+            cmd_record, lambda p: _record_replay_configures()[0](p)),
+    Command("replay",
+            "verify and re-execute a recorded run (all ranks, or one rank "
+            "in isolation with --rank)",
+            cmd_replay, lambda p: _record_replay_configures()[1](p)),
+    Command("autotune",
+            "cost-model search over the mapping space; optional validation",
+            cmd_autotune, _configure_autotune),
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Meta-Chaos reproduction (IPPS 1997) — demos and drivers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="command")
+    runners: dict[str, Callable] = {}
+    for cmd in COMMANDS:
+        p = sub.add_parser(cmd.name, help=cmd.help, description=cmd.help)
+        if cmd.configure is not None:
+            cmd.configure(p)
+        runners[cmd.name] = cmd.run
     args = parser.parse_args(argv)
-    return {
-        "info": cmd_info,
-        "demo": cmd_demo,
-        "coupled": cmd_coupled,
-        "matvec": cmd_matvec,
-        "plan-summary": cmd_plan_summary,
-        "trace": cmd_trace,
-        "profile": cmd_profile,
-        "serve": cmd_serve,
-        "record": cmd_record,
-        "replay": cmd_replay,
-    }[args.command](args)
+    return runners[args.command](args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,161 @@
+"""Offline search over the mapping space (no virtual-machine runs).
+
+:func:`mapping_space` enumerates the candidate grid — distribution per
+side × schedule method × executor policy × fusion degree × table
+residency — pruning combinations that are structurally pointless (a
+paged table without an irregular side, fusion without multiple fields).
+:func:`search_mapping` evaluates the survivors under a
+:class:`~repro.autotune.model.CostModel` with a cheap branch-and-bound
+cut: candidates sharing a distribution pair share one exact move replay,
+and a candidate whose move-only lower bound already exceeds the best
+completed total is discarded before its build estimate is computed.
+
+The search is pure arithmetic on the host — milliseconds of wall clock —
+while a single *mis-mapped* run of the workload costs the full measured
+price of the bad mapping.  ``bench_autotune`` quantifies that gap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.autotune.model import CostModel, Prediction
+from repro.autotune.workload import DistSpec, MappingPoint, WorkloadSpec
+from repro.core.policy import ExecutorPolicy
+from repro.core.schedule import ScheduleMethod
+
+__all__ = ["SearchResult", "mapping_space", "search_mapping"]
+
+#: default per-side distribution menu (regular kinds + one partitioner)
+DEFAULT_DIST_MENU = (
+    DistSpec("block"),
+    DistSpec("cyclic"),
+    DistSpec("block_cyclic", block=16),
+    DistSpec("irregular", seed=11),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchResult:
+    """Ranked predictions plus the search's own cost accounting."""
+
+    workload: WorkloadSpec
+    ranked: tuple[Prediction, ...]
+    evaluated: int
+    pruned: int
+    search_wall_s: float
+
+    @property
+    def best(self) -> Prediction:
+        return self.ranked[0]
+
+    def table(self, top: int | None = None) -> list[dict]:
+        rows = [p.row() for p in self.ranked]
+        return rows if top is None else rows[:top]
+
+
+def mapping_space(
+    workload: WorkloadSpec,
+    dist_menu: tuple[DistSpec, ...] = DEFAULT_DIST_MENU,
+    fixed_src: DistSpec | None = None,
+    fixed_dst: DistSpec | None = None,
+) -> list[MappingPoint]:
+    """Enumerate candidate mapping points, structurally pruned.
+
+    ``fixed_src``/``fixed_dst`` pin one side (the common case: an
+    application's partitioner already owns one structure and only the
+    peer's mapping is free).
+    """
+    src_menu = (fixed_src,) if fixed_src is not None else dist_menu
+    dst_menu = (fixed_dst,) if fixed_dst is not None else dist_menu
+    fusions = (1,) if workload.narrays <= 1 else (1, workload.narrays)
+    points = []
+    for src in src_menu:
+        for dst in dst_menu:
+            irregular = not (src.regular and dst.regular)
+            tables = ("replicated", "paged") if irregular else ("replicated",)
+            for method in (ScheduleMethod.COOPERATION,
+                           ScheduleMethod.DUPLICATION):
+                if method is ScheduleMethod.DUPLICATION and irregular \
+                        and workload.nelems > 1 << 22:
+                    # Duplication ships whole translation tables; at
+                    # multi-megabyte table sizes the paper rules it out
+                    # up front ("not practical", §5.1).
+                    continue
+                for policy in (ExecutorPolicy.ORDERED,
+                               ExecutorPolicy.OVERLAP):
+                    for fusion in fusions:
+                        for table in tables:
+                            points.append(MappingPoint(
+                                src=src, dst=dst, method=method,
+                                policy=policy, fusion=fusion, table=table,
+                            ))
+    return points
+
+
+def search_mapping(
+    workload: WorkloadSpec,
+    model: CostModel | None = None,
+    candidates: list[MappingPoint] | None = None,
+    top: int | None = None,
+    **space_kwargs,
+) -> SearchResult:
+    """Rank the mapping space by predicted total logical time.
+
+    Candidates sharing ``(src, dst, policy, fusion)`` share one exact
+    chained move replay; a candidate whose reuse-loop move cost alone
+    exceeds the best total seen so far is pruned without pricing its
+    build.  Returns every survivor ranked ascending (or the ``top`` N).
+    """
+    t0 = time.perf_counter()
+    model = model or CostModel(workload.profile)
+    if candidates is None:
+        candidates = mapping_space(workload, **space_kwargs)
+    # Price the cheap, shared part first so the bound is tight early:
+    # candidates evaluated in ascending move-cost order.
+    move_cache: dict[tuple, tuple[float, dict[str, float]]] = {}
+
+    def move_key(m: MappingPoint) -> tuple:
+        return (m.src, m.dst, m.policy, m.fusion)
+
+    from repro.autotune.workload import pair_matrix
+
+    def move_sim(m: MappingPoint) -> tuple[float, dict[str, float]]:
+        """The whole reuse loop's move elapsed + term decomposition —
+        the exact quantities ``predict`` composes, simulated once per
+        (distributions, policy, fusion) and shared."""
+        key = move_key(m)
+        if key not in move_cache:
+            counts = pair_matrix(workload, m.src, m.dst)
+            terms: dict[str, float] = {}
+            total = model.simulate_reuse(
+                counts, workload.itemsize, m.policy, workload.reuse,
+                segments=workload.narrays,
+                fused=m.fusion > 1 and workload.narrays > 1,
+                terms=terms,
+            )
+            move_cache[key] = (total, terms)
+        return move_cache[key]
+
+    ordered = sorted(candidates, key=lambda m: move_sim(m)[0])
+    predictions: list[Prediction] = []
+    pruned = 0
+    best_total = float("inf")
+    for m in ordered:
+        if move_sim(m)[0] > best_total:
+            pruned += 1
+            continue
+        pred = model.predict(workload, m, move=move_sim(m))
+        predictions.append(pred)
+        best_total = min(best_total, pred.total_s)
+    predictions.sort(key=lambda p: p.total_s)
+    if top is not None:
+        predictions = predictions[:top]
+    return SearchResult(
+        workload=workload,
+        ranked=tuple(predictions),
+        evaluated=len(predictions),
+        pruned=pruned,
+        search_wall_s=time.perf_counter() - t0,
+    )

@@ -78,6 +78,22 @@ def _as_universe(where: Universe | Communicator) -> Universe:
     return SingleProgramUniverse(where)
 
 
+def _resolve_policy(
+    policy: ExecutorPolicy | str,
+    schedule_or_plan: Any,
+    universe: Universe,
+) -> ExecutorPolicy:
+    """Coerce ``policy``, resolving the string ``"auto"`` per rank from
+    the schedule/plan via the cost model's closed form
+    (:func:`repro.autotune.choose_policy`).  Lazily imported so the core
+    data plane has no hard dependency on the auto-mapper."""
+    if isinstance(policy, str) and policy.lower() == "auto":
+        from repro.autotune.auto import choose_policy
+
+        return choose_policy(schedule_or_plan, universe.my_src_rank)
+    return ExecutorPolicy.coerce(policy)
+
+
 def _maybe_span(name: str):
     """A ``span(name)`` on the calling rank's process, or a no-op outside
     a virtual-machine run (plan compilation is purely local and legal to
@@ -100,7 +116,7 @@ def mc_compute_schedule(
     dst_array: Any,
     dst_sor: SetOfRegions | None,
     method: ScheduleMethod = ScheduleMethod.COOPERATION,
-    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    policy: ExecutorPolicy | str = ExecutorPolicy.ORDERED,
 ) -> CommSchedule:
     """Collectively compute a communication schedule (``MC_ComputeSched``).
 
@@ -113,8 +129,12 @@ def mc_compute_schedule(
 
     ``policy`` orders the schedule-build exchanges
     (:class:`~repro.core.policy.ExecutorPolicy`); the resulting schedule is
-    identical under either policy.
+    identical under either policy.  ``"auto"`` defers the choice to the
+    executors (the build itself runs ORDERED — there is no schedule yet
+    to choose from).
     """
+    if isinstance(policy, str) and policy.lower() == "auto":
+        policy = ExecutorPolicy.ORDERED
     return build_schedule(
         _as_universe(where),
         src_lib, src_array, src_sor,
@@ -129,7 +149,7 @@ def mc_copy(
     schedule: CommSchedule,
     src_array: Any,
     dst_array: Any,
-    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    policy: ExecutorPolicy | str = ExecutorPolicy.ORDERED,
     timeout: float | None = None,
     donate: bool = False,
 ) -> None:
@@ -157,6 +177,7 @@ def mc_copy(
             "mc_copy is the single-program move; coupled programs call "
             "mc_data_move_send / mc_data_move_recv on their own side"
         )
+    policy = _resolve_policy(policy, schedule, universe)
     with universe.process.span("copy:execute"):
         data_move(schedule, src_array, dst_array, universe, policy=policy,
                   timeout=timeout, donate=donate)
@@ -180,7 +201,7 @@ def mc_copy_many(
     plan_or_schedules: MovePlan | Sequence[CommSchedule],
     src_arrays: Sequence[Any],
     dst_arrays: Sequence[Any],
-    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    policy: ExecutorPolicy | str = ExecutorPolicy.ORDERED,
     timeout: float | None = None,
     donate: bool = False,
 ) -> MovePlan:
@@ -205,6 +226,7 @@ def mc_copy_many(
         if isinstance(plan_or_schedules, MovePlan)
         else mc_compute_plan(plan_or_schedules)
     )
+    policy = _resolve_policy(policy, plan, universe)
     with universe.process.span("plan:execute"):
         plan_move(plan, src_arrays, dst_arrays, universe, policy=policy,
                   timeout=timeout, donate=donate)
@@ -215,11 +237,13 @@ def mc_plan_move_send(
     where: Universe | Communicator,
     plan: MovePlan,
     src_arrays: Sequence[Any],
-    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    policy: ExecutorPolicy | str = ExecutorPolicy.ORDERED,
     timeout: float | None = None,
 ) -> None:
     """Send half of a fused multi-array move (source-group processors)."""
-    plan_move_send(plan, src_arrays, _as_universe(where), policy=policy,
+    universe = _as_universe(where)
+    policy = _resolve_policy(policy, plan, universe)
+    plan_move_send(plan, src_arrays, universe, policy=policy,
                    timeout=timeout)
 
 
@@ -227,12 +251,14 @@ def mc_plan_move_recv(
     where: Universe | Communicator,
     plan: MovePlan,
     dst_arrays: Sequence[Any],
-    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    policy: ExecutorPolicy | str = ExecutorPolicy.ORDERED,
     timeout: float | None = None,
     donate: bool = False,
 ) -> None:
     """Receive half of a fused multi-array move (destination group)."""
-    plan_move_recv(plan, dst_arrays, _as_universe(where), policy=policy,
+    universe = _as_universe(where)
+    policy = _resolve_policy(policy, plan, universe)
+    plan_move_recv(plan, dst_arrays, universe, policy=policy,
                    timeout=timeout, donate=donate)
 
 
@@ -240,11 +266,13 @@ def mc_data_move_send(
     where: Universe | Communicator,
     schedule: CommSchedule,
     src_array: Any,
-    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    policy: ExecutorPolicy | str = ExecutorPolicy.ORDERED,
     timeout: float | None = None,
 ) -> None:
     """Send half of a data move (``MC_DataMoveSend``)."""
-    data_move_send(schedule, src_array, _as_universe(where), policy=policy,
+    universe = _as_universe(where)
+    policy = _resolve_policy(policy, schedule, universe)
+    data_move_send(schedule, src_array, universe, policy=policy,
                    timeout=timeout)
 
 
@@ -252,10 +280,12 @@ def mc_data_move_recv(
     where: Universe | Communicator,
     schedule: CommSchedule,
     dst_array: Any,
-    policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+    policy: ExecutorPolicy | str = ExecutorPolicy.ORDERED,
     timeout: float | None = None,
     donate: bool = False,
 ) -> None:
     """Receive half of a data move (``MC_DataMoveRecv``)."""
-    data_move_recv(schedule, dst_array, _as_universe(where), policy=policy,
+    universe = _as_universe(where)
+    policy = _resolve_policy(policy, schedule, universe)
+    data_move_recv(schedule, dst_array, universe, policy=policy,
                    timeout=timeout, donate=donate)

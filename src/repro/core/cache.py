@@ -102,9 +102,15 @@ class ScheduleCache:
     rebuilds refresh recency); the default ``None`` is unbounded.
     Eviction is as deterministic as the keys, so a bounded cache stays
     collective-safe: every rank evicts the same entry at the same call.
+
+    Counter movements mirror into the owning rank's
+    :class:`~repro.observe.metrics.MetricsRegistry` under the unified
+    ``cache_*`` namespace (``cache_schedule_hits``, ``cache_plan_misses``,
+    ... — see the metrics module docstring).  Mirroring is clock-free, so
+    enabling it never perturbs modelled logical time.
     """
 
-    def __init__(self, where, maxsize: int | None = None):
+    def __init__(self, where, maxsize: int | None = None, metrics=None):
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be a positive integer (or None)")
         self._where = where
@@ -117,6 +123,19 @@ class ScheduleCache:
         self.plan_hits = 0
         self.plan_misses = 0
         self.plan_invalidations = 0
+        if metrics is None:
+            # Inside an SPMD run, mirror into the calling rank's registry.
+            try:
+                from repro.vmachine.process import current_process
+
+                metrics = current_process().metrics
+            except (ImportError, RuntimeError):
+                metrics = None
+        self.metrics = metrics
+
+    def _mirror(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.incr(f"cache_{name}")
 
     def __len__(self) -> int:
         return len(self._store)
@@ -168,9 +187,11 @@ class ScheduleCache:
         hit = self._store.get(key)
         if hit is not None:
             self.hits += 1
+            self._mirror("schedule_hits")
             self._store.move_to_end(key)
             return hit
         self.misses += 1
+        self._mirror("schedule_misses")
         sched = mc_compute_schedule(
             self._where, src_lib, src_array, src_sor,
             dst_lib, dst_array, dst_sor, method, policy=policy,
@@ -218,15 +239,18 @@ class ScheduleCache:
         hit = self._plans.get(plan_key)
         if hit is not None:
             self.plan_hits += 1
+            self._mirror("plan_hits")
             self._plans.move_to_end(plan_key)
             return hit
         self.plan_misses += 1
+        self._mirror("plan_misses")
         plan = compile_plan(schedules)
         self._plans[plan_key] = plan
         if self.maxsize is not None:
             while len(self._plans) > self.maxsize:
                 self._plans.popitem(last=False)
                 self.evictions += 1
+                self._mirror("plan_evictions")
         return plan
 
     # -- internals -----------------------------------------------------------
@@ -250,6 +274,7 @@ class ScheduleCache:
         while len(self._store) > self.maxsize:
             evicted_key, _ = self._store.popitem(last=False)
             self.evictions += 1
+            self._mirror("schedule_evictions")
             # A plan built over an evicted member is stale by definition:
             # the next schedule request rebuilds the member, and the plan
             # must recompile against the rebuilt object, not hold the old
@@ -260,3 +285,4 @@ class ScheduleCache:
             for pk in dependent:
                 del self._plans[pk]
                 self.plan_invalidations += 1
+                self._mirror("plan_invalidations")

@@ -81,14 +81,24 @@ class CoupledExchange:
         self,
         universe: TwoProgramUniverse,
         schedule: CommSchedule,
-        policy: ExecutorPolicy = ExecutorPolicy.ORDERED,
+        policy: ExecutorPolicy | str = ExecutorPolicy.ORDERED,
         deadline_s: float | None = None,
         reliability: Reliability | ReliabilityConfig | bool | None = None,
     ):
         self.universe = universe
         self.schedule = schedule
-        #: executor policy applied to every push/pull on this exchange
-        self.policy = ExecutorPolicy.coerce(policy)
+        #: executor policy applied to every push/pull on this exchange.
+        #: ``"auto"`` resolves it here, once, from this rank's half of the
+        #: schedule (:func:`repro.autotune.choose_policy`): OVERLAP when
+        #: this rank completes receives from more than one peer, ORDERED
+        #: otherwise.  Per-rank divergence is safe — policy never affects
+        #: placement, only local ordering.
+        if isinstance(policy, str) and policy.lower() == "auto":
+            from repro.autotune.auto import choose_policy
+
+            self.policy = choose_policy(schedule, universe.my_src_rank)
+        else:
+            self.policy = ExecutorPolicy.coerce(policy)
         #: wall-clock budget per exchange before declaring the peer lost
         self.deadline_s = deadline_s
         if isinstance(reliability, Reliability):

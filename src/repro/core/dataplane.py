@@ -306,12 +306,26 @@ def _compile_runlist(rl: RunList) -> MoveProgram:
     return MoveProgram(n, "index", source=rl)
 
 
+def _program_cache_note(name: str) -> None:
+    """Mirror a MoveProgram memo hit/miss into the calling rank's metrics
+    (``cache_program_*``).  Counter bumps are clock-free; outside an SPMD
+    run this is a no-op."""
+    try:
+        from repro.vmachine.process import current_process
+
+        current_process().metrics.incr(f"cache_program_{name}")
+    except (ImportError, RuntimeError):
+        pass
+
+
 def compile_offsets(offsets) -> MoveProgram:
     """Compile an offsets argument to its cached :class:`MoveProgram`.
 
     RunLists memoize the program (slot ``_program``) so steady-state
     plan replays pay zero re-analysis; plain ndarrays compile to an
     uncached ``index`` program over the array itself (zero-copy).
+    Memo hits and misses surface as ``cache_program_{hits,misses}``
+    counters on the rank's :class:`~repro.observe.metrics.MetricsRegistry`.
     """
     if isinstance(offsets, MoveProgram):
         return offsets
@@ -320,6 +334,9 @@ def compile_offsets(offsets) -> MoveProgram:
         if prog is None:
             prog = _compile_runlist(offsets)
             offsets._program = prog
+            _program_cache_note("misses")
+        else:
+            _program_cache_note("hits")
         return prog
     arr = np.asarray(offsets, dtype=np.int64)
     if arr.ndim != 1:

@@ -10,6 +10,27 @@ coupling service's ``svc_*`` family — ``svc_rounds``, ``svc_admitted``,
 ``svc_oneway_errors``, ``svc_tenants_evicted``, ...).  They are always
 on: bumping a counter is a dict update, free of logical time.
 
+Every caching layer reports through one ``cache_*`` namespace:
+
+================================ =====================================
+``cache_schedule_{hits,misses,   :class:`~repro.core.cache.
+evictions}``                     ScheduleCache` schedule store
+``cache_plan_{hits,misses,       ScheduleCache fused-plan store
+evictions,invalidations}``       (invalidation = member schedule
+                                 evicted under it)
+``cache_svc_{schedule_*,plan_*}`` :class:`~repro.service.cache.
+                                 ServiceCache` cross-tenant layers
+                                 (same suffixes, plus
+                                 ``schedule_forced_rebuilds``)
+``cache_program_{hits,misses}``  MoveProgram memoization on RunList
+                                 halves (:func:`~repro.core.dataplane.
+                                 compile_offsets`)
+================================ =====================================
+
+Cache mirroring is clock-free by construction — a counter bump never
+advances logical time, so observed runs stay byte-identical with caching
+enabled or disabled.
+
 **Cost terms** (``terms``: (phase, term) → logical seconds) — every
 logical-clock advance attributed to the analytical cost-model term that
 caused it, bucketed by the enclosing :meth:`~repro.vmachine.process.

@@ -19,7 +19,8 @@ given signature pays the collective schedule build, plan fusion and
 program lowering; all later tenants hit.  Keys are computed locally and
 deterministically, so all ranks of a program hit or miss together —
 hit/miss/eviction counters are mirrored into the rank's
-:class:`~repro.observe.metrics.MetricsRegistry` (``svc_cache_*``) and
+:class:`~repro.observe.metrics.MetricsRegistry` under the unified cache
+namespace (``cache_svc_*`` — see the metrics module docstring) and
 surface through ``SPMDResult.stats`` like every other counter.
 """
 
@@ -98,7 +99,7 @@ class ServiceCache:
     def _bump(self, name: str, amount: int = 1) -> None:
         self.counters[name] += amount
         if self.metrics is not None:
-            self.metrics.incr(f"svc_cache_{name}", amount)
+            self.metrics.incr(f"cache_svc_{name}", amount)
 
     def snapshot(self) -> dict[str, int]:
         """Copy of the counters plus current layer sizes."""

@@ -1,0 +1,153 @@
+"""The ``policy="auto"`` runtime hook and its safety properties."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import choose_policy, resolve_policy
+from repro.core import (
+    mc_compute_schedule,
+    mc_copy,
+    mc_copy_many,
+    mc_new_set_of_regions,
+)
+from repro.core.policy import ExecutorPolicy
+from repro.core.region import IndexRegion, SectionRegion
+from repro.distrib.section import Section
+from repro.hpf.array import HPFArray
+from repro.chaos import ChaosArray
+from repro.vmachine import VirtualMachine
+
+
+class _Sched:
+    def __init__(self, recvs):
+        self.recvs = recvs
+
+
+class _Plan:
+    def __init__(self, recv_programs):
+        self.recv_programs = recv_programs
+
+
+class TestChoosePolicy:
+    def test_multi_peer_receives_pick_overlap(self):
+        s = _Sched({0: [1, 2], 1: [3], 2: []})
+        assert choose_policy(s) is ExecutorPolicy.OVERLAP
+
+    def test_single_peer_picks_ordered(self):
+        assert choose_policy(_Sched({0: [1, 2]})) is ExecutorPolicy.ORDERED
+        assert choose_policy(_Sched({})) is ExecutorPolicy.ORDERED
+
+    def test_local_entry_excluded(self):
+        # Rank 1's direct local copy (recvs[1]) is not a message.
+        s = _Sched({0: [1], 1: [2, 3]})
+        assert choose_policy(s, my_rank=1) is ExecutorPolicy.ORDERED
+        assert choose_policy(s, my_rank=2) is ExecutorPolicy.OVERLAP
+
+    def test_plan_objects(self):
+        assert choose_policy(_Plan({0: "p", 2: "q"})) is ExecutorPolicy.OVERLAP
+        assert choose_policy(_Plan({0: "p"})) is ExecutorPolicy.ORDERED
+
+    def test_resolve_passthrough(self):
+        s = _Sched({0: [1], 1: [2]})
+        assert resolve_policy("overlap", s) is ExecutorPolicy.OVERLAP
+        assert resolve_policy(ExecutorPolicy.ORDERED, s) \
+            is ExecutorPolicy.ORDERED
+        assert resolve_policy("AUTO", s) is ExecutorPolicy.OVERLAP
+
+    def test_resolve_rejects_unknown_strings(self):
+        with pytest.raises(ValueError):
+            resolve_policy("fastest", _Sched({}))
+
+
+def _permuted_copy(policy, n=256, nprocs=4):
+    perm = np.random.default_rng(7).permutation(n)
+
+    def spmd(comm):
+        src = HPFArray.distribute(comm, (n,), ("block",))
+        owners = np.random.default_rng(3).integers(0, comm.size, n)
+        dst = ChaosArray.zeros(comm, owners)
+        src.local[:] = np.asarray(src.global_indices((0,))[0], dtype=float) \
+            if hasattr(src, "global_indices") else comm.rank
+        src.local[:] = comm.rank * 1000.0 + np.arange(len(src.local))
+        sched = mc_compute_schedule(
+            comm,
+            "hpf", src,
+            mc_new_set_of_regions(SectionRegion(Section.full((n,)))),
+            "chaos", dst,
+            mc_new_set_of_regions(IndexRegion(perm)),
+        )
+        mc_copy(comm, sched, src, dst, policy=policy)
+        return dst.local.copy()
+
+    return VirtualMachine(nprocs).run(spmd).values
+
+
+class TestAutoPolicyEndToEnd:
+    def test_destination_identical_to_explicit_policies(self):
+        """'auto' may pick either executor; bytes must match both."""
+        auto = _permuted_copy("auto")
+        ordered = _permuted_copy(ExecutorPolicy.ORDERED)
+        for a, o in zip(auto, ordered):
+            np.testing.assert_array_equal(a, o)
+
+    def test_auto_in_fused_moves(self):
+        n, k = 128, 2
+        perms = [np.random.default_rng(i).permutation(n) for i in range(k)]
+
+        def spmd(comm):
+            sor_src = mc_new_set_of_regions(
+                SectionRegion(Section.full((n,)))
+            )
+            srcs, dsts, scheds = [], [], []
+            for i, perm in enumerate(perms):
+                a = HPFArray.distribute(comm, (n,), ("block",))
+                a.local[:] = comm.rank + i + 1.0
+                b = ChaosArray.zeros(comm, perm % comm.size)
+                srcs.append(a)
+                dsts.append(b)
+                scheds.append(mc_compute_schedule(
+                    comm, "hpf", a, sor_src,
+                    "chaos", b, mc_new_set_of_regions(IndexRegion(perm)),
+                ))
+            mc_copy_many(comm, scheds, srcs, dsts, policy="auto")
+            return [d.local.copy() for d in dsts]
+
+        values = VirtualMachine(4).run(spmd).values
+        assert all(len(v) == 2 for v in values)
+
+    def test_auto_never_charges_differently_than_its_choice(self):
+        """Auto resolves to a concrete policy — identical logical clocks."""
+        n = 256
+        perm = np.random.default_rng(1).permutation(n)
+
+        def run(policy):
+            def spmd(comm):
+                src = HPFArray.distribute(comm, (n,), ("block",))
+                src.local[:] = 1.0
+                dst = ChaosArray.zeros(
+                    comm, np.random.default_rng(2).integers(0, comm.size, n)
+                )
+                sched = mc_compute_schedule(
+                    comm, "hpf", src,
+                    mc_new_set_of_regions(SectionRegion(Section.full((n,)))),
+                    "chaos", dst,
+                    mc_new_set_of_regions(IndexRegion(perm)),
+                )
+                mc_copy(comm, sched, src, dst, policy=policy)
+                resolved = (
+                    choose_policy(sched, comm.rank)
+                    if policy == "auto" else policy
+                )
+                return comm.process.clock, resolved
+
+            return VirtualMachine(4).run(spmd).values
+
+        auto = run("auto")
+        # Each rank's clock equals a run where every rank is forced to
+        # what auto chose on that rank?  Policies are per-rank local, so
+        # compare against the homogeneous run matching rank 0's choice
+        # only when all ranks agreed.
+        choices = {r[1] for r in auto}
+        if len(choices) == 1:
+            forced = run(choices.pop())
+            assert [r[0] for r in auto] == [r[0] for r in forced]

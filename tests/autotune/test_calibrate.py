@@ -1,0 +1,121 @@
+"""Calibration and validation: measured runs close the model loop."""
+
+import pytest
+
+from repro.autotune import (
+    CostModel,
+    DistSpec,
+    MappingPoint,
+    WorkloadSpec,
+    calibrate,
+    measure_mapping,
+    search_mapping,
+    validate_top,
+)
+
+
+class TestMeasureMapping:
+    def test_decomposition_shape(self):
+        wl = WorkloadSpec("m", nelems=256, nprocs=4, reuse=3)
+        run = measure_mapping(
+            wl, MappingPoint(DistSpec("block"), DistSpec("cyclic"))
+        )
+        assert run.total_s == pytest.approx(
+            run.build_s + wl.reuse * run.move_s
+        )
+        assert len(run.move_clocks) == wl.nprocs
+        assert run.build_s > 0 and run.move_s > 0
+
+    def test_reuse_amortizes_build(self):
+        """Same mapping, higher reuse: build identical, per-step move
+        nearly so (later steps start from the skewed clocks the earlier
+        steps left behind, so the per-step average drifts slightly —
+        that is the machine model, not measurement noise)."""
+        m = MappingPoint(DistSpec("block"), DistSpec("cyclic"))
+        one = measure_mapping(
+            WorkloadSpec("r1", nelems=256, nprocs=4, reuse=1), m
+        )
+        ten = measure_mapping(
+            WorkloadSpec("r10", nelems=256, nprocs=4, reuse=10), m
+        )
+        assert ten.build_s == one.build_s
+        assert ten.move_s == pytest.approx(one.move_s, rel=0.05)
+
+    def test_paged_table_costs_more_build(self):
+        wl = WorkloadSpec("pg", nelems=512, nprocs=4)
+        src = DistSpec("block")
+        dst = DistSpec("irregular", seed=3)
+        repl = measure_mapping(wl, MappingPoint(src, dst, table="replicated"))
+        paged = measure_mapping(wl, MappingPoint(src, dst, table="paged"))
+        # The collective dereference round trades memory for latency.
+        assert paged.build_s > repl.build_s
+
+    def test_measured_terms_populated(self):
+        wl = WorkloadSpec("t", nelems=256, nprocs=4)
+        run = measure_mapping(
+            wl, MappingPoint(DistSpec("block"), DistSpec("irregular", seed=1))
+        )
+        assert run.build_terms["per_element"] > 0
+        assert run.move_terms["per_element"] > 0
+
+
+class TestCalibrate:
+    def test_refit_tightens_build_prediction(self):
+        wl = WorkloadSpec("cal", nelems=1024, nprocs=4, reuse=4)
+        cands = [
+            MappingPoint(DistSpec("block"), DistSpec("cyclic")),
+            MappingPoint(DistSpec("cyclic"), DistSpec("block")),
+            MappingPoint(DistSpec("block"), DistSpec("irregular", seed=2)),
+        ]
+        base = CostModel(wl.profile)
+        fitted = calibrate(wl, cands, base)
+
+        def build_err(model):
+            total = 0.0
+            for m in cands:
+                meas = measure_mapping(wl, m)
+                pred = model.predict(wl, m)
+                total += abs(pred.build_s - meas.build_s) / meas.build_s
+            return total / len(cands)
+
+        assert build_err(fitted) <= build_err(base) + 1e-12
+
+    def test_unexercised_terms_keep_prior(self):
+        from repro.autotune import Coefficients
+
+        wl = WorkloadSpec("cal", nelems=256, nprocs=4)
+        prior = Coefficients(alpha=3.5)
+        fitted = calibrate(
+            wl,
+            [MappingPoint(DistSpec("block"), DistSpec("block"))],
+            CostModel(wl.profile, prior),
+        )
+        # A block->block build exchanges no data-dependent alpha waits
+        # beyond what it predicts; whichever terms saw no measurement
+        # must survive untouched.
+        coefs = fitted.coefficients.as_dict()
+        for term, value in coefs.items():
+            assert value > 0
+
+
+class TestValidateTop:
+    def test_pairs_predictions_with_measurements(self):
+        wl = WorkloadSpec("v", nelems=512, nprocs=4, reuse=4)
+        res = search_mapping(wl, top=4)
+        pairs = validate_top(wl, res, top=2)
+        assert len(pairs) == 2
+        for pred, meas in pairs:
+            assert pred.mapping == meas.mapping
+            # The move tier is exact, so predicted move == measured move.
+            assert pred.move_s == pytest.approx(meas.move_s, rel=1e-12)
+
+    def test_auto_choice_within_tolerance_after_calibration(self):
+        """Miniature of the bench acceptance: within 5% of measured best."""
+        wl = WorkloadSpec("acc", nelems=1024, nprocs=4, reuse=8)
+        res = search_mapping(wl)
+        model = calibrate(wl, [p.mapping for p in res.ranked[:3]])
+        res = search_mapping(wl, model=model)
+        pairs = validate_top(wl, res, top=3)
+        best_measured = min(m.total_s for _, m in pairs)
+        chosen = pairs[0][1].total_s
+        assert (chosen - best_measured) / best_measured <= 0.05

@@ -1,0 +1,54 @@
+"""Satellite: ``python -m repro --help`` renders every subcommand from
+one registration table with consistent one-line help."""
+
+import contextlib
+import io
+
+import pytest
+
+from repro.__main__ import COMMANDS, main
+
+
+class TestCommandTable:
+    def test_every_command_registered_once(self):
+        names = [c.name for c in COMMANDS]
+        assert len(names) == len(set(names))
+        assert "autotune" in names
+
+    def test_expected_commands_present(self):
+        names = {c.name for c in COMMANDS}
+        assert names >= {
+            "info", "demo", "coupled", "matvec", "plan-summary",
+            "trace", "profile", "serve", "record", "replay", "autotune",
+        }
+
+    def test_help_is_one_line_per_command(self):
+        for c in COMMANDS:
+            assert c.help.strip(), c.name
+            assert "\n" not in c.help, c.name
+
+    def test_top_level_help_lists_all(self):
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            with pytest.raises(SystemExit) as exc:
+                main(["--help"])
+        assert exc.value.code == 0
+        text = buf.getvalue()
+        for c in COMMANDS:
+            assert c.name in text, c.name
+
+    def test_each_subcommand_help_parses(self):
+        for c in COMMANDS:
+            buf = io.StringIO()
+            with contextlib.redirect_stdout(buf):
+                with pytest.raises(SystemExit) as exc:
+                    main([c.name, "--help"])
+            assert exc.value.code == 0, c.name
+            assert "usage:" in buf.getvalue(), c.name
+
+    def test_dispatch_uses_the_table(self):
+        """An unknown command errors out of argparse, not the dispatch."""
+        with pytest.raises(SystemExit) as exc:
+            with contextlib.redirect_stderr(io.StringIO()):
+                main(["no-such-command"])
+        assert exc.value.code == 2

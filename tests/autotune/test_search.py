@@ -1,0 +1,120 @@
+"""Search-tier behaviour: enumeration, pruning, ranking, determinism."""
+
+import pytest
+
+from repro.autotune import (
+    CostModel,
+    DistSpec,
+    MappingPoint,
+    WorkloadSpec,
+    mapping_space,
+    search_mapping,
+)
+from repro.core.policy import ExecutorPolicy
+from repro.core.schedule import ScheduleMethod
+
+
+class TestMappingSpace:
+    def test_paged_requires_irregular_side(self):
+        wl = WorkloadSpec("sp", nelems=64, nprocs=4)
+        for m in mapping_space(wl):
+            if m.table == "paged":
+                assert not (m.src.regular and m.dst.regular)
+
+    def test_fusion_requires_multiple_arrays(self):
+        wl = WorkloadSpec("sp", nelems=64, nprocs=4, narrays=1)
+        assert all(m.fusion == 1 for m in mapping_space(wl))
+        wl3 = WorkloadSpec("sp", nelems=64, nprocs=4, narrays=3)
+        fusions = {m.fusion for m in mapping_space(wl3)}
+        assert fusions == {1, 3}
+
+    def test_duplication_pruned_for_huge_irregular_tables(self):
+        wl = WorkloadSpec("big", nelems=(1 << 22) + 1, nprocs=4)
+        for m in mapping_space(wl):
+            if m.method is ScheduleMethod.DUPLICATION:
+                assert m.src.regular and m.dst.regular
+
+    def test_fixed_sides_pin_the_menu(self):
+        wl = WorkloadSpec("sp", nelems=64, nprocs=4)
+        pinned = DistSpec("irregular", seed=1)
+        space = mapping_space(wl, fixed_src=pinned)
+        assert all(m.src == pinned for m in space)
+        assert len({m.dst for m in space}) > 1
+
+
+class TestSearchMapping:
+    def test_ranking_is_ascending(self):
+        wl = WorkloadSpec("rk", nelems=512, nprocs=4, reuse=4)
+        res = search_mapping(wl)
+        totals = [p.total_s for p in res.ranked]
+        assert totals == sorted(totals)
+
+    def test_pruning_never_drops_the_optimum(self):
+        """Branch-and-bound must agree with the exhaustive evaluation."""
+        wl = WorkloadSpec("bb", nelems=512, nprocs=4, reuse=16)
+        model = CostModel(wl.profile)
+        res = search_mapping(wl, model=model)
+        exhaustive = min(
+            model.predict(wl, m).total_s for m in mapping_space(wl)
+        )
+        assert res.best.total_s == exhaustive
+        assert res.evaluated + res.pruned == len(mapping_space(wl))
+
+    def test_deterministic(self):
+        wl = WorkloadSpec("det", nelems=256, nprocs=4, reuse=8)
+        a = search_mapping(wl)
+        b = search_mapping(wl)
+        assert [p.mapping for p in a.ranked] == [p.mapping for p in b.ranked]
+
+    def test_top_truncates(self):
+        wl = WorkloadSpec("top", nelems=256, nprocs=4)
+        res = search_mapping(wl, top=3)
+        assert len(res.ranked) == 3
+
+    def test_explicit_candidates(self):
+        wl = WorkloadSpec("ex", nelems=256, nprocs=4)
+        cands = [
+            MappingPoint(DistSpec("block"), DistSpec("block")),
+            MappingPoint(DistSpec("block"), DistSpec("cyclic"),
+                         policy=ExecutorPolicy.OVERLAP),
+        ]
+        res = search_mapping(wl, candidates=cands)
+        assert {p.mapping for p in res.ranked} <= set(cands)
+
+    def test_identity_remap_prefers_matching_distributions(self):
+        """A block->block identity remap sends no messages (pure local
+        pack), so at high reuse it must beat every true redistribution."""
+        ident = WorkloadSpec("id", nelems=4096, nprocs=4, pattern="identity",
+                             reuse=100)
+        res = search_mapping(
+            ident,
+            fixed_src=DistSpec("block"),
+        )
+        assert res.best.mapping.dst == DistSpec("block")
+        # Local copies still pay pack charges, but nothing travels.
+        assert set(res.best.move_terms) == {"per_element"}
+
+    def test_search_is_fast(self):
+        """The whole point: searching costs far less than one bad run."""
+        wl = WorkloadSpec("fast", nelems=65536, nprocs=16, reuse=10)
+        res = search_mapping(wl)
+        assert res.search_wall_s < 30.0
+        assert res.evaluated > 0
+
+
+class TestPrediction:
+    def test_row_shape(self):
+        wl = WorkloadSpec("row", nelems=256, nprocs=4)
+        pred = search_mapping(wl).best
+        row = pred.row()
+        assert set(row) == {
+            "mapping", "predicted_total_ms", "predicted_move_ms",
+            "predicted_build_ms", "move_terms_ms", "build_terms_ms",
+        }
+
+    def test_total_composition(self):
+        wl = WorkloadSpec("comp", nelems=256, nprocs=4, reuse=7)
+        pred = search_mapping(wl).best
+        assert pred.total_s == pytest.approx(
+            pred.build_s + wl.reuse * pred.move_s
+        )

@@ -88,8 +88,8 @@ class TestMetricsMirror:
         c.lookup_schedule(key(0))
         c.store_schedule(key(0), "s")
         c.lookup_schedule(key(0))
-        assert reg.counts["svc_cache_schedule_misses"] == 1
-        assert reg.counts["svc_cache_schedule_hits"] == 1
+        assert reg.counts["cache_svc_schedule_misses"] == 1
+        assert reg.counts["cache_svc_schedule_hits"] == 1
 
 
 def _schedules_in_vm(nprocs=2, n=12):

@@ -3,7 +3,10 @@
 
 Compares timing fields (``*_ms`` leaves under ``results``) between a
 baseline and a current benchmark JSON and exits nonzero when any grows
-by more than ``--threshold`` percent.  Non-timing scalar drift (message
+by more than ``--threshold`` percent — or when a timing leaf present in
+the baseline is *missing* from the current document (a regenerated
+trajectory must not silently drop a watched metric).  Non-timing scalar
+drift (message
 counts, flags) is reported but does not fail the check — the logical
 clock is deterministic, so timing fields should normally be *identical*
 run to run; the threshold exists so intentional model changes fail

@@ -19,7 +19,12 @@ schedules' content keys — member schedules themselves go through (and
 populate) the schedule store, so a plan request warms both layers.  When
 LRU eviction drops a schedule entry, every plan built over it is
 invalidated with it: a later plan request recompiles against the freshly
-rebuilt member, never against a stale reference.
+rebuilt member, never against a stale reference.  The same promise holds
+*during* a plan build — if inserting a later member evicts an earlier
+one (bounded store), the members are re-resolved before the plan is
+cached, and a plan whose member set cannot fit the store at all is
+compiled for the caller but never cached (``plan_uncached`` counts
+these).
 """
 
 from __future__ import annotations
@@ -123,6 +128,9 @@ class ScheduleCache:
         self.plan_hits = 0
         self.plan_misses = 0
         self.plan_invalidations = 0
+        #: plans compiled but not cached: the member set cannot fit the
+        #: bounded store all at once, so caching would pin stale members
+        self.plan_uncached = 0
         if metrics is None:
             # Inside an SPMD run, mirror into the calling rank's registry.
             try:
@@ -155,8 +163,25 @@ class ScheduleCache:
             "plan_hits": self.plan_hits,
             "plan_misses": self.plan_misses,
             "plan_invalidations": self.plan_invalidations,
+            "plan_uncached": self.plan_uncached,
             "plan_entries": len(self._plans),
         }
+
+    def validate(self) -> list[tuple]:
+        """Check the stale-member invariant over every cached plan.
+
+        Every member of every cached :class:`~repro.core.plan.MovePlan`
+        must be *the* object the schedule store currently holds under the
+        member's key.  Returns ``(plan_key, member_key)`` pairs for each
+        violation — always empty unless the cache has a bug; tests assert
+        exactly that.
+        """
+        violations = []
+        for pk, plan in self._plans.items():
+            for k, sched in zip(pk, plan.schedules):
+                if self._store.get(k) is not sched:
+                    violations.append((pk, k))
+        return violations
 
     def get_or_build(
         self,
@@ -236,15 +261,45 @@ class ScheduleCache:
                 )
             )
         plan_key = tuple(member_keys)
+        # Building a later member can evict an earlier one from the
+        # schedule store (the store is smaller than the member set, or was
+        # near-full).  A plan compiled — let alone cached — over such a
+        # member would hold the evicted object alive behind the cache's
+        # back, exactly what eviction invalidation promises never happens.
+        # One re-resolve pass restores residency whenever the store can
+        # hold the full member set (re-touched members are most-recent, so
+        # the pass only ever evicts older strangers); when it cannot, the
+        # plan is compiled for the caller but deliberately *not* cached.
+        if not self._members_resident(member_keys, schedules):
+            for i, req in enumerate(requests):
+                src_lib, src_array, src_sor, dst_lib, dst_array, dst_sor = req
+                schedules[i] = self.get_or_build(
+                    src_lib, src_array, src_sor,
+                    dst_lib, dst_array, dst_sor,
+                    method=method, policy=policy,
+                )
+        cacheable = self._members_resident(member_keys, schedules)
         hit = self._plans.get(plan_key)
         if hit is not None:
-            self.plan_hits += 1
-            self._mirror("plan_hits")
-            self._plans.move_to_end(plan_key)
-            return hit
+            # Defense in depth: a cached plan must reference exactly the
+            # store's current member objects; anything else is stale.
+            if cacheable and all(
+                s_hit is s for s_hit, s in zip(hit.schedules, schedules)
+            ):
+                self.plan_hits += 1
+                self._mirror("plan_hits")
+                self._plans.move_to_end(plan_key)
+                return hit
+            del self._plans[plan_key]
+            self.plan_invalidations += 1
+            self._mirror("plan_invalidations")
         self.plan_misses += 1
         self._mirror("plan_misses")
         plan = compile_plan(schedules)
+        if not cacheable:
+            self.plan_uncached += 1
+            self._mirror("plan_uncached")
+            return plan
         self._plans[plan_key] = plan
         if self.maxsize is not None:
             while len(self._plans) > self.maxsize:
@@ -254,6 +309,12 @@ class ScheduleCache:
         return plan
 
     # -- internals -----------------------------------------------------------
+
+    def _members_resident(self, member_keys, schedules) -> bool:
+        """Is every member schedule the store's current object for its key?"""
+        return all(
+            self._store.get(k) is s for k, s in zip(member_keys, schedules)
+        )
 
     def _request_key(
         self, src_lib, src_array, src_sor, dst_lib, dst_array, dst_sor, method

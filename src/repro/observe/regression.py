@@ -4,7 +4,8 @@
 ablation benchmarks' committed baselines vs. a fresh run) and reports
 every logical-elapsed metric — any numeric ``*_ms`` field inside
 ``results`` — that *regressed* (grew) by more than a threshold
-percentage.  ``benchmarks/check_regression.py`` wraps this in a CLI that
+percentage, or that was *removed* from the regenerated document (a
+vanished timing leaf is a failure, not a silent skip).  ``benchmarks/check_regression.py`` wraps this in a CLI that
 exits nonzero when regressions are found, which is how CI turns "the
 OVERLAP executor got slower" into a red build instead of a silently
 drifting JSON.
@@ -27,20 +28,33 @@ __all__ = ["Regression", "Drift", "compare_benchmarks", "iter_ms_fields"]
 
 @dataclass(frozen=True)
 class Regression:
-    """One elapsed-time metric that grew past the threshold."""
+    """One elapsed-time metric that grew past the threshold — or vanished.
+
+    ``current is None`` means the ``*_ms`` leaf was *removed* from the
+    regenerated trajectory: a guard that silently forgets a timing field
+    it used to watch is no guard at all, so a removed leaf fails the
+    check just like a grown one.
+    """
 
     config: str     # key inside the document's "results" mapping
     field: str      # dotted path of the *_ms field
     baseline: float
-    current: float
+    current: float | None
 
     @property
     def pct(self) -> float:
+        if self.current is None:
+            return float("inf")
         if self.baseline == 0:
             return float("inf") if self.current > 0 else 0.0
         return (self.current - self.baseline) / self.baseline * 100.0
 
     def __str__(self) -> str:
+        if self.current is None:
+            return (
+                f"{self.config}: {self.field} {self.baseline:.4f} ms -> "
+                "MISSING (timing leaf removed from trajectory)"
+            )
         return (
             f"{self.config}: {self.field} {self.baseline:.4f} -> "
             f"{self.current:.4f} ms (+{self.pct:.1f}%)"
@@ -111,9 +125,11 @@ def compare_benchmarks(
     """Diff two benchmark documents.
 
     Returns ``(regressions, drifts)``: ``regressions`` are ``*_ms``
-    fields that grew by more than ``threshold_pct`` percent;  ``drifts``
-    are configurations or non-timing fields that appeared, vanished, or
-    changed value exactly.
+    fields that grew by more than ``threshold_pct`` percent **or were
+    removed** from the current document (``Regression.current is None``
+    — a guard must not silently skip a timing leaf it used to watch);
+    ``drifts`` are configurations, *added* timing leaves, or non-timing
+    fields that appeared, vanished, or changed value exactly.
     """
     regressions: list[Regression] = []
     drifts: list[Drift] = []
@@ -129,11 +145,16 @@ def compare_benchmarks(
         base_ms = dict(iter_ms_fields(base_results[config]))
         cur_ms = dict(iter_ms_fields(cur_results[config]))
         for field in sorted(set(base_ms) | set(cur_ms)):
-            if field not in cur_ms or field not in base_ms:
-                drifts.append(
-                    Drift(config, field, base_ms.get(field, "missing"),
-                          cur_ms.get(field, "missing"))
+            if field not in cur_ms:
+                # Removed timing leaf: fail, don't drift — otherwise a
+                # regenerated trajectory can drop a watched metric and
+                # the guard passes forever after.
+                regressions.append(
+                    Regression(config, field, base_ms[field], None)
                 )
+                continue
+            if field not in base_ms:
+                drifts.append(Drift(config, field, "missing", cur_ms[field]))
                 continue
             b, c = base_ms[field], cur_ms[field]
             if c > b and (b == 0 or (c - b) / b * 100.0 > threshold_pct):

@@ -78,6 +78,7 @@ _TAG_SCHED_SRCINFO = 1 << 20       # universe.TAG_SCHED_SRCINFO
 _TAG_SCHED_PIECES = (1 << 20) + 1  # universe.TAG_SCHED_PIECES
 _TAG_DATA = (1 << 20) + 2          # universe.TAG_DATA
 _TAG_DESCRIPTOR = (1 << 20) + 3    # universe.TAG_DESCRIPTOR
+_TAG_RMA_BASE = 3 << 20            # window.TAG_RMA_BASE (one-sided block)
 
 
 def tag_class(wire_tag: int) -> str:
@@ -91,11 +92,13 @@ def tag_class(wire_tag: int) -> str:
       or a reliability data envelope wrapping it)
     - ``"sched"``      — schedule-construction exchanges (descriptors,
       ownership pieces)
+    - ``"rma"``        — one-sided window traffic (put/get/accumulate
+      envelopes and get responses, :mod:`repro.vmachine.window`)
     - ``"user"``       — everything else (application point-to-point)
 
     Reliability *data* envelopes inherit the class of the tag they wrap,
-    so a plan targeting ``"data"`` faults the same logical traffic whether
-    or not the reliable layer is interposed.
+    so a plan targeting ``"data"`` (or ``"rma"``) faults the same logical
+    traffic whether or not the reliable layer is interposed.
     """
     offset = wire_tag % _CONTEXT_STRIDE
     if offset >= _COLLECTIVE_BASE:
@@ -108,6 +111,8 @@ def tag_class(wire_tag: int) -> str:
         return "data"
     if offset in (_TAG_SCHED_SRCINFO, _TAG_SCHED_PIECES, _TAG_DESCRIPTOR):
         return "sched"
+    if _TAG_RMA_BASE <= offset < _REL_DATA_BIT:
+        return "rma"
     return "user"
 
 

@@ -55,19 +55,26 @@ ANY_TAG = -1
 def payload_nbytes(payload: Any) -> int:
     """Best-effort size in bytes of a message payload.
 
-    NumPy arrays (and ``memoryview`` objects) report their buffer size via
-    ``.nbytes``; strings are charged their encoded UTF-8 length (what
-    would actually cross the wire, not the code-point count);
-    tuples/lists/dicts are sized recursively; everything else is charged a
-    small fixed envelope.  The size feeds the cost model only — it does
-    not have to be exact, just monotone in the real data volume.
+    Buffer-like objects (NumPy arrays and scalars, ``memoryview``) report
+    their buffer size via ``.nbytes``; strings are charged their encoded
+    UTF-8 length (what would actually cross the wire, not the code-point
+    count); tuples/lists/dicts are sized recursively; everything else is
+    charged a small fixed envelope.  The size feeds the cost model only —
+    it does not have to be exact, just monotone in the real data volume.
+
+    The ``.nbytes`` probe is restricted to genuinely buffer-like types up
+    front; for opaque objects it is honored only when the attribute is a
+    plain non-negative integer.  Schedules and descriptors define exactly
+    such an ``nbytes`` property, so they stay precisely charged, while an
+    arbitrary object whose ``nbytes`` is a method, a dtype quirk, or
+    otherwise not a byte count falls back to the fixed envelope instead
+    of crashing or mischarging — and a container subclass carrying a
+    stray ``nbytes`` attribute is still sized by its contents.
     """
-    nbytes = getattr(payload, "nbytes", None)
-    if nbytes is not None:
-        return int(nbytes)
-    if isinstance(payload, (bytes, bytearray, memoryview)):
-        # memoryview normally has .nbytes (handled above); this branch
-        # covers bytes/bytearray, whose len() *is* their byte count.
+    if isinstance(payload, (np.ndarray, np.generic, memoryview)):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray)):
+        # len() *is* the byte count for these.
         return len(payload)
     if isinstance(payload, (tuple, list)):
         return 8 + sum(payload_nbytes(item) for item in payload)
@@ -82,8 +89,14 @@ def payload_nbytes(payload: Any) -> int:
         # one byte per code point (ASCII is unchanged, so historical
         # logical clocks are unaffected).
         return len(payload.encode("utf-8"))
-    # Opaque object: charge an envelope. Schedules and descriptors define
-    # their own nbytes property so they do not land here.
+    nbytes = getattr(payload, "nbytes", None)
+    if (
+        isinstance(nbytes, (int, np.integer))
+        and not isinstance(nbytes, bool)
+        and nbytes >= 0
+    ):
+        return int(nbytes)
+    # Opaque object with no usable size: charge an envelope.
     return 64
 
 

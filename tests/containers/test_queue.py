@@ -1,0 +1,128 @@
+"""Distributed FIFO queue: reservation/fill pushes, drains, overflow,
+determinism, and fault-tolerant operation."""
+
+import numpy as np
+import pytest
+
+from repro.containers import DistQueue
+from repro.containers.queue import QueueOverflow
+from repro.vmachine import VirtualMachine
+from repro.vmachine.faults import FaultPlan, FaultRates
+from repro.vmachine.machine import SPMDError
+
+
+def run(nprocs, fn, *, faults=None, recv_timeout_s=30.0, **kwargs):
+    vm = VirtualMachine(nprocs, faults=faults, recv_timeout_s=recv_timeout_s)
+    return vm.run(fn, **kwargs)
+
+
+class TestPushPop:
+    def test_all_to_one_push_then_drain(self):
+        def spmd(comm):
+            q = DistQueue(comm, capacity=32, record_width=2)
+            q.push_all([(0, [float(comm.rank), float(i)])
+                        for i in range(3)])
+            return [tuple(r) for r in q.pop_all()]
+
+        res = run(4, spmd)
+        got = res.values[0]
+        assert len(got) == 12
+        assert sorted(got) == sorted(
+            (float(r), float(i)) for r in range(4) for i in range(3))
+        # One producer's records stay in push order relative to each other.
+        for r in range(4):
+            mine = [rec for rec in got if rec[0] == float(r)]
+            assert mine == [(float(r), float(i)) for i in range(3)]
+        for other in res.values[1:]:
+            assert other == []
+
+    def test_all_to_all_scatter(self):
+        def spmd(comm):
+            q = DistQueue(comm, capacity=16)
+            q.push_all([(host, [float(comm.rank * 10 + host)])
+                        for host in range(comm.size)])
+            return sorted(float(r[0]) for r in q.pop_all())
+
+        res = run(4, spmd)
+        for host, got in enumerate(res.values):
+            assert got == sorted(float(r * 10 + host) for r in range(4))
+
+    def test_drain_resets_queue(self):
+        def spmd(comm):
+            q = DistQueue(comm, capacity=4)
+            q.push_all([(0, [1.0])] if comm.rank == 1 else [])
+            first = q.pop_all()
+            q.push_all([(0, [2.0])] if comm.rank == 1 else [])
+            second = q.pop_all()
+            return len(first), len(second), q.local_depth()
+
+        res = run(2, spmd)
+        assert res.values[0] == (1, 1, 0)
+        assert res.values[1] == (0, 0, 0)
+
+    def test_empty_collective_push_pop(self):
+        def spmd(comm):
+            q = DistQueue(comm, capacity=4)
+            q.push_all([])
+            return q.pop_all()
+
+        res = run(3, spmd)
+        assert all(v == [] for v in res.values)
+
+
+class TestLimits:
+    def test_overflow_raises(self):
+        def spmd(comm):
+            q = DistQueue(comm, capacity=3)
+            # 2 ranks * 2 records = 4 > 3 at host 0.
+            q.push_all([(0, [1.0]), (0, [2.0])])
+
+        with pytest.raises(SPMDError):
+            run(2, spmd)
+
+    def test_capacity_validation(self):
+        def spmd(comm):
+            with pytest.raises(ValueError):
+                DistQueue(comm, capacity=0)
+            return True
+
+        # Window construction is collective and the ValueError fires
+        # before it, so every rank raises symmetrically.
+        assert all(run(2, spmd).values)
+
+
+class TestDeterminismAndFaults:
+    def test_reservation_order_is_deterministic(self):
+        def spmd(comm):
+            q = DistQueue(comm, capacity=64)
+            q.push_all([(0, [float(comm.rank * 100 + i)])
+                        for i in range(4)])
+            drained = q.pop_all()
+            return [float(r[0]) for r in drained], comm.process.clock
+
+        a = run(4, spmd)
+        b = run(4, spmd)
+        assert a.values == b.values
+        assert a.clocks == b.clocks
+
+    def test_reliable_queue_survives_rma_chaos(self):
+        plan = FaultPlan(
+            seed=31,
+            rates=FaultRates(drop=0.2, dup=0.2, reorder=0.2),
+            classes=("rma",),
+        )
+
+        def spmd(comm):
+            q = DistQueue(comm, capacity=32, reliable=True)
+            q.push_all([((comm.rank + 1) % comm.size, [float(comm.rank)])
+                        for _ in range(3)])
+            got = sorted(float(r[0]) for r in q.pop_all())
+            return got, dict(comm.process.stats)
+
+        res = run(4, spmd, faults=plan)
+        dropped = 0
+        for host, (got, stats) in enumerate(res.values):
+            src = (host - 1) % 4
+            assert got == [float(src)] * 3
+            dropped += stats.get("faults_drop", 0)
+        assert dropped > 0

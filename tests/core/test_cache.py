@@ -296,6 +296,50 @@ class TestPlanCache:
 
         assert run_spmd(2, spmd).values[0] == 2
 
+    def test_midbuild_eviction_never_caches_stale_plan(self):
+        """Three members through a maxsize-2 store: inserting member 2
+        evicts member 0 *before* the plan is stored.  Historically the
+        plan was cached anyway, holding the evicted schedule alive behind
+        the cache's back (and invisible to eviction invalidation)."""
+        def spmd(comm):
+            cache = ScheduleCache(comm, maxsize=2)
+            reqs = self._requests(comm, [0, 1, 2])
+            plan = cache.get_or_build_plan(reqs)
+            assert plan.nschedules == 3
+            # The store cannot hold all three members at once, so no plan
+            # may be cached — a cached one would be stale by construction.
+            assert cache.validate() == []
+            assert cache.plan_count == 0
+            assert cache.plan_uncached == 1
+            # A repeat request recompiles (no hit on a stale plan) and
+            # still satisfies the invariant on every rank.
+            plan2 = cache.get_or_build_plan(reqs)
+            assert plan2 is not plan
+            assert cache.validate() == []
+            return cache.snapshot()
+
+        snaps = run_spmd(2, spmd).values
+        assert snaps[0] == snaps[1]  # counters collective-deterministic
+
+    def test_eviction_rebuild_then_plan_serves_fresh_members(self):
+        """Evict a member, rebuild it under the same key, then request the
+        plan: the plan must reference the rebuilt store objects."""
+        def spmd(comm):
+            cache = ScheduleCache(comm, maxsize=2)
+            reqs = self._requests(comm, [0, 1])
+            cache.get_or_build_plan(reqs)
+            # Eviction: a third schedule pushes member 0 out...
+            cache.get_or_build(*self._requests(comm, [2])[0])
+            # ...rebuild: the same key re-enters the store as a new object.
+            rebuilt = cache.get_or_build(*reqs[0])
+            plan = cache.get_or_build_plan(reqs)
+            assert cache.validate() == []
+            assert plan.schedules[0] is rebuilt
+            assert plan.schedules[1] is cache.get_or_build(*reqs[1])
+            return True
+
+        assert all(run_spmd(2, spmd).values)
+
     def test_plan_cache_deterministic_across_ranks(self):
         def spmd(comm):
             cache = ScheduleCache(comm, maxsize=3)

@@ -91,6 +91,35 @@ class TestCompare:
         assert regs == []
         assert {d.config for d in drifts} == {"P8", "P16"}
 
+    def test_removed_ms_leaf_is_a_regression(self):
+        # A regenerated trajectory that silently drops a timing leaf must
+        # fail the guard, not pass as "OK with drift".
+        cur = copy.deepcopy(BASELINE)
+        del cur["results"]["P4"]["overlap_ms"]
+        regs, drifts = compare_benchmarks(BASELINE, cur)
+        (r,) = regs
+        assert (r.config, r.field) == ("P4", "overlap_ms")
+        assert r.baseline == 8.0 and r.current is None
+        assert r.pct == float("inf")
+        assert "MISSING" in str(r) and "removed" in str(r)
+        assert not any(d.field == "overlap_ms" for d in drifts)
+
+    def test_removed_nested_ms_leaf_is_a_regression(self):
+        cur = copy.deepcopy(BASELINE)
+        del cur["results"]["P4"]["nested"]["fence_ms"]
+        regs, _ = compare_benchmarks(BASELINE, cur)
+        assert [(r.config, r.field) for r in regs] == [("P4", "nested.fence_ms")]
+
+    def test_added_ms_leaf_is_drift_not_regression(self):
+        # A *new* timing leaf is an intentional baseline extension: report
+        # it, but do not fail.
+        cur = copy.deepcopy(BASELINE)
+        cur["results"]["P4"]["extra_ms"] = 2.5
+        regs, drifts = compare_benchmarks(BASELINE, cur)
+        assert regs == []
+        (d,) = [d for d in drifts if d.field == "extra_ms"]
+        assert d.baseline == "missing" and d.current == 2.5
+
 
 class TestCheckerCLI:
     def _run(self, *argv):
@@ -109,6 +138,28 @@ class TestCheckerCLI:
         r = self._run("--baseline", str(base), "--current", str(cur))
         assert r.returncode == 1
         assert "REGRESSION" in r.stdout and "overlap_ms" in r.stdout
+
+    def test_removed_leaf_fails_cli(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(BASELINE))
+        shrunk = copy.deepcopy(BASELINE)
+        del shrunk["results"]["P8"]["overlap_ms"]
+        cur.write_text(json.dumps(shrunk))
+        r = self._run("--baseline", str(base), "--current", str(cur))
+        assert r.returncode == 1
+        assert "REGRESSION" in r.stdout and "MISSING" in r.stdout
+
+    def test_added_leaf_passes_cli_with_drift_note(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(BASELINE))
+        grown = copy.deepcopy(BASELINE)
+        grown["results"]["P8"]["extra_ms"] = 1.0
+        cur.write_text(json.dumps(grown))
+        r = self._run("--baseline", str(base), "--current", str(cur))
+        assert r.returncode == 0, r.stdout + r.stderr
+        assert "drift" in r.stdout and "extra_ms" in r.stdout
 
     def test_explicit_pair_clean(self, tmp_path):
         base = tmp_path / "base.json"

@@ -1,0 +1,213 @@
+"""Property tests of the one-sided window layer.
+
+Three contracts over randomized operation mixes:
+
+1. **Two-sided oracle identity under chaos** — a random batch of window
+   ``put``/``accumulate``/``get``/``fetch_add`` operations, executed with
+   the reliability protocol under a seeded fault plan (up to 20% each of
+   drop/duplicate/reorder/delay on the ``"rma"`` class), must land
+   exactly the state and read exactly the values that a sequential
+   oracle computes by replaying the same operations in the window
+   layer's documented ``(origin, issue order)`` total order.
+2. **Observability is free** — the same run with ``observe=True`` must
+   produce byte-identical logical clocks: spans and counters never touch
+   the cost model.
+3. **Determinism** — same seed, same everything: clocks, window
+   contents, resolved handles.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vmachine import VirtualMachine, Window
+from repro.vmachine.faults import FaultPlan, FaultRates
+
+P = 4
+WIN = 16  # elements exposed per rank
+
+
+def _random_ops(seed: int):
+    """Per-rank operation scripts: (kind, target, start, payload-seed)."""
+    rng = np.random.default_rng(seed)
+    scripts = []
+    for rank in range(P):
+        ops = []
+        for _ in range(int(rng.integers(2, 9))):
+            kind = rng.choice(["put", "acc", "get", "fadd"])
+            target = int(rng.integers(0, P))
+            if kind in ("put", "acc"):
+                count = int(rng.integers(1, WIN + 1))
+                start = int(rng.integers(0, WIN - count + 1))
+                data = np.round(rng.standard_normal(count), 3)
+                ops.append((kind, target, start, data))
+            elif kind == "get":
+                count = int(rng.integers(1, WIN + 1))
+                start = int(rng.integers(0, WIN - count + 1))
+                ops.append((kind, target, start, count))
+            else:
+                index = int(rng.integers(0, WIN))
+                ops.append((kind, target, index,
+                            float(np.round(rng.standard_normal(), 3))))
+        scripts.append(ops)
+    return scripts
+
+
+def _issue(win, ops):
+    handles = []
+    for op in ops:
+        kind = op[0]
+        if kind == "put":
+            win.put(op[1], op[3], start=op[2])
+        elif kind == "acc":
+            win.accumulate(op[1], op[3], start=op[2])
+        elif kind == "get":
+            handles.append(win.get(op[1], op[2], op[3]))
+        else:
+            handles.append(win.fetch_add(op[1], op[2], op[3]))
+    return handles
+
+
+def _oracle(scripts):
+    """Sequential replay in (origin, issue order) — the documented total
+    order — against plain NumPy state; gets read the post-epoch state."""
+    state = [np.zeros(WIN) for _ in range(P)]
+    fetches = {}  # (origin, seq-within-origin-handle-list) -> old value
+    gets = []
+    for origin in range(P):
+        h = 0
+        for op in scripts[origin]:
+            kind, target = op[0], op[1]
+            if kind == "put":
+                state[target][op[2]:op[2] + len(op[3])] = op[3]
+            elif kind == "acc":
+                state[target][op[2]:op[2] + len(op[3])] += op[3]
+            elif kind == "fadd":
+                fetches[(origin, h)] = state[target][op[2]]
+                state[target][op[2]] += op[3]
+                h += 1
+            else:
+                gets.append((origin, h, target, op[2], op[3]))
+                h += 1
+    resolved = dict(fetches)
+    for origin, h, target, start, count in gets:
+        resolved[(origin, h)] = state[target][start:start + count].copy()
+    return state, resolved
+
+
+def _spmd(scripts, reliable):
+    def spmd(comm):
+        win = Window(comm, np.zeros(WIN), reliable=reliable)
+        handles = _issue(win, scripts[comm.rank])
+        win.fence()
+        return (win.local.copy(),
+                [np.asarray(h.value).copy() for h in handles],
+                comm.process.clock)
+
+    return spmd
+
+
+def _chaos_plan(seed, level):
+    r = 0.05 * level  # level 0..4 -> 0..20% each
+    return FaultPlan(
+        seed=seed,
+        rates=FaultRates(drop=r, dup=r, reorder=r, delay=r),
+        classes=("rma",),
+    )
+
+
+class TestChaosOracleIdentity:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10_000), level=st.integers(0, 4))
+    def test_reliable_window_matches_two_sided_oracle(self, seed, level):
+        scripts = _random_ops(seed)
+        state, resolved = _oracle(scripts)
+        vm = VirtualMachine(P, faults=_chaos_plan(seed, level),
+                            recv_timeout_s=60.0)
+        res = vm.run(_spmd(scripts, True))
+        for rank in range(P):
+            local, values, _clock = res.values[rank]
+            np.testing.assert_array_equal(local, state[rank])
+            for h, v in enumerate(values):
+                np.testing.assert_array_equal(
+                    v, np.asarray(resolved[(rank, h)]))
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_clean_channel_needs_no_reliability(self, seed):
+        scripts = _random_ops(seed)
+        state, resolved = _oracle(scripts)
+        res = VirtualMachine(P).run(_spmd(scripts, False))
+        for rank in range(P):
+            local, values, _clock = res.values[rank]
+            np.testing.assert_array_equal(local, state[rank])
+            for h, v in enumerate(values):
+                np.testing.assert_array_equal(
+                    v, np.asarray(resolved[(rank, h)]))
+
+
+class TestHeldResponseRegression:
+    def test_pinned_seed_1216_level_3_completes_and_matches_oracle(self):
+        """Pinned falsifying example: this (seed, level) once deadlocked.
+
+        Two ranks' epoch responses to each other were both held back by
+        the fault plan (reorder/delay on the ``"rma"`` class) and nothing
+        released them before the fence's response-collection receives —
+        a circular wait that timed out.  The fence now flushes held
+        response envelopes after serving them, before blocking on its
+        own.
+        """
+        scripts = _random_ops(1216)
+        state, resolved = _oracle(scripts)
+        vm = VirtualMachine(P, faults=_chaos_plan(1216, 3),
+                            recv_timeout_s=60.0)
+        res = vm.run(_spmd(scripts, True))
+        for rank in range(P):
+            local, values, _clock = res.values[rank]
+            np.testing.assert_array_equal(local, state[rank])
+            for h, v in enumerate(values):
+                np.testing.assert_array_equal(
+                    v, np.asarray(resolved[(rank, h)]))
+
+
+class TestObservabilityIsFree:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_clocks_byte_identical_observe_on_off(self, seed):
+        scripts = _random_ops(seed)
+        plain = VirtualMachine(P).run(_spmd(scripts, False))
+        observed = VirtualMachine(P, observe=True).run(
+            _spmd(scripts, False))
+        assert plain.clocks == observed.clocks
+        for rank in range(P):
+            assert (plain.values[rank][0].tobytes()
+                    == observed.values[rank][0].tobytes())
+        # observe mode actually recorded the one-sided spans
+        names = {s.name for spans in observed.spans for s in spans}
+        assert "rma:fence" in names
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_trace_mode_keeps_clocks_identical_too(self, seed):
+        scripts = _random_ops(seed)
+        plain = VirtualMachine(P).run(_spmd(scripts, False))
+        traced = VirtualMachine(P, trace=True).run(_spmd(scripts, False))
+        assert plain.clocks == traced.clocks
+
+
+class TestDeterminism:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10_000), level=st.integers(1, 4))
+    def test_chaotic_runs_are_reproducible(self, seed, level):
+        scripts = _random_ops(seed)
+
+        def once():
+            vm = VirtualMachine(P, faults=_chaos_plan(seed, level),
+                                recv_timeout_s=60.0)
+            return vm.run(_spmd(scripts, True))
+
+        a, b = once(), once()
+        assert a.clocks == b.clocks
+        for rank in range(P):
+            assert (a.values[rank][0].tobytes()
+                    == b.values[rank][0].tobytes())

@@ -83,3 +83,75 @@ class TestScalarsAndOpaque:
             nbytes = 123
 
         assert payload_nbytes(Sized()) == 123
+
+    def test_numpy_scalar_charges_itemsize(self):
+        assert payload_nbytes(np.int32(7)) == 4
+        assert payload_nbytes(np.float64(3.0)) == 8
+
+
+class TestNbytesProbeBoundaries:
+    """The ``.nbytes`` probe must only trust buffer-like byte counts.
+
+    Historically any ``.nbytes`` attribute was trusted before the
+    container/scalar branches ran, so payloads like a bare ``np.dtype``
+    or an array-wrapping object with a non-integer ``nbytes`` were
+    mischarged (or crashed ``int()``)."""
+
+    def test_bare_dtype_charges_envelope(self):
+        # np.dtype has itemsize, not a payload byte count; it must land
+        # in the opaque branch, not be treated as a sized buffer.
+        assert payload_nbytes(np.dtype("f8")) == 64
+        assert payload_nbytes(np.dtype("i4")) == 64
+
+    def test_callable_nbytes_is_not_trusted(self):
+        class Wrapper:
+            def nbytes(self):  # a method, not a byte count
+                return 10**9
+
+        assert payload_nbytes(Wrapper()) == 64
+
+    def test_non_integer_nbytes_is_not_trusted(self):
+        class Weird:
+            nbytes = 12.5
+
+        assert payload_nbytes(Weird()) == 64
+
+    def test_negative_nbytes_is_not_trusted(self):
+        class Broken:
+            nbytes = -4
+
+        assert payload_nbytes(Broken()) == 64
+
+    def test_bool_nbytes_is_not_trusted(self):
+        class Flagged:
+            nbytes = True
+
+        assert payload_nbytes(Flagged()) == 64
+
+    def test_numpy_integer_nbytes_is_trusted(self):
+        class Sized:
+            nbytes = np.int64(80)
+
+        assert payload_nbytes(Sized()) == 80
+
+    def test_container_subclass_sized_by_contents(self):
+        # A list subclass carrying a stray nbytes attribute must be sized
+        # recursively like any list, not by the attribute.
+        class FakeSized(list):
+            nbytes = 10**6
+
+        p = FakeSized([np.zeros(2), np.zeros(3)])
+        assert payload_nbytes(p) == 8 + 16 + 24
+
+    def test_dict_subclass_sized_by_contents(self):
+        class FakeDict(dict):
+            nbytes = 10**6
+
+        assert payload_nbytes(FakeDict({"ab": np.zeros(4)})) == 8 + 2 + 32
+
+    def test_str_and_scalars_unaffected_by_probe_order(self):
+        # Clock identity: historical payload classes keep their sizes.
+        assert payload_nbytes("café") == 5
+        assert payload_nbytes((1, b"abc")) == 8 + 8 + 3
+        assert payload_nbytes(0) == 8
+        assert payload_nbytes(None) == 8
